@@ -1,0 +1,69 @@
+//! Criterion bench A2: ablation of msu4's optional line-19 constraint
+//! (`Σ_{i∈core} bᵢ ≥ 1`). The paper: "this cardinality constraint is in
+//! fact optional, but experiments suggest that it is most often useful".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coremax::{MaxSatSolver, Msu4, Msu4Config};
+use coremax_cards::CardEncoding;
+use coremax_cnf::WcnfFormula;
+use coremax_instances::{bmc_instance, pigeonhole, xor_chain};
+
+fn bench_line19_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msu4_line19");
+    group.sample_size(10);
+    let cases = vec![
+        ("php4", WcnfFormula::from_cnf_all_soft(&pigeonhole(4))),
+        ("xor11", WcnfFormula::from_cnf_all_soft(&xor_chain(11))),
+        ("bmc", WcnfFormula::from_cnf_all_soft(&bmc_instance(2, 3))),
+    ];
+    for (name, wcnf) in cases {
+        for (label, core_at_least_one) in [("with-ge1", true), ("without-ge1", false)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &wcnf, |b, w| {
+                b.iter(|| {
+                    let mut solver = Msu4::with_config(Msu4Config {
+                        encoding: CardEncoding::SortingNetwork,
+                        core_at_least_one,
+                        ..Msu4Config::default()
+                    });
+                    solver.solve(w).cost
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_core_minimisation_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msu4_core_min");
+    group.sample_size(10);
+    let cases = vec![
+        ("php4", WcnfFormula::from_cnf_all_soft(&pigeonhole(4))),
+        ("bmc", WcnfFormula::from_cnf_all_soft(&bmc_instance(2, 3))),
+    ];
+    for (name, wcnf) in cases {
+        for (label, minimize_cores) in [("raw-cores", false), ("min-cores", true)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &wcnf, |b, w| {
+                b.iter(|| {
+                    let mut solver = Msu4::with_config(Msu4Config {
+                        encoding: CardEncoding::SortingNetwork,
+                        minimize_cores,
+                        ..Msu4Config::default()
+                    });
+                    solver.solve(w).cost
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_line19_toggle, bench_core_minimisation_toggle);
+criterion_main!(benches);

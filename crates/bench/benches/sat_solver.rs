@@ -1,0 +1,54 @@
+//! Criterion bench S1: the CDCL substrate on representative SAT/UNSAT
+//! families, including core extraction overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coremax_instances::{bmc_instance, equiv_instance, pigeonhole, xor_chain};
+use coremax_sat::{SolveOutcome, Solver};
+
+fn bench_unsat_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_unsat_families");
+    let cases = vec![
+        ("php", pigeonhole(4)),
+        ("xor", xor_chain(15)),
+        ("bmc", bmc_instance(2, 4)),
+        ("equiv", equiv_instance(0, 3)),
+    ];
+    for (name, formula) in cases {
+        group.bench_with_input(BenchmarkId::new("refute", name), &formula, |b, f| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                solver.add_formula(f);
+                assert_eq!(solver.solve(), SolveOutcome::Unsat);
+                solver.unsat_core().expect("core").len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_extraction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_extraction");
+    for holes in [3usize, 4, 5] {
+        let formula = pigeonhole(holes);
+        group.bench_with_input(BenchmarkId::new("php", holes), &formula, |b, f| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                solver.add_formula(f);
+                let _ = solver.solve();
+                solver.unsat_core().map(<[_]>::len)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_unsat_families, bench_core_extraction_scaling);
+criterion_main!(benches);

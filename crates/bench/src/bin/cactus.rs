@@ -1,0 +1,64 @@
+//! Cactus-plot data: instances solved (y) within a per-instance time
+//! budget (x), the standard solver-competition presentation — an
+//! extension beyond the paper's tables that makes the same comparison
+//! visible as cumulative curves.
+//!
+//! Output: per solver, rows `solver k time_s` meaning "the k-th fastest
+//! solved instance took time_s". Plot with gnuplot:
+//! `plot 'data' using 3:2 with steps`.
+//!
+//! Usage: `cactus [--scale N] [--budget-ms MS] [--seed S] [SOLVER...]`
+
+use std::time::Duration;
+
+use coremax_bench::{run_solver_over, PAPER_SOLVERS};
+use coremax_instances::{full_suite, SuiteConfig};
+
+fn main() {
+    let mut scale = 1usize;
+    let mut budget_ms = 2_000u64;
+    let mut seed = 42u64;
+    let mut solvers: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(budget_ms);
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other if !other.starts_with('-') => solvers.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if solvers.is_empty() {
+        solvers = PAPER_SOLVERS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let suite = full_suite(&SuiteConfig { scale, seed });
+    let budget = Duration::from_millis(budget_ms);
+    println!(
+        "# cactus data: {} instances, {budget_ms} ms budget; columns: solver k time_s",
+        suite.len()
+    );
+    for solver in &solvers {
+        eprintln!("running {solver}…");
+        let records = run_solver_over(solver, &suite, budget);
+        let mut times: Vec<f64> = records
+            .iter()
+            .filter(|r| !r.aborted())
+            .map(|r| r.time.as_secs_f64())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        for (k, t) in times.iter().enumerate() {
+            println!("{solver} {} {t:.6}", k + 1);
+        }
+        println!("# {solver}: solved {} of {}", times.len(), suite.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Regenerates the scatter-plot data of **Figures 1–3**: per-instance
+//! CPU time of one solver against another.
+//!
+//! - Figure 1: `scatter maxsatz msu4v2`
+//! - Figure 2: `scatter pbo msu4v2`
+//! - Figure 3: `scatter msu4v1 msu4v2`
+//!
+//! Output: one `instance  x_time_s  y_time_s` row per instance (aborted
+//! runs are clamped to the budget, as in the paper where aborted points
+//! sit on the timeout border), followed by a win/loss summary — the
+//! machine-readable form of the figures, plottable with gnuplot:
+//! `plot 'data' using 2:3`.
+//!
+//! Usage: `scatter X_SOLVER Y_SOLVER [--scale N] [--budget-ms MS] [--seed S]`
+
+use std::time::Duration;
+
+use coremax_bench::{run_solver_over, solver_by_name};
+use coremax_instances::{full_suite, SuiteConfig};
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut scale = 1usize;
+    let mut budget_ms = 2_000u64;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(budget_ms);
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: scatter X_SOLVER Y_SOLVER [--scale N] [--budget-ms MS] [--seed S]");
+        eprintln!("solvers: maxsatz pbo msu4v1 msu4v2 msu1 msu2 msu3 linear binary");
+        std::process::exit(2);
+    }
+    let (x_name, y_name) = (positional[0].as_str(), positional[1].as_str());
+    // Validate early for a clean error message.
+    let _ = solver_by_name(x_name);
+    let _ = solver_by_name(y_name);
+
+    let suite = full_suite(&SuiteConfig { scale, seed });
+    let budget = Duration::from_millis(budget_ms);
+    eprintln!(
+        "scatter {x_name} vs {y_name}: {} instances, {budget_ms} ms budget",
+        suite.len()
+    );
+
+    let xs = run_solver_over(x_name, &suite, budget);
+    let ys = run_solver_over(y_name, &suite, budget);
+
+    let clamp = |r: &coremax_bench::RunRecord| -> f64 {
+        if r.aborted() {
+            budget.as_secs_f64()
+        } else {
+            r.time.as_secs_f64()
+        }
+    };
+
+    println!(
+        "# {x_name}(s)  {y_name}(s)  — timeout {} s",
+        budget.as_secs_f64()
+    );
+    println!("# instance  {x_name}  {y_name}");
+    let mut x_wins = 0usize;
+    let mut y_wins = 0usize;
+    let mut max_ratio: f64 = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        assert_eq!(x.instance, y.instance);
+        let (tx, ty) = (clamp(x), clamp(y));
+        println!("{} {:.6} {:.6}", x.instance, tx, ty);
+        if tx < ty {
+            x_wins += 1;
+        } else if ty < tx {
+            y_wins += 1;
+        }
+        if ty > 0.0 && !x.aborted() {
+            max_ratio = max_ratio.max(tx / ty.max(1e-6));
+        } else if x.aborted() && !y.aborted() {
+            max_ratio = max_ratio.max(tx / ty.max(1e-6));
+        }
+    }
+    println!(
+        "# summary: {x_name} faster on {x_wins}, {y_name} faster on {y_wins} of {} instances",
+        xs.len()
+    );
+    println!("# max speedup of {y_name} over {x_name}: {max_ratio:.1}x (timeout-clamped)");
+    println!(
+        "# aborted: {x_name}={} {y_name}={}",
+        xs.iter().filter(|r| r.aborted()).count(),
+        ys.iter().filter(|r| r.aborted()).count()
+    );
+}

@@ -1,0 +1,108 @@
+//! Regenerates **Table 1** of the paper: number of aborted instances
+//! per solver over the full benchmark suite.
+//!
+//! Paper (691 industrial instances, 1000 s timeout):
+//!
+//! | maxsatz | pbo | msu4-v1 | msu4-v2 |
+//! |---------|-----|---------|---------|
+//! | 554     | 248 | 212     | 163     |
+//!
+//! The reproduction runs the generated suite (same families, laptop
+//! scale) with a scaled timeout. The expected *shape*: maxsatz aborts
+//! by far the most, pbo fewer, msu4 the least.
+//!
+//! Usage: `table1 [--scale N] [--budget-ms MS] [--seed S]`
+
+use std::time::Duration;
+
+use coremax_bench::{aborted_counts, consistency_violations, run_solver_over, PAPER_SOLVERS};
+use coremax_instances::{full_suite, SuiteConfig};
+
+fn main() {
+    let mut scale = 1usize;
+    let mut budget_ms = 2_000u64;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(budget_ms);
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: table1 [--scale N] [--budget-ms MS] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let suite = full_suite(&SuiteConfig { scale, seed });
+    let budget = Duration::from_millis(budget_ms);
+    println!(
+        "c Table 1 reproduction: {} instances, {budget_ms} ms budget, scale {scale}",
+        suite.len()
+    );
+
+    let mut all_records = Vec::new();
+    for solver in PAPER_SOLVERS {
+        eprintln!("running {solver} over {} instances…", suite.len());
+        let records = run_solver_over(solver, &suite, budget);
+        all_records.extend(records);
+    }
+
+    let bad = consistency_violations(&all_records);
+    if !bad.is_empty() {
+        eprintln!("WARNING: solvers disagree on {bad:?}");
+    }
+
+    println!();
+    println!("Table 1: Number of aborted instances (of {})", suite.len());
+    print!("{:<8}", "Total");
+    for (name, _) in aborted_counts(&all_records, &PAPER_SOLVERS) {
+        print!("{name:>9}");
+    }
+    println!();
+    print!("{:<8}", suite.len());
+    for (_, aborted) in aborted_counts(&all_records, &PAPER_SOLVERS) {
+        print!("{aborted:>9}");
+    }
+    println!();
+    println!();
+    println!(
+        "paper    {:>9}{:>9}{:>9}{:>9}  (of 691, 1000 s)",
+        554, 248, 212, 163
+    );
+
+    // Per-family breakdown (extension beyond the paper's table).
+    println!();
+    println!("per-family aborted counts:");
+    let mut families: Vec<&str> = all_records.iter().map(|r| r.family).collect();
+    families.sort_unstable();
+    families.dedup();
+    print!("{:<8}", "family");
+    for s in PAPER_SOLVERS {
+        print!("{s:>9}");
+    }
+    println!("{:>7}", "n");
+    for family in families {
+        print!("{family:<8}");
+        let n = all_records
+            .iter()
+            .filter(|r| r.family == family && r.solver == PAPER_SOLVERS[0])
+            .count();
+        for solver in PAPER_SOLVERS {
+            let aborted = all_records
+                .iter()
+                .filter(|r| r.family == family && r.solver == solver && r.aborted())
+                .count();
+            print!("{aborted:>9}");
+        }
+        println!("{n:>7}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Table 2** of the paper: aborted design-debugging
+//! instances per solver.
+//!
+//! Paper (29 instances from Safarpour et al., 1000 s timeout):
+//!
+//! | maxsatz | pbo | msu4-v1 | msu4-v2 |
+//! |---------|-----|---------|---------|
+//! | 26      | 21  | 3       | 3       |
+//!
+//! The reproduction generates 29 fault-injected circuit debugging
+//! instances (partial MaxSAT). Expected shape: maxsatz and pbo abort on
+//! most, msu4 on few or none.
+//!
+//! Usage: `table2 [--scale N] [--budget-ms MS] [--seed S]`
+
+use std::time::Duration;
+
+use coremax_bench::{aborted_counts, consistency_violations, run_solver_over, PAPER_SOLVERS};
+use coremax_instances::{debug_suite, SuiteConfig};
+
+fn main() {
+    let mut scale = 1usize;
+    let mut budget_ms = 2_000u64;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(budget_ms);
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: table2 [--scale N] [--budget-ms MS] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let suite = debug_suite(&SuiteConfig { scale, seed });
+    let budget = Duration::from_millis(budget_ms);
+    println!(
+        "c Table 2 reproduction: {} design-debugging instances, {budget_ms} ms budget",
+        suite.len()
+    );
+
+    let mut all_records = Vec::new();
+    for solver in PAPER_SOLVERS {
+        eprintln!("running {solver} over {} instances…", suite.len());
+        all_records.extend(run_solver_over(solver, &suite, budget));
+    }
+
+    let bad = consistency_violations(&all_records);
+    if !bad.is_empty() {
+        eprintln!("WARNING: solvers disagree on {bad:?}");
+    }
+
+    println!();
+    println!(
+        "Table 2: Design debugging instances — aborted (of {})",
+        suite.len()
+    );
+    print!("{:<8}", "Total");
+    for (name, _) in aborted_counts(&all_records, &PAPER_SOLVERS) {
+        print!("{name:>9}");
+    }
+    println!();
+    print!("{:<8}", suite.len());
+    for (_, aborted) in aborted_counts(&all_records, &PAPER_SOLVERS) {
+        print!("{aborted:>9}");
+    }
+    println!();
+    println!();
+    println!(
+        "paper    {:>9}{:>9}{:>9}{:>9}  (of 29, 1000 s)",
+        26, 21, 3, 3
+    );
+}

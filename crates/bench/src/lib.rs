@@ -1,0 +1,208 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! The binaries (`table1`, `table2`, `scatter`) and Criterion benches
+//! use these helpers to run every solver over the generated instance
+//! suite under a per-instance budget and collect outcome/time rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use coremax::{
+    BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus, Msu1, Msu2, Msu3,
+    Msu4, PboBaseline,
+};
+use coremax_instances::Instance;
+use coremax_sat::Budget;
+
+/// One solver run on one instance.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Instance name.
+    pub instance: String,
+    /// Instance family name.
+    pub family: &'static str,
+    /// Solver name.
+    pub solver: &'static str,
+    /// Outcome.
+    pub status: MaxSatStatus,
+    /// Proven (or best-known) cost.
+    pub cost: Option<u64>,
+    /// Wall-clock time.
+    pub time: Duration,
+}
+
+impl RunRecord {
+    /// `true` when the paper would count the run as *aborted*.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.status == MaxSatStatus::Unknown
+    }
+}
+
+/// Builds a solver by experiment name. The set matches the paper's
+/// evaluation: `maxsatz`, `pbo`, `msu4v1`, `msu4v2`, plus the extended
+/// family (`msu1`, `msu2`, `msu3`, `linear`, `binary`).
+///
+/// # Panics
+///
+/// Panics on an unknown name (experiment configs are static).
+#[must_use]
+pub fn solver_by_name(name: &str) -> Box<dyn MaxSatSolver> {
+    match name {
+        "maxsatz" => Box::new(BranchBound::new()),
+        "pbo" => Box::new(PboBaseline::new()),
+        "msu4v1" => Box::new(Msu4::v1()),
+        "msu4v2" => Box::new(Msu4::v2()),
+        "msu4inc" => Box::new(coremax::Msu4Incremental::new()),
+        "msu1" => Box::new(Msu1::new()),
+        "msu2" => Box::new(Msu2::new()),
+        "msu3" => Box::new(Msu3::new()),
+        "linear" => Box::new(LinearSearchSat::new()),
+        "binary" => Box::new(BinarySearchSat::new()),
+        other => panic!("unknown experiment solver `{other}`"),
+    }
+}
+
+/// The paper's Table 1 / Table 2 solver line-up.
+pub const PAPER_SOLVERS: [&str; 4] = ["maxsatz", "pbo", "msu4v1", "msu4v2"];
+
+/// Runs `solver_name` over `instances` with `budget` per instance.
+#[must_use]
+pub fn run_solver_over(
+    solver_name: &str,
+    instances: &[Instance],
+    budget: Duration,
+) -> Vec<RunRecord> {
+    let mut solver = solver_by_name(solver_name);
+    // Tables are keyed by the experiment alias, not the solver's own
+    // `name()` (e.g. `msu4v2` instead of `msu4-v2`).
+    let static_name: &'static str = experiment_alias(solver_name);
+    instances
+        .iter()
+        .map(|instance| {
+            solver.set_budget(Budget::new().with_timeout(budget));
+            let solution = solver.solve(&instance.wcnf);
+            RunRecord {
+                instance: instance.name.clone(),
+                family: instance.family.name(),
+                solver: static_name,
+                status: solution.status,
+                cost: solution.cost,
+                time: solution.stats.wall_time,
+            }
+        })
+        .collect()
+}
+
+fn experiment_alias(name: &str) -> &'static str {
+    match name {
+        "maxsatz" => "maxsatz",
+        "pbo" => "pbo",
+        "msu4v1" => "msu4v1",
+        "msu4v2" => "msu4v2",
+        "msu4inc" => "msu4inc",
+        "msu1" => "msu1",
+        "msu2" => "msu2",
+        "msu3" => "msu3",
+        "linear" => "linear",
+        "binary" => "binary",
+        _ => "unknown",
+    }
+}
+
+/// Counts aborted instances per solver, in `solvers` order — the shape
+/// of the paper's Table 1 and Table 2.
+#[must_use]
+pub fn aborted_counts(records: &[RunRecord], solvers: &[&str]) -> Vec<(String, usize)> {
+    solvers
+        .iter()
+        .map(|&s| {
+            let aborted = records
+                .iter()
+                .filter(|r| r.solver == s && r.aborted())
+                .count();
+            (s.to_string(), aborted)
+        })
+        .collect()
+}
+
+/// Checks that all solvers that finished an instance agree on its cost.
+/// Returns the disagreeing instance names (empty = consistent).
+#[must_use]
+pub fn consistency_violations(records: &[RunRecord]) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut by_instance: HashMap<&str, Vec<&RunRecord>> = HashMap::new();
+    for r in records {
+        if r.status == MaxSatStatus::Optimal {
+            by_instance.entry(&r.instance).or_default().push(r);
+        }
+    }
+    let mut bad = Vec::new();
+    for (name, rs) in by_instance {
+        let costs: Vec<Option<u64>> = rs.iter().map(|r| r.cost).collect();
+        if costs.windows(2).any(|w| w[0] != w[1]) {
+            bad.push(name.to_string());
+        }
+    }
+    bad.sort();
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_instances::{full_suite, SuiteConfig};
+
+    #[test]
+    fn solver_registry_complete() {
+        for name in PAPER_SOLVERS {
+            let s = solver_by_name(name);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment solver")]
+    fn unknown_solver_panics() {
+        let _ = solver_by_name("does-not-exist");
+    }
+
+    #[test]
+    fn run_and_count() {
+        let suite = full_suite(&SuiteConfig::default());
+        let small: Vec<_> = suite.into_iter().take(3).collect();
+        let records = run_solver_over("msu4v2", &small, Duration::from_secs(20));
+        assert_eq!(records.len(), 3);
+        let counts = aborted_counts(&records, &["msu4v2"]);
+        assert_eq!(counts[0].0, "msu4v2");
+        assert!(counts[0].1 <= 3);
+    }
+
+    #[test]
+    fn consistency_check_detects_disagreement() {
+        let a = RunRecord {
+            instance: "x".into(),
+            family: "php",
+            solver: "a",
+            status: MaxSatStatus::Optimal,
+            cost: Some(1),
+            time: Duration::ZERO,
+        };
+        let mut b = a.clone();
+        b.solver = "b";
+        b.cost = Some(2);
+        assert_eq!(
+            consistency_violations(&[a.clone(), b]),
+            vec!["x".to_string()]
+        );
+        let b2 = RunRecord {
+            cost: Some(1),
+            solver: "b",
+            ..a.clone()
+        };
+        assert!(consistency_violations(&[a, b2]).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Binary adder-network encoding.
+//!
+//! The third translation of Eén & Sörensson's minisat+ paper (§5.3,
+//! after BDDs and sorting networks): count the true inputs with a tree
+//! of full/half adders into a binary number, then compare that number
+//! against the bound with a lexicographic comparator. `O(n)` clauses
+//! for the counter plus `O(log n)` for the comparison — the most
+//! compact of the three, at the price of weak propagation (no arc
+//! consistency), which is exactly the trade-off the paper's §5
+//! "alternative encodings" discussion is about.
+
+use coremax_cnf::Lit;
+
+use crate::CnfSink;
+
+pub(crate) fn at_most(lits: &[Lit], k: usize, sink: &mut CnfSink) {
+    debug_assert!(k >= 1 && k < lits.len());
+    let sum_bits = count_bits(lits, sink);
+    // Enforce  (b_{m-1} … b_0)₂ ≤ k.
+    leq_constant(&sum_bits, k, sink);
+}
+
+/// Builds a binary counter over `lits`, returning its bits LSB-first.
+fn count_bits(lits: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    // Bucket queue per bit position: pending addends of weight 2^i.
+    let mut buckets: Vec<Vec<Lit>> = vec![lits.to_vec()];
+    let mut result: Vec<Lit> = Vec::new();
+    let mut position = 0usize;
+    loop {
+        while buckets.len() <= position {
+            buckets.push(Vec::new());
+        }
+        // Reduce the current bucket to a single literal using full and
+        // half adders; carries land in the next bucket.
+        while buckets[position].len() >= 3 {
+            let a = buckets[position].pop().expect("len>=3");
+            let b = buckets[position].pop().expect("len>=2");
+            let c = buckets[position].pop().expect("len>=1");
+            let (sum, carry) = full_adder(a, b, c, sink);
+            buckets[position].push(sum);
+            if buckets.len() <= position + 1 {
+                buckets.push(Vec::new());
+            }
+            buckets[position + 1].push(carry);
+        }
+        if buckets[position].len() == 2 {
+            let a = buckets[position].pop().expect("len==2");
+            let b = buckets[position].pop().expect("len==1");
+            let (sum, carry) = half_adder(a, b, sink);
+            buckets[position].push(sum);
+            if buckets.len() <= position + 1 {
+                buckets.push(Vec::new());
+            }
+            buckets[position + 1].push(carry);
+        }
+        match buckets[position].pop() {
+            Some(bit) => result.push(bit),
+            None => {
+                // Empty bucket: constant-zero bit.
+                let zero = Lit::positive(sink.fresh_var());
+                sink.add_clause(vec![!zero]);
+                result.push(zero);
+            }
+        }
+        position += 1;
+        if position >= buckets.len() {
+            break;
+        }
+        // Stop when no pending addends remain at or beyond `position`.
+        if buckets[position..].iter().all(Vec::is_empty) {
+            break;
+        }
+    }
+    result
+}
+
+/// Full adder with two-sided Tseitin clauses: `(sum, carry)`.
+fn full_adder(a: Lit, b: Lit, c: Lit, sink: &mut CnfSink) -> (Lit, Lit) {
+    let sum = Lit::positive(sink.fresh_var());
+    let carry = Lit::positive(sink.fresh_var());
+    // sum ⇔ a ⊕ b ⊕ c
+    sink.add_clause(vec![!a, !b, !c, sum]);
+    sink.add_clause(vec![!a, b, c, sum]);
+    sink.add_clause(vec![a, !b, c, sum]);
+    sink.add_clause(vec![a, b, !c, sum]);
+    sink.add_clause(vec![a, b, c, !sum]);
+    sink.add_clause(vec![a, !b, !c, !sum]);
+    sink.add_clause(vec![!a, b, !c, !sum]);
+    sink.add_clause(vec![!a, !b, c, !sum]);
+    // carry ⇔ majority(a, b, c)
+    sink.add_clause(vec![!a, !b, carry]);
+    sink.add_clause(vec![!a, !c, carry]);
+    sink.add_clause(vec![!b, !c, carry]);
+    sink.add_clause(vec![a, b, !carry]);
+    sink.add_clause(vec![a, c, !carry]);
+    sink.add_clause(vec![b, c, !carry]);
+    (sum, carry)
+}
+
+/// Half adder: `(sum, carry) = (a ⊕ b, a ∧ b)`.
+fn half_adder(a: Lit, b: Lit, sink: &mut CnfSink) -> (Lit, Lit) {
+    let sum = Lit::positive(sink.fresh_var());
+    let carry = Lit::positive(sink.fresh_var());
+    sink.add_clause(vec![!a, b, sum]);
+    sink.add_clause(vec![a, !b, sum]);
+    sink.add_clause(vec![a, b, !sum]);
+    sink.add_clause(vec![!a, !b, !sum]);
+    sink.add_clause(vec![!a, !b, carry]);
+    sink.add_clause(vec![a, !carry]);
+    sink.add_clause(vec![b, !carry]);
+    (sum, carry)
+}
+
+/// Enforces `(bits)₂ ≤ constant` (bits LSB-first) by forbidding every
+/// position where a greater number would first exceed the constant:
+/// for each bit i with constant-bit 0, require that if all higher
+/// constant-1 positions... — standard lexicographic encoding: for every
+/// `i` with `constant[i] == 0`:  `(∧_{j>i, constant[j]=1} bits[j]) → ¬bits[i]`.
+fn leq_constant(bits: &[Lit], constant: usize, sink: &mut CnfSink) {
+    for i in (0..bits.len()).rev() {
+        let k_bit = constant >> i & 1;
+        if k_bit == 1 {
+            continue;
+        }
+        // Clause: ¬bits[i] ∨ ⋁_{j>i, k_j = 1} ¬bits[j]
+        let mut clause = vec![!bits[i]];
+        for (j, &bj) in bits.iter().enumerate().skip(i + 1) {
+            if constant >> j & 1 == 1 {
+                clause.push(!bj);
+            } else {
+                // A higher 0-position already forces bits[j] = 0 through
+                // its own clause when the prefix matches; including it
+                // here would weaken the clause, so skip.
+            }
+        }
+        sink.add_clause(clause);
+    }
+    // Bits beyond the constant's width must satisfy their own clauses
+    // (covered above since those positions have k_bit = 0).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::Var;
+    use coremax_sat::{SolveOutcome, Solver};
+
+    fn input_lits(n: usize) -> Vec<Lit> {
+        (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect()
+    }
+
+    #[test]
+    fn counter_counts_exactly() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let lits = input_lits(n);
+            let mut sink = CnfSink::new(n);
+            let bits = count_bits(&lits, &mut sink);
+            for value in 0u32..(1 << n) {
+                let mut solver = Solver::new();
+                solver.ensure_vars(sink.num_vars());
+                for c in sink.clauses() {
+                    solver.add_clause(c.iter().copied());
+                }
+                let assumptions: Vec<Lit> = (0..n)
+                    .map(|i| Lit::new(Var::new(i as u32), value >> i & 1 == 1))
+                    .collect();
+                assert_eq!(
+                    solver.solve_with_assumptions(&assumptions),
+                    SolveOutcome::Sat
+                );
+                let model = solver.model().unwrap();
+                let mut counted = 0usize;
+                for (i, &bit) in bits.iter().enumerate() {
+                    if model.satisfies(bit) {
+                        counted += 1 << i;
+                    }
+                }
+                assert_eq!(
+                    counted,
+                    value.count_ones() as usize,
+                    "n={n} value={value:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut sink = CnfSink::new(3);
+        let (a, b, c) = (
+            Lit::positive(Var::new(0)),
+            Lit::positive(Var::new(1)),
+            Lit::positive(Var::new(2)),
+        );
+        let (sum, carry) = full_adder(a, b, c, &mut sink);
+        for bits in 0u32..8 {
+            let mut solver = Solver::new();
+            solver.ensure_vars(sink.num_vars());
+            for cl in sink.clauses() {
+                solver.add_clause(cl.iter().copied());
+            }
+            let assumptions: Vec<Lit> = (0..3)
+                .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
+                .collect();
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveOutcome::Sat
+            );
+            let m = solver.model().unwrap();
+            let total = bits.count_ones();
+            assert_eq!(m.satisfies(sum), total % 2 == 1);
+            assert_eq!(m.satisfies(carry), total >= 2);
+        }
+    }
+
+    #[test]
+    fn leq_constant_semantics() {
+        // 3 free bits, constraint value ≤ 5.
+        let n = 3;
+        let bits = input_lits(n);
+        let mut sink = CnfSink::new(n);
+        leq_constant(&bits, 5, &mut sink);
+        for value in 0u32..8 {
+            let mut solver = Solver::new();
+            solver.ensure_vars(sink.num_vars());
+            for c in sink.clauses() {
+                solver.add_clause(c.iter().copied());
+            }
+            let assumptions: Vec<Lit> = (0..n)
+                .map(|i| Lit::new(Var::new(i as u32), value >> i & 1 == 1))
+                .collect();
+            let sat = solver.solve_with_assumptions(&assumptions) == SolveOutcome::Sat;
+            assert_eq!(sat, value <= 5, "value={value}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear_sized() {
+        let n = 64;
+        let lits = input_lits(n);
+        let mut sink = CnfSink::new(n);
+        at_most(&lits, 20, &mut sink);
+        // ~14 clauses per adder, ~n adders.
+        assert!(
+            sink.num_clauses() < 20 * n,
+            "{} clauses",
+            sink.num_clauses()
+        );
+    }
+}

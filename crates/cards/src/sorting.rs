@@ -1,0 +1,171 @@
+//! Batcher odd-even merge-sorting network (msu4 **v2**).
+//!
+//! Eén & Sörensson, *Translating Pseudo-Boolean Constraints into SAT*
+//! (JSAT 2006), §5.2. The network sorts the input literals so that true
+//! inputs bubble to the front: output `out[i]` is true iff at least
+//! `i+1` inputs are true. `Σ lits ≤ k` is then the single unit clause
+//! `¬out[k]`. Comparators are encoded with full (two-sided) Tseitin
+//! clauses so models remain extractable and the same network serves
+//! both bound directions.
+
+use coremax_cnf::Lit;
+
+use crate::CnfSink;
+
+pub(crate) fn at_most(lits: &[Lit], k: usize, sink: &mut CnfSink) {
+    debug_assert!(k >= 1 && k < lits.len());
+    let sorted = sort_network(lits, sink);
+    sink.add_clause(vec![!sorted[k]]);
+}
+
+/// Builds the sorting network, returning outputs in descending order
+/// (`out[0]` = "at least one input true", …). Exposed to the totalizer
+/// comparison benches via the crate-internal API.
+pub(crate) fn sort_network(lits: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    // Pad to a power of two with a constant-false literal.
+    let n = lits.len().next_power_of_two();
+    let mut input = lits.to_vec();
+    if input.len() < n {
+        let f = Lit::positive(sink.fresh_var());
+        sink.add_clause(vec![!f]); // force false
+        input.resize(n, f);
+    }
+    let mut out = oe_sort(&input, sink);
+    // Padding elements are constant-false and sort to the back.
+    out.truncate(lits.len());
+    out
+}
+
+fn oe_sort(x: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    debug_assert!(x.len().is_power_of_two());
+    if x.len() == 1 {
+        return x.to_vec();
+    }
+    let mid = x.len() / 2;
+    let a = oe_sort(&x[..mid], sink);
+    let b = oe_sort(&x[mid..], sink);
+    oe_merge(&a, &b, sink)
+}
+
+/// Batcher odd-even merge of two descending-sorted sequences of equal
+/// power-of-two length.
+fn oe_merge(a: &[Lit], b: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 1 {
+        let (hi, lo) = comparator(a[0], b[0], sink);
+        return vec![hi, lo];
+    }
+    let evens = |s: &[Lit]| -> Vec<Lit> { s.iter().step_by(2).copied().collect() };
+    let odds = |s: &[Lit]| -> Vec<Lit> { s.iter().skip(1).step_by(2).copied().collect() };
+    let d = oe_merge(&evens(a), &evens(b), sink);
+    let e = oe_merge(&odds(a), &odds(b), sink);
+    debug_assert_eq!(d.len(), n);
+    debug_assert_eq!(e.len(), n);
+
+    let mut out = Vec::with_capacity(2 * n);
+    out.push(d[0]);
+    for i in 0..n - 1 {
+        let (hi, lo) = comparator(e[i], d[i + 1], sink);
+        out.push(hi);
+        out.push(lo);
+    }
+    out.push(e[n - 1]);
+    out
+}
+
+/// A two-sorter: `hi = a ∨ b`, `lo = a ∧ b`, with both implication
+/// directions emitted.
+fn comparator(a: Lit, b: Lit, sink: &mut CnfSink) -> (Lit, Lit) {
+    let hi = Lit::positive(sink.fresh_var());
+    let lo = Lit::positive(sink.fresh_var());
+    // hi ⇔ a ∨ b
+    sink.add_clause(vec![!a, hi]);
+    sink.add_clause(vec![!b, hi]);
+    sink.add_clause(vec![a, b, !hi]);
+    // lo ⇔ a ∧ b
+    sink.add_clause(vec![!a, !b, lo]);
+    sink.add_clause(vec![a, !lo]);
+    sink.add_clause(vec![b, !lo]);
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::Var;
+    use coremax_sat::{SolveOutcome, Solver};
+
+    fn input_lits(n: usize) -> Vec<Lit> {
+        (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect()
+    }
+
+    /// For each input assignment, every sorted output must equal the
+    /// unary count ("out[i] ⇔ popcount > i").
+    #[test]
+    fn network_counts_exactly() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8] {
+            let lits = input_lits(n);
+            let mut sink = CnfSink::new(n);
+            let out = sort_network(&lits, &mut sink);
+            assert_eq!(out.len(), n);
+            for bits in 0u32..(1 << n) {
+                let mut solver = Solver::new();
+                solver.ensure_vars(sink.num_vars());
+                for c in sink.clauses() {
+                    solver.add_clause(c.iter().copied());
+                }
+                let assumptions: Vec<Lit> = (0..n)
+                    .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
+                    .collect();
+                assert_eq!(
+                    solver.solve_with_assumptions(&assumptions),
+                    SolveOutcome::Sat
+                );
+                let m = solver.model().unwrap().clone();
+                let pop = bits.count_ones() as usize;
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(m.satisfies(o), pop > i, "n={n} bits={bits:b} output {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_truth_table() {
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::positive(Var::new(1));
+        let mut sink = CnfSink::new(2);
+        let (hi, lo) = comparator(a, b, &mut sink);
+        for bits in 0u32..4 {
+            let mut solver = Solver::new();
+            solver.ensure_vars(sink.num_vars());
+            for c in sink.clauses() {
+                solver.add_clause(c.iter().copied());
+            }
+            let assumptions = [
+                Lit::new(Var::new(0), bits & 1 == 1),
+                Lit::new(Var::new(1), bits & 2 == 2),
+            ];
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveOutcome::Sat
+            );
+            let m = solver.model().unwrap();
+            let (av, bv) = (bits & 1 == 1, bits & 2 == 2);
+            assert_eq!(m.satisfies(hi), av || bv);
+            assert_eq!(m.satisfies(lo), av && bv);
+        }
+    }
+
+    #[test]
+    fn network_size_nlog2n() {
+        let n = 64;
+        let lits = input_lits(n);
+        let mut sink = CnfSink::new(n);
+        let _ = sort_network(&lits, &mut sink);
+        // O(n log² n) comparators, 6 clauses each.
+        let comparators = (sink.num_vars() - n) / 2;
+        assert!(comparators <= n * 36, "too many comparators: {comparators}");
+    }
+}

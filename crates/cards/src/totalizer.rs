@@ -1,0 +1,107 @@
+//! Bailleux–Boufkhad totalizer encoding.
+//!
+//! O. Bailleux and Y. Boufkhad, *Efficient CNF Encoding of Boolean
+//! Cardinality Constraints*, CP 2003. A balanced tree of unary adders:
+//! each node carries output literals `o₁ ≥ o₂ ≥ …` in unary ("at least
+//! i inputs are true"), merged from its two children. The at-most-k
+//! constraint asserts `¬o_{k+1}` at the root. We emit both implication
+//! directions so the same counter also serves at-least bounds and keeps
+//! models extractable.
+
+use coremax_cnf::Lit;
+
+use crate::CnfSink;
+
+pub(crate) fn at_most(lits: &[Lit], k: usize, sink: &mut CnfSink) {
+    debug_assert!(k >= 1 && k < lits.len());
+    let outputs = build_totalizer(lits, sink);
+    // Forbid the (k+1)-th output: at most k inputs may be true.
+    sink.add_clause(vec![!outputs[k]]);
+}
+
+/// Builds the unary counting tree and returns the root's output
+/// literals (`out[i]` ⇔ at least `i+1` inputs true).
+fn build_totalizer(lits: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    if lits.len() == 1 {
+        return vec![lits[0]];
+    }
+    let mid = lits.len() / 2;
+    let left = build_totalizer(&lits[..mid], sink);
+    let right = build_totalizer(&lits[mid..], sink);
+    merge(&left, &right, sink)
+}
+
+/// Merges two unary numbers with fresh output literals.
+fn merge(a: &[Lit], b: &[Lit], sink: &mut CnfSink) -> Vec<Lit> {
+    let n = a.len() + b.len();
+    let out: Vec<Lit> = (0..n).map(|_| Lit::positive(sink.fresh_var())).collect();
+    // a_i ∧ b_j → out_{i+j+1}  (with the empty-index conventions below)
+    for i in 0..=a.len() {
+        for j in 0..=b.len() {
+            if i + j == 0 {
+                continue;
+            }
+            // Sum direction: i trues on the left and j on the right imply
+            // out_{i+j}.
+            {
+                let mut clause = Vec::with_capacity(3);
+                if i > 0 {
+                    clause.push(!a[i - 1]);
+                }
+                if j > 0 {
+                    clause.push(!b[j - 1]);
+                }
+                clause.push(out[i + j - 1]);
+                sink.add_clause(clause);
+            }
+            // Converse direction: out_{i+j} implies i trues on the left or
+            // j+1 on the right / etc. Encoded as:
+            // ¬a_{i+1} ∧ ¬b_{j+1} → ¬out_{i+j+1}.
+            if i + j < n {
+                let mut clause = Vec::with_capacity(3);
+                if i < a.len() {
+                    clause.push(a[i]);
+                }
+                if j < b.len() {
+                    clause.push(b[j]);
+                }
+                clause.push(!out[i + j]);
+                sink.add_clause(clause);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::Var;
+
+    #[test]
+    fn produces_n_outputs_at_root() {
+        let lits: Vec<Lit> = (0..5).map(|i| Lit::positive(Var::new(i))).collect();
+        let mut sink = CnfSink::new(5);
+        let out = build_totalizer(&lits, &mut sink);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn single_literal_passthrough() {
+        let l = Lit::positive(Var::new(0));
+        let mut sink = CnfSink::new(1);
+        let out = build_totalizer(&[l], &mut sink);
+        assert_eq!(out, vec![l]);
+        assert_eq!(sink.num_clauses(), 0);
+    }
+
+    #[test]
+    fn clause_count_quadratic_bound() {
+        let n = 16;
+        let lits: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect();
+        let mut sink = CnfSink::new(n);
+        at_most(&lits, 8, &mut sink);
+        // O(n²) clauses for the full (non-k-truncated) totalizer.
+        assert!(sink.num_clauses() <= 2 * n * n + 1);
+    }
+}

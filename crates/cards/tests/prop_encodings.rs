@@ -1,0 +1,107 @@
+//! Property tests: every cardinality encoding is semantically exact for
+//! randomly chosen arities, bounds and input polarities.
+
+use coremax_cards::{encode_at_least, encode_at_most, CardEncoding, CnfSink};
+use coremax_cnf::{Lit, Var};
+use coremax_sat::{SolveOutcome, Solver};
+use proptest::prelude::*;
+
+fn encodings() -> impl Strategy<Value = CardEncoding> {
+    prop_oneof![
+        Just(CardEncoding::Bdd),
+        Just(CardEncoding::SortingNetwork),
+        Just(CardEncoding::SequentialCounter),
+        Just(CardEncoding::Totalizer),
+        Just(CardEncoding::Pairwise),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn at_most_exact(
+        encoding in encodings(),
+        n in 1usize..7,
+        k_frac in 0.0f64..1.0,
+        polarity_bits in any::<u8>(),
+        input_bits in any::<u8>(),
+    ) {
+        let k = ((n as f64) * k_frac) as usize;
+        let lits: Vec<Lit> = (0..n)
+            .map(|i| Lit::new(Var::new(i as u32), polarity_bits >> i & 1 == 0))
+            .collect();
+        let mut sink = CnfSink::new(n);
+        encode_at_most(&lits, k, encoding, &mut sink);
+
+        let mut solver = Solver::new();
+        solver.ensure_vars(sink.num_vars());
+        for c in sink.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        let assumptions: Vec<Lit> = (0..n)
+            .map(|i| Lit::new(Var::new(i as u32), input_bits >> i & 1 == 1))
+            .collect();
+        let true_count = lits
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| {
+                let var_value = input_bits >> i & 1 == 1;
+                var_value == l.is_positive()
+            })
+            .count();
+        let outcome = solver.solve_with_assumptions(&assumptions);
+        let expected = if true_count <= k { SolveOutcome::Sat } else { SolveOutcome::Unsat };
+        prop_assert_eq!(outcome, expected, "{} n={} k={}", encoding, n, k);
+    }
+
+    #[test]
+    fn at_least_exact(
+        encoding in encodings(),
+        n in 1usize..7,
+        k in 0usize..8,
+        input_bits in any::<u8>(),
+    ) {
+        let lits: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect();
+        let mut sink = CnfSink::new(n);
+        encode_at_least(&lits, k, encoding, &mut sink);
+
+        let mut solver = Solver::new();
+        solver.ensure_vars(sink.num_vars());
+        for c in sink.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        let assumptions: Vec<Lit> = (0..n)
+            .map(|i| Lit::new(Var::new(i as u32), input_bits >> i & 1 == 1))
+            .collect();
+        let true_count = (0..n).filter(|i| input_bits >> i & 1 == 1).count();
+        let outcome = solver.solve_with_assumptions(&assumptions);
+        let expected = if true_count >= k { SolveOutcome::Sat } else { SolveOutcome::Unsat };
+        prop_assert_eq!(outcome, expected, "{} n={} k={}", encoding, n, k);
+    }
+
+    #[test]
+    fn encodings_agree_pairwise(
+        n in 2usize..6,
+        k in 1usize..5,
+        input_bits in any::<u8>(),
+    ) {
+        // All encodings must accept/reject the same assignments.
+        let lits: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect();
+        let assumptions: Vec<Lit> = (0..n)
+            .map(|i| Lit::new(Var::new(i as u32), input_bits >> i & 1 == 1))
+            .collect();
+        let mut verdicts = Vec::new();
+        for encoding in CardEncoding::ALL {
+            let mut sink = CnfSink::new(n);
+            encode_at_most(&lits, k.min(n), encoding, &mut sink);
+            let mut solver = Solver::new();
+            solver.ensure_vars(sink.num_vars());
+            for c in sink.clauses() {
+                solver.add_clause(c.iter().copied());
+            }
+            verdicts.push(solver.solve_with_assumptions(&assumptions));
+        }
+        prop_assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Stuck-at-fault automatic test-pattern generation (ATPG) instances.
+//!
+//! A stuck-at fault fixes one net to a constant. The SAT formulation
+//! builds a miter between the fault-free and faulty circuits and asks
+//! for an input vector exposing a difference: **SAT ⟺ testable**.
+//! Untestable (redundant) faults yield unsatisfiable CNF — the paper's
+//! test-pattern-generation benchmark family. [`with_redundant_logic`]
+//! plants provably redundant nets so that untestable faults can be
+//! generated on demand.
+
+use crate::{miter, Circuit, Gate, Signal};
+
+/// A single stuck-at fault: `net` is fixed to `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAtFault {
+    /// The faulty net.
+    pub net: Signal,
+    /// The stuck value.
+    pub value: bool,
+}
+
+/// Builds a copy of `circuit` with `fault` injected: the faulty net is
+/// replaced by a constant, downstream logic reads the constant.
+///
+/// # Panics
+///
+/// Panics if the fault net does not exist.
+#[must_use]
+pub fn inject_fault(circuit: &Circuit, fault: StuckAtFault) -> Circuit {
+    assert!(fault.net.index() < circuit.num_nets(), "unknown net");
+    let mut out = Circuit::new(circuit.num_inputs());
+    let mut map: Vec<Signal> = Vec::with_capacity(circuit.num_nets());
+    // Inputs map to themselves unless faulty.
+    let constant = |out: &mut Circuit, v: bool| {
+        if v {
+            out.constant_true()
+        } else {
+            out.constant_false()
+        }
+    };
+    for i in 0..circuit.num_inputs() {
+        let s = out.input(i);
+        if fault.net.index() == i {
+            let c = constant(&mut out, fault.value);
+            map.push(c);
+        } else {
+            map.push(s);
+        }
+    }
+    for (g, gate) in circuit.gates().iter().enumerate() {
+        let f = |s: Signal| map[s.index()];
+        let remapped = match *gate {
+            Gate::And(a, b) => Gate::And(f(a), f(b)),
+            Gate::Or(a, b) => Gate::Or(f(a), f(b)),
+            Gate::Xor(a, b) => Gate::Xor(f(a), f(b)),
+            Gate::Nand(a, b) => Gate::Nand(f(a), f(b)),
+            Gate::Nor(a, b) => Gate::Nor(f(a), f(b)),
+            Gate::Xnor(a, b) => Gate::Xnor(f(a), f(b)),
+            Gate::Not(a) => Gate::Not(f(a)),
+            Gate::Buf(a) => Gate::Buf(f(a)),
+            Gate::False => Gate::False,
+            Gate::True => Gate::True,
+        };
+        let new = out.add_gate(remapped);
+        if fault.net.index() == circuit.num_inputs() + g {
+            let c = constant(&mut out, fault.value);
+            map.push(c);
+        } else {
+            map.push(new);
+        }
+    }
+    for &o in circuit.outputs() {
+        let mapped = map[o.index()];
+        out.mark_output(mapped);
+    }
+    out
+}
+
+/// Builds the ATPG miter for `fault` on `circuit`: output 1 iff some
+/// input vector distinguishes faulty from fault-free behaviour.
+/// Assert the output and solve: SAT gives a test pattern, UNSAT proves
+/// the fault untestable.
+#[must_use]
+pub fn atpg_miter(circuit: &Circuit, fault: StuckAtFault) -> Circuit {
+    let faulty = inject_fault(circuit, fault);
+    miter::build_miter(circuit, &faulty).expect("identical interfaces by construction")
+}
+
+/// Appends provably redundant logic to `circuit`: for a fresh internal
+/// net `r = x ∧ ¬x` (constant 0), each output `o` is replaced by
+/// `o ∨ r`. The circuit's function is unchanged, and the fault
+/// "`r` stuck-at-0" is untestable. Returns the modified circuit and the
+/// redundant net.
+#[must_use]
+pub fn with_redundant_logic(circuit: &Circuit) -> (Circuit, Signal) {
+    let mut out = circuit.clone();
+    let x = out.input(0);
+    let nx = out.not(x);
+    let r = out.and(x, nx); // constant false, but structurally hidden
+    let outputs: Vec<Signal> = out.outputs().to_vec();
+    let mut new_outputs = Vec::with_capacity(outputs.len());
+    for o in outputs {
+        new_outputs.push(out.or(o, r));
+    }
+    let mut rebuilt = Circuit::new(out.num_inputs());
+    for g in out.gates() {
+        rebuilt.add_gate(*g);
+    }
+    for o in new_outputs {
+        rebuilt.mark_output(o);
+    }
+    (rebuilt, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, tseitin};
+    use coremax_sat::{SolveOutcome, Solver};
+
+    fn atpg_outcome(circuit: &Circuit, fault: StuckAtFault) -> SolveOutcome {
+        let m = atpg_miter(circuit, fault);
+        let enc = tseitin::encode(&m);
+        let mut solver = Solver::new();
+        solver.add_formula(&enc.formula);
+        solver.add_clause([enc.output_lits[0]]);
+        solver.solve()
+    }
+
+    #[test]
+    fn input_fault_on_adder_is_testable() {
+        let c = builders::ripple_carry_adder(3);
+        let fault = StuckAtFault {
+            net: c.input(0),
+            value: false,
+        };
+        assert_eq!(atpg_outcome(&c, fault), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn internal_fault_on_parity_is_testable() {
+        let c = builders::parity_tree(4);
+        // First XOR gate output.
+        let fault = StuckAtFault {
+            net: Signal(4),
+            value: true,
+        };
+        assert_eq!(atpg_outcome(&c, fault), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn redundant_fault_is_untestable() {
+        let base = builders::comparator(3);
+        let (c, r) = with_redundant_logic(&base);
+        // Function preserved.
+        for bits in 0u64..(1 << 6) {
+            let inputs: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(base.eval(&inputs), c.eval(&inputs));
+        }
+        let fault = StuckAtFault {
+            net: r,
+            value: false,
+        };
+        assert_eq!(atpg_outcome(&c, fault), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn injected_fault_changes_function() {
+        let c = builders::parity_tree(3);
+        let faulty = inject_fault(
+            &c,
+            StuckAtFault {
+                net: c.input(1),
+                value: true,
+            },
+        );
+        // With x1 stuck-at-1, input (F,F,F) gives parity 1 instead of 0.
+        assert!(!c.eval(&[false, false, false])[0]);
+        assert!(faulty.eval(&[false, false, false])[0]);
+        // Where x1 is already 1, behaviour matches.
+        assert_eq!(
+            c.eval(&[true, true, false]),
+            faulty.eval(&[true, true, false])
+        );
+    }
+
+    #[test]
+    fn fault_on_gate_net() {
+        let mut c = Circuit::new(2);
+        let g = c.and(c.input(0), c.input(1));
+        c.mark_output(g);
+        let faulty = inject_fault(
+            &c,
+            StuckAtFault {
+                net: g,
+                value: true,
+            },
+        );
+        assert!(faulty.eval(&[false, false])[0]);
+    }
+}

@@ -1,0 +1,486 @@
+//! Parameterised circuit generators: the building blocks of the
+//! benchmark families (arithmetic, comparators, parity, random logic).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Signal};
+
+/// An `n`-bit ripple-carry adder: inputs `a[0..n] ++ b[0..n]`, outputs
+/// `sum[0..n] ++ [carry]`.
+#[must_use]
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(2 * n);
+    let mut carry: Option<Signal> = None;
+    let mut sums = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let a = c.input(i);
+        let b = c.input(n + i);
+        let axb = c.xor(a, b);
+        match carry {
+            None => {
+                sums.push(axb);
+                carry = Some(c.and(a, b));
+            }
+            Some(cin) => {
+                let sum = c.xor(axb, cin);
+                sums.push(sum);
+                let ab = c.and(a, b);
+                let axb_cin = c.and(axb, cin);
+                carry = Some(c.or(ab, axb_cin));
+            }
+        }
+    }
+    for s in sums {
+        c.mark_output(s);
+    }
+    c.mark_output(carry.expect("n >= 1"));
+    c
+}
+
+/// An `n`-bit carry-select-style adder: same interface as
+/// [`ripple_carry_adder`] but computed through majority gates —
+/// structurally different, functionally identical.
+#[must_use]
+pub fn majority_adder(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(2 * n);
+    let mut carry: Option<Signal> = None;
+    let mut sums = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let a = c.input(i);
+        let b = c.input(n + i);
+        match carry {
+            None => {
+                // sum = a ⊕ b via (a ∨ b) ∧ ¬(a ∧ b)
+                let a_or_b = c.or(a, b);
+                let a_and_b = c.and(a, b);
+                let n_ab = c.not(a_and_b);
+                sums.push(c.and(a_or_b, n_ab));
+                carry = Some(a_and_b);
+            }
+            Some(cin) => {
+                // sum = parity(a,b,cin) via double XNOR + NOT.
+                let x1 = c.xnor(a, b);
+                let x2 = c.xnor(x1, cin);
+                sums.push(x2);
+                // carry = majority(a,b,cin) = ab ∨ ac ∨ bc as NAND tree.
+                let ab = c.nand(a, b);
+                let ac = c.nand(a, cin);
+                let bc = c.nand(b, cin);
+                let t = c.and(ab, ac);
+                let maj_n = c.and(t, bc);
+                carry = Some(c.not(maj_n));
+            }
+        }
+    }
+    for s in sums {
+        c.mark_output(s);
+    }
+    c.mark_output(carry.expect("n >= 1"));
+    c
+}
+
+/// An `n×n`-bit array multiplier: inputs `a ++ b`, outputs the `2n`-bit
+/// product.
+#[must_use]
+pub fn array_multiplier(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(2 * n);
+    // Partial products.
+    let mut rows: Vec<Vec<Signal>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = c.input(n + i);
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let a = c.input(j);
+            row.push(c.and(a, b));
+        }
+        rows.push(row);
+    }
+    // Accumulate with ripple additions, shifting each row by its index.
+    let mut acc: Vec<Option<Signal>> = vec![None; 2 * n];
+    for (i, row) in rows.iter().enumerate() {
+        let mut carry: Option<Signal> = None;
+        for (j, &pp) in row.iter().enumerate() {
+            let pos = i + j;
+            let (sum, cout) = add3(&mut c, Some(pp), acc[pos], carry);
+            acc[pos] = Some(sum);
+            carry = cout;
+        }
+        // Propagate the final carry.
+        let mut pos = i + n;
+        while let Some(cy) = carry {
+            let (sum, cout) = add3(&mut c, Some(cy), acc[pos], None);
+            acc[pos] = Some(sum);
+            carry = cout;
+            pos += 1;
+        }
+    }
+    for slot in acc {
+        let s = match slot {
+            Some(s) => s,
+            None => c.constant_false(),
+        };
+        c.mark_output(s);
+    }
+    c
+}
+
+/// One-or-two-or-three input addition helper returning `(sum, carry)`.
+fn add3(
+    c: &mut Circuit,
+    x: Option<Signal>,
+    y: Option<Signal>,
+    z: Option<Signal>,
+) -> (Signal, Option<Signal>) {
+    let mut present: Vec<Signal> = [x, y, z].iter().flatten().copied().collect();
+    match present.len() {
+        0 => {
+            let f = c.constant_false();
+            (f, None)
+        }
+        1 => (present.pop().expect("one element"), None),
+        2 => {
+            let (a, b) = (present[0], present[1]);
+            let sum = c.xor(a, b);
+            let carry = c.and(a, b);
+            (sum, Some(carry))
+        }
+        _ => {
+            let (a, b, cin) = (present[0], present[1], present[2]);
+            let axb = c.xor(a, b);
+            let sum = c.xor(axb, cin);
+            let ab = c.and(a, b);
+            let axb_cin = c.and(axb, cin);
+            let carry = c.or(ab, axb_cin);
+            (sum, Some(carry))
+        }
+    }
+}
+
+/// An `n`-bit unsigned comparator: output 1 iff `a > b`.
+#[must_use]
+pub fn comparator(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(2 * n);
+    // gt_i = a_i ∧ ¬b_i;  eq_i = a_i ⊙ b_i; scan from MSB.
+    let mut result: Option<Signal> = None;
+    let mut all_eq: Option<Signal> = None;
+    for i in (0..n).rev() {
+        let a = c.input(i);
+        let b = c.input(n + i);
+        let nb = c.not(b);
+        let gt = c.and(a, nb);
+        let eq = c.xnor(a, b);
+        let contribution = match all_eq {
+            None => gt,
+            Some(e) => c.and(e, gt),
+        };
+        result = Some(match result {
+            None => contribution,
+            Some(r) => c.or(r, contribution),
+        });
+        all_eq = Some(match all_eq {
+            None => eq,
+            Some(e) => c.and(e, eq),
+        });
+    }
+    c.mark_output(result.expect("n >= 1"));
+    c
+}
+
+/// An `n`-input parity (XOR) tree.
+#[must_use]
+pub fn parity_tree(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(n);
+    let mut layer: Vec<Signal> = (0..n).map(|i| c.input(i)).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.xor(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    c.mark_output(layer[0]);
+    c
+}
+
+/// An `n`-input parity chain (linear instead of tree) — same function as
+/// [`parity_tree`], different structure.
+#[must_use]
+pub fn parity_chain(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(n);
+    let mut acc = c.input(0);
+    for i in 1..n {
+        let x = c.input(i);
+        acc = c.xor(acc, x);
+    }
+    c.mark_output(acc);
+    c
+}
+
+/// An `n`-bit barrel shifter (left rotate): data inputs `d[0..n]`,
+/// shift-amount inputs `s[0..log2(n)]`, outputs the rotated word.
+/// `n` must be a power of two.
+#[must_use]
+pub fn barrel_shifter(n: usize) -> Circuit {
+    assert!(n.is_power_of_two() && n >= 2);
+    let stages = n.trailing_zeros() as usize;
+    let mut c = Circuit::new(n + stages);
+    let mut word: Vec<Signal> = (0..n).map(|i| c.input(i)).collect();
+    for stage in 0..stages {
+        let sel = c.input(n + stage);
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            // mux(sel, word[(i + n - shift) % n], word[i])
+            let rotated = word[(i + n - shift) % n];
+            let stay = word[i];
+            let nsel = c.not(sel);
+            let a = c.and(sel, rotated);
+            let b = c.and(nsel, stay);
+            next.push(c.or(a, b));
+        }
+        word = next;
+    }
+    for w in word {
+        c.mark_output(w);
+    }
+    c
+}
+
+/// A tiny `n`-bit ALU with a 2-bit opcode: 00 = add, 01 = and,
+/// 10 = or, 11 = xor. Inputs `a ++ b ++ op[0..2]`; outputs `n` result
+/// bits (the adder's carry-out is dropped).
+#[must_use]
+pub fn alu(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::new(2 * n + 2);
+    let op0 = c.input(2 * n);
+    let op1 = c.input(2 * n + 1);
+
+    // Adder chain.
+    let mut carry: Option<Signal> = None;
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = c.input(i);
+        let b = c.input(n + i);
+        let axb = c.xor(a, b);
+        match carry {
+            None => {
+                sums.push(axb);
+                carry = Some(c.and(a, b));
+            }
+            Some(cin) => {
+                sums.push(c.xor(axb, cin));
+                let ab = c.and(a, b);
+                let axb_cin = c.and(axb, cin);
+                carry = Some(c.or(ab, axb_cin));
+            }
+        }
+    }
+
+    // Bitwise units and a 4-way mux per bit.
+    for i in 0..n {
+        let a = c.input(i);
+        let b = c.input(n + i);
+        let and_bit = c.and(a, b);
+        let or_bit = c.or(a, b);
+        let xor_bit = c.xor(a, b);
+        // sel0 = ¬op1∧¬op0 → add; ¬op1∧op0 → and; op1∧¬op0 → or; op1∧op0 → xor.
+        let nop0 = c.not(op0);
+        let nop1 = c.not(op1);
+        let s_add = c.and(nop1, nop0);
+        let s_and = c.and(nop1, op0);
+        let s_or = c.and(op1, nop0);
+        let s_xor = c.and(op1, op0);
+        let t0 = c.and(s_add, sums[i]);
+        let t1 = c.and(s_and, and_bit);
+        let t2 = c.and(s_or, or_bit);
+        let t3 = c.and(s_xor, xor_bit);
+        let m01 = c.or(t0, t1);
+        let m23 = c.or(t2, t3);
+        let out = c.or(m01, m23);
+        c.mark_output(out);
+    }
+    c
+}
+
+/// A pseudo-random combinational netlist over `num_inputs` inputs with
+/// `num_gates` two-input gates; the last `num_outputs` nets become
+/// outputs. Deterministic in `seed`.
+#[must_use]
+pub fn random_netlist(
+    num_inputs: usize,
+    num_gates: usize,
+    num_outputs: usize,
+    seed: u64,
+) -> Circuit {
+    assert!(num_inputs >= 1 && num_gates >= num_outputs && num_outputs >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_inputs);
+    for _ in 0..num_gates {
+        let pick = |rng: &mut SmallRng, c: &Circuit| Signal(rng.gen_range(0..c.num_nets()) as u32);
+        let a = pick(&mut rng, &c);
+        let b = pick(&mut rng, &c);
+        match rng.gen_range(0..6) {
+            0 => c.and(a, b),
+            1 => c.or(a, b),
+            2 => c.xor(a, b),
+            3 => c.nand(a, b),
+            4 => c.nor(a, b),
+            _ => c.xnor(a, b),
+        };
+    }
+    let total = c.num_nets();
+    for k in 0..num_outputs {
+        c.mark_output(Signal((total - 1 - k) as u32));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(mut v: u64, n: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(v & 1 == 1);
+            v >>= 1;
+        }
+        out
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let n = 4;
+        let c = ripple_carry_adder(n);
+        for a in 0..(1u64 << n) {
+            for b in 0..(1u64 << n) {
+                let mut inputs = to_bits(a, n);
+                inputs.extend(to_bits(b, n));
+                let out = c.eval(&inputs);
+                assert_eq!(from_bits(&out), a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_adder_matches_ripple() {
+        let n = 4;
+        let r = ripple_carry_adder(n);
+        let m = majority_adder(n);
+        assert_ne!(r, m, "structures must differ");
+        for bits in 0..(1u64 << (2 * n)) {
+            let inputs = to_bits(bits, 2 * n);
+            assert_eq!(r.eval(&inputs), m.eval(&inputs), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let n = 3;
+        let c = array_multiplier(n);
+        for a in 0..(1u64 << n) {
+            for b in 0..(1u64 << n) {
+                let mut inputs = to_bits(a, n);
+                inputs.extend(to_bits(b, n));
+                let out = c.eval(&inputs);
+                assert_eq!(from_bits(&out), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let n = 3;
+        let c = comparator(n);
+        for a in 0..(1u64 << n) {
+            for b in 0..(1u64 << n) {
+                let mut inputs = to_bits(a, n);
+                inputs.extend(to_bits(b, n));
+                assert_eq!(c.eval(&inputs)[0], a > b, "{a}>{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_variants_agree() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let t = parity_tree(n);
+            let ch = parity_chain(n);
+            for bits in 0..(1u64 << n) {
+                let inputs = to_bits(bits, n);
+                let expected = (bits.count_ones() % 2) == 1;
+                assert_eq!(t.eval(&inputs)[0], expected);
+                assert_eq!(ch.eval(&inputs)[0], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let n = 4;
+        let c = barrel_shifter(n);
+        for value in 0..(1u64 << n) {
+            for shift in 0..n {
+                let mut inputs = to_bits(value, n);
+                inputs.extend(to_bits(shift as u64, 2));
+                let out = c.eval(&inputs);
+                let rotated = ((value << shift) | (value >> (n - shift))) & ((1 << n) - 1);
+                assert_eq!(from_bits(&out), rotated, "value={value} shift={shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_all_opcodes() {
+        let n = 3;
+        let c = alu(n);
+        let mask = (1u64 << n) - 1;
+        for a in 0..(1u64 << n) {
+            for b in 0..(1u64 << n) {
+                for op in 0..4u64 {
+                    let mut inputs = to_bits(a, n);
+                    inputs.extend(to_bits(b, n));
+                    inputs.extend(to_bits(op, 2));
+                    let out = from_bits(&c.eval(&inputs));
+                    let expected = match op {
+                        0 => (a + b) & mask,
+                        1 => a & b,
+                        2 => a | b,
+                        _ => a ^ b,
+                    };
+                    assert_eq!(out, expected, "a={a} b={b} op={op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_netlist_deterministic() {
+        let a = random_netlist(6, 30, 2, 42);
+        let b = random_netlist(6, 30, 2, 42);
+        assert_eq!(a, b);
+        let c = random_netlist(6, 30, 2, 43);
+        assert_ne!(a, c);
+        assert_eq!(a.outputs().len(), 2);
+        assert_eq!(a.num_gates(), 30);
+    }
+}

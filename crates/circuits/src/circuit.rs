@@ -1,0 +1,355 @@
+//! Combinational circuit representation.
+
+use std::fmt;
+
+/// A net (wire) in a [`Circuit`]: either a primary input or the output
+/// of a gate, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(pub(crate) u32);
+
+impl Signal {
+    /// The dense net index (inputs first, then gate outputs in
+    /// topological order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A logic gate. Fan-in signals must precede the gate topologically
+/// (enforced by the [`Circuit`] builder methods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Logical AND of two signals.
+    And(Signal, Signal),
+    /// Logical OR.
+    Or(Signal, Signal),
+    /// Exclusive OR.
+    Xor(Signal, Signal),
+    /// Negated AND.
+    Nand(Signal, Signal),
+    /// Negated OR.
+    Nor(Signal, Signal),
+    /// Equivalence (negated XOR).
+    Xnor(Signal, Signal),
+    /// Inverter.
+    Not(Signal),
+    /// Buffer (identity); useful for fault injection sites.
+    Buf(Signal),
+    /// Constant false.
+    False,
+    /// Constant true.
+    True,
+}
+
+impl Gate {
+    /// The fan-in signals of the gate.
+    #[must_use]
+    pub fn fanin(&self) -> Vec<Signal> {
+        match *self {
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xnor(a, b) => vec![a, b],
+            Gate::Not(a) | Gate::Buf(a) => vec![a],
+            Gate::False | Gate::True => vec![],
+        }
+    }
+
+    /// Evaluates the gate on concrete fan-in values.
+    #[must_use]
+    pub fn eval(&self, value: impl Fn(Signal) -> bool) -> bool {
+        match *self {
+            Gate::And(a, b) => value(a) && value(b),
+            Gate::Or(a, b) => value(a) || value(b),
+            Gate::Xor(a, b) => value(a) ^ value(b),
+            Gate::Nand(a, b) => !(value(a) && value(b)),
+            Gate::Nor(a, b) => !(value(a) || value(b)),
+            Gate::Xnor(a, b) => !(value(a) ^ value(b)),
+            Gate::Not(a) => !value(a),
+            Gate::Buf(a) => value(a),
+            Gate::False => false,
+            Gate::True => true,
+        }
+    }
+}
+
+/// A combinational gate-level circuit.
+///
+/// Nets are dense: indices `0..num_inputs` are the primary inputs,
+/// index `num_inputs + g` is the output of gate `g`. Gates reference
+/// only earlier nets, so the representation is topologically sorted by
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_circuits::Circuit;
+/// let mut c = Circuit::new(2);
+/// let (a, b) = (c.input(0), c.input(1));
+/// let sum = c.xor(a, b);
+/// c.mark_output(sum);
+/// assert_eq!(c.eval(&[true, false]), vec![true]);
+/// assert_eq!(c.eval(&[true, true]), vec![false]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<Signal>,
+}
+
+impl Circuit {
+    /// Creates a circuit with `num_inputs` primary inputs and no gates.
+    #[must_use]
+    pub fn new(num_inputs: usize) -> Self {
+        Circuit {
+            num_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The `i`-th primary input signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> Signal {
+        assert!(i < self.num_inputs, "input index out of range");
+        Signal(i as u32)
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total number of nets (inputs + gates).
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_inputs + self.gates.len()
+    }
+
+    /// The gates in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The declared output signals.
+    #[must_use]
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Returns the gate driving `signal`, or `None` for primary inputs.
+    #[must_use]
+    pub fn driver(&self, signal: Signal) -> Option<&Gate> {
+        signal
+            .index()
+            .checked_sub(self.num_inputs)
+            .map(|g| &self.gates[g])
+    }
+
+    /// Appends a gate, returning its output signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fan-in signal does not exist yet.
+    pub fn add_gate(&mut self, gate: Gate) -> Signal {
+        for s in gate.fanin() {
+            assert!(
+                s.index() < self.num_nets(),
+                "gate fan-in references a later net"
+            );
+        }
+        self.gates.push(gate);
+        Signal((self.num_nets() - 1) as u32)
+    }
+
+    /// Convenience: AND gate.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::And(a, b))
+    }
+
+    /// Convenience: OR gate.
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::Or(a, b))
+    }
+
+    /// Convenience: XOR gate.
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::Xor(a, b))
+    }
+
+    /// Convenience: NAND gate.
+    pub fn nand(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::Nand(a, b))
+    }
+
+    /// Convenience: NOR gate.
+    pub fn nor(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::Nor(a, b))
+    }
+
+    /// Convenience: XNOR gate.
+    pub fn xnor(&mut self, a: Signal, b: Signal) -> Signal {
+        self.add_gate(Gate::Xnor(a, b))
+    }
+
+    /// Convenience: inverter.
+    pub fn not(&mut self, a: Signal) -> Signal {
+        self.add_gate(Gate::Not(a))
+    }
+
+    /// Convenience: buffer.
+    pub fn buf(&mut self, a: Signal) -> Signal {
+        self.add_gate(Gate::Buf(a))
+    }
+
+    /// Convenience: constant false net.
+    pub fn constant_false(&mut self) -> Signal {
+        self.add_gate(Gate::False)
+    }
+
+    /// Convenience: constant true net.
+    pub fn constant_true(&mut self) -> Signal {
+        self.add_gate(Gate::True)
+    }
+
+    /// Declares `signal` a primary output.
+    pub fn mark_output(&mut self, signal: Signal) {
+        assert!(signal.index() < self.num_nets(), "unknown signal");
+        self.outputs.push(signal);
+    }
+
+    /// Simulates the circuit on concrete inputs, returning the output
+    /// values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let nets = self.eval_nets(inputs);
+        self.outputs.iter().map(|&o| nets[o.index()]).collect()
+    }
+
+    /// Simulates the circuit, returning the value of every net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs`.
+    #[must_use]
+    pub fn eval_nets(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong input width");
+        let mut values = Vec::with_capacity(self.num_nets());
+        values.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let v = gate.eval(|s| values[s.index()]);
+            values.push(v);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut c = Circuit::new(3);
+        let (a, b, cin) = (c.input(0), c.input(1), c.input(2));
+        let axb = c.xor(a, b);
+        let sum = c.xor(axb, cin);
+        let ab = c.and(a, b);
+        let axb_cin = c.and(axb, cin);
+        let cout = c.or(ab, axb_cin);
+        c.mark_output(sum);
+        c.mark_output(cout);
+        for bits in 0..8u32 {
+            let inputs = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            let total = inputs.iter().filter(|&&x| x).count();
+            let out = c.eval(&inputs);
+            assert_eq!(out[0], total % 2 == 1, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn all_gate_types_eval() {
+        let mut c = Circuit::new(2);
+        let (a, b) = (c.input(0), c.input(1));
+        let nets = [
+            c.and(a, b),
+            c.or(a, b),
+            c.xor(a, b),
+            c.nand(a, b),
+            c.nor(a, b),
+            c.xnor(a, b),
+            c.not(a),
+            c.buf(a),
+            c.constant_false(),
+            c.constant_true(),
+        ];
+        for n in nets {
+            c.mark_output(n);
+        }
+        let out = c.eval(&[true, false]);
+        assert_eq!(
+            out,
+            vec![false, true, true, true, false, false, false, true, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "later net")]
+    fn forward_reference_rejected() {
+        let mut c = Circuit::new(1);
+        let _ = c.add_gate(Gate::Not(Signal(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input width")]
+    fn eval_checks_width() {
+        let c = Circuit::new(2);
+        let _ = c.eval(&[true]);
+    }
+
+    #[test]
+    fn driver_lookup() {
+        let mut c = Circuit::new(1);
+        let a = c.input(0);
+        let n = c.not(a);
+        assert!(c.driver(a).is_none());
+        assert_eq!(c.driver(n), Some(&Gate::Not(a)));
+    }
+
+    #[test]
+    fn net_counting() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.num_nets(), 3);
+        let a = c.input(0);
+        c.buf(a);
+        assert_eq!(c.num_nets(), 4);
+        assert_eq!(c.num_gates(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Design-debugging MaxSAT instances (Safarpour et al., FMCAD'07).
+//!
+//! The application that motivated the paper: a design fails simulation
+//! against a golden reference, and the debugger must localise the error.
+//! The MaxSAT formulation constrains the buggy netlist's CNF with the
+//! observed input/output vectors as **hard** clauses and makes every
+//! gate's characteristic clauses **soft**; a maximum satisfiable subset
+//! leaves exactly the suspect gates' clauses falsified.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use coremax_cnf::{Lit, Var, WcnfFormula};
+
+use crate::{tseitin, Circuit, Gate};
+
+/// A generated design-debugging instance.
+#[derive(Debug, Clone)]
+pub struct DebugInstance {
+    /// The partial MaxSAT formulation (hard I/O constraints, soft gate
+    /// clauses — unweighted).
+    pub wcnf: WcnfFormula,
+    /// Index of the mutated gate in the buggy circuit.
+    pub bug_gate: usize,
+    /// Number of simulation vectors constrained.
+    pub num_vectors: usize,
+    /// Optimum cost is at most this (the bug gate's clause count per
+    /// vector, summed over vectors): blaming the bug gate everywhere
+    /// explains all observations.
+    pub cost_upper_bound: u64,
+}
+
+/// Mutates one randomly chosen two-input gate of `circuit` into a
+/// different gate type (the "design error"). Returns the buggy circuit
+/// and the mutated gate index, or `None` if there is no two-input gate.
+#[must_use]
+pub fn mutate_gate(circuit: &Circuit, seed: u64) -> Option<(Circuit, usize)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let candidates: Vec<usize> = circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.fanin().len() == 2)
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let target = candidates[rng.gen_range(0..candidates.len())];
+    let mut out = Circuit::new(circuit.num_inputs());
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let new_gate = if i == target {
+            swap_gate_type(gate, &mut rng)
+        } else {
+            *gate
+        };
+        out.add_gate(new_gate);
+    }
+    for &o in circuit.outputs() {
+        out.mark_output(o);
+    }
+    Some((out, target))
+}
+
+fn swap_gate_type(gate: &Gate, rng: &mut SmallRng) -> Gate {
+    let fanin = gate.fanin();
+    let (a, b) = (fanin[0], fanin[1]);
+    let options = [
+        Gate::And(a, b),
+        Gate::Or(a, b),
+        Gate::Xor(a, b),
+        Gate::Nand(a, b),
+        Gate::Nor(a, b),
+        Gate::Xnor(a, b),
+    ];
+    loop {
+        let candidate = options[rng.gen_range(0..options.len())];
+        if candidate != *gate {
+            return candidate;
+        }
+    }
+}
+
+/// Builds a design-debugging MaxSAT instance.
+///
+/// The golden `reference` circuit is simulated on `num_vectors` random
+/// input vectors; the observed I/O pairs become hard unit clauses over
+/// a fresh CNF copy of the `buggy` circuit per vector, whose gate
+/// clauses are soft. A MaxSAT solver then finds the smallest set of
+/// gate-clause violations explaining all observations — error
+/// localisation.
+///
+/// Returns `None` if the two circuits have different interfaces.
+#[must_use]
+pub fn debug_instance(
+    reference: &Circuit,
+    buggy: &Circuit,
+    bug_gate: usize,
+    num_vectors: usize,
+    seed: u64,
+) -> Option<DebugInstance> {
+    if reference.num_inputs() != buggy.num_inputs()
+        || reference.outputs().len() != buggy.outputs().len()
+    {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut wcnf = WcnfFormula::new();
+    let enc = tseitin::encode(buggy);
+    let vars_per_copy = enc.formula.num_vars();
+    let mut bug_clause_count = 0u64;
+
+    for copy in 0..num_vectors {
+        let offset = (copy * vars_per_copy) as u32;
+        let shift = |l: Lit| Lit::new(Var::new(l.var().index() as u32 + offset), l.is_positive());
+
+        // Soft gate clauses for this copy.
+        for (g, clause_ids) in enc.gate_clauses.iter().enumerate() {
+            for &ci in clause_ids {
+                let clause = enc.formula.clause(ci);
+                wcnf.add_soft(clause.lits().iter().map(|&l| shift(l)), 1);
+                if g == bug_gate {
+                    bug_clause_count += 1;
+                }
+            }
+        }
+
+        // Simulate the reference on a random vector.
+        let inputs: Vec<bool> = (0..reference.num_inputs()).map(|_| rng.gen()).collect();
+        let outputs = reference.eval(&inputs);
+
+        // Hard I/O observations.
+        for (i, &v) in inputs.iter().enumerate() {
+            let l = Lit::new(Var::new(enc.input_vars[i].index() as u32 + offset), v);
+            wcnf.add_hard([l]);
+        }
+        for (o, &v) in outputs.iter().enumerate() {
+            let base = enc.output_lits[o];
+            let l = shift(if v { base } else { !base });
+            wcnf.add_hard([l]);
+        }
+    }
+
+    Some(DebugInstance {
+        wcnf,
+        bug_gate,
+        num_vectors,
+        cost_upper_bound: bug_clause_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn mutation_changes_gate_only() {
+        let c = builders::ripple_carry_adder(3);
+        let (buggy, idx) = mutate_gate(&c, 7).expect("adder has 2-input gates");
+        assert_eq!(c.num_gates(), buggy.num_gates());
+        let mut diffs = 0;
+        for (a, b) in c.gates().iter().zip(buggy.gates()) {
+            if a != b {
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 1);
+        assert_ne!(c.gates()[idx], buggy.gates()[idx]);
+    }
+
+    #[test]
+    fn mutation_deterministic_in_seed() {
+        let c = builders::comparator(3);
+        let a = mutate_gate(&c, 1).unwrap();
+        let b = mutate_gate(&c, 1).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn no_two_input_gate_yields_none() {
+        let mut c = Circuit::new(1);
+        let g = c.not(c.input(0));
+        c.mark_output(g);
+        assert!(mutate_gate(&c, 0).is_none());
+    }
+
+    #[test]
+    fn instance_structure() {
+        let reference = builders::parity_tree(4);
+        let (buggy, idx) = mutate_gate(&reference, 3).unwrap();
+        let inst = debug_instance(&reference, &buggy, idx, 2, 99).unwrap();
+        assert_eq!(inst.num_vectors, 2);
+        assert!(inst.wcnf.num_hard() >= 2 * (4 + 1)); // inputs + outputs per vector
+        assert!(inst.wcnf.num_soft() > 0);
+        assert!(inst.wcnf.is_unweighted());
+    }
+
+    #[test]
+    fn debugging_localises_the_error() {
+        use coremax::{MaxSatSolver, Msu4};
+        let reference = builders::parity_tree(4);
+        let (buggy, idx) = mutate_gate(&reference, 5).unwrap();
+        let inst = debug_instance(&reference, &buggy, idx, 3, 11).unwrap();
+        let solution = Msu4::v2().solve(&inst.wcnf);
+        let cost = solution.cost.expect("optimum found");
+        // The bug gate's clauses explain everything, so the optimum is at
+        // most the per-vector bug clause budget; if the mutation is
+        // excited by some vector the cost is also positive.
+        assert!(cost <= inst.cost_upper_bound, "cost {cost} too high");
+    }
+
+    #[test]
+    fn consistent_observations_cost_zero() {
+        // "Buggy" circuit identical to reference: nothing to explain.
+        use coremax::{MaxSatSolver, Msu4};
+        let reference = builders::parity_tree(3);
+        let inst = debug_instance(&reference, &reference, 0, 2, 4).unwrap();
+        let solution = Msu4::v2().solve(&inst.wcnf);
+        assert_eq!(solution.cost, Some(0));
+    }
+}

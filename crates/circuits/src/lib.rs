@@ -1,0 +1,52 @@
+//! Gate-level circuit substrate for generating EDA benchmark instances.
+//!
+//! The paper evaluates msu4 on unsatisfiable industrial CNF from model
+//! checking, equivalence checking, automatic test-pattern generation
+//! (ATPG) and design debugging. Those archives are not redistributable,
+//! so this crate rebuilds the *generators*: a small combinational /
+//! sequential circuit representation with
+//!
+//! - structural builders (adders, multipliers, comparators, parity
+//!   trees, random netlists) in [`builders`],
+//! - equivalence-preserving gate rewrites in [`transform`] (to obtain
+//!   structurally different but functionally identical netlists),
+//! - Tseitin CNF encoding with clause→gate provenance in [`tseitin`],
+//! - miter construction for equivalence checking in [`miter`],
+//! - sequential elements and bounded-model-checking unrolling in
+//!   [`seq`],
+//! - stuck-at-fault ATPG instance generation in [`atpg`],
+//! - fault-injected **design debugging** MaxSAT instances (Safarpour et
+//!   al., FMCAD'07 — the paper's motivating application) in [`debug`].
+//!
+//! # Examples
+//!
+//! Prove two structurally different adders equivalent:
+//!
+//! ```
+//! use coremax_circuits::{builders, miter, transform, tseitin};
+//! use coremax_sat::{Solver, SolveOutcome};
+//!
+//! let a = builders::ripple_carry_adder(4);
+//! let b = transform::rewrite_nand(&a);
+//! let m = miter::build_miter(&a, &b).expect("same interface");
+//! let enc = tseitin::encode(&m);
+//! let mut solver = Solver::new();
+//! solver.add_formula(&enc.formula);
+//! // Force the miter output: a difference would make this SAT.
+//! solver.add_clause([enc.output_lits[0]]);
+//! assert_eq!(solver.solve(), SolveOutcome::Unsat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atpg;
+pub mod builders;
+mod circuit;
+pub mod debug;
+pub mod miter;
+pub mod seq;
+pub mod transform;
+pub mod tseitin;
+
+pub use circuit::{Circuit, Gate, Signal};

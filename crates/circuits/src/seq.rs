@@ -1,0 +1,276 @@
+//! Sequential circuits and bounded-model-checking unrolling.
+//!
+//! A [`SeqCircuit`] is a combinational core plus registers: register
+//! outputs are appended to the primary inputs of the core, and each
+//! register names the core net driving its next-state value.
+//! [`unroll`] produces the `k`-step time expansion used by BMC (Biere
+//! et al., TACAS'99, reference \[3\] of the paper): the CNF of the
+//! unrolled circuit with a **safety property that holds** is
+//! unsatisfiable — the model-checking benchmark family.
+
+use crate::{Circuit, Gate, Signal};
+
+/// A sequential circuit.
+///
+/// The combinational core's inputs are laid out as
+/// `[primary inputs, register outputs]`; `registers[r]` gives register
+/// `r`'s next-state net and initial value.
+///
+/// # Examples
+///
+/// A 2-bit counter whose "counter == 3 with carry-chain inconsistency"
+/// property is checked in the module tests.
+#[derive(Debug, Clone)]
+pub struct SeqCircuit {
+    /// Combinational core.
+    pub core: Circuit,
+    /// Number of true primary inputs (the first inputs of `core`).
+    pub num_primary_inputs: usize,
+    /// Per register: (next-state net in `core`, initial value).
+    pub registers: Vec<(Signal, bool)>,
+}
+
+impl SeqCircuit {
+    /// Number of registers.
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Simulates `steps` cycles from the initial state, returning the
+    /// core's declared outputs at every step.
+    ///
+    /// `inputs[t]` supplies the primary-input values for step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() < steps` or a vector has the wrong width.
+    #[must_use]
+    pub fn simulate(&self, inputs: &[Vec<bool>], steps: usize) -> Vec<Vec<bool>> {
+        assert!(inputs.len() >= steps, "not enough input vectors");
+        let mut state: Vec<bool> = self.registers.iter().map(|&(_, init)| init).collect();
+        let mut outputs = Vec::with_capacity(steps);
+        for step_inputs in inputs.iter().take(steps) {
+            assert_eq!(step_inputs.len(), self.num_primary_inputs);
+            let mut all = step_inputs.clone();
+            all.extend_from_slice(&state);
+            let nets = self.core.eval_nets(&all);
+            outputs.push(
+                self.core
+                    .outputs()
+                    .iter()
+                    .map(|&o| nets[o.index()])
+                    .collect(),
+            );
+            state = self
+                .registers
+                .iter()
+                .map(|&(next, _)| nets[next.index()])
+                .collect();
+        }
+        outputs
+    }
+}
+
+/// Unrolls `seq` for `k` steps into a combinational circuit.
+///
+/// The unrolled circuit's inputs are the `k` frames of primary inputs
+/// (`k * num_primary_inputs` total); registers start at their initial
+/// values and thread through the frames. Outputs are the core's outputs
+/// of every frame, in time order.
+#[must_use]
+pub fn unroll(seq: &SeqCircuit, k: usize) -> Circuit {
+    assert!(k >= 1);
+    let npi = seq.num_primary_inputs;
+    let mut out = Circuit::new(k * npi);
+
+    // Current register nets in `out` (constants initially).
+    let mut state: Vec<Signal> = seq
+        .registers
+        .iter()
+        .map(|&(_, init)| {
+            if init {
+                out.constant_true()
+            } else {
+                out.constant_false()
+            }
+        })
+        .collect();
+
+    for frame in 0..k {
+        // Map core nets to `out` nets for this frame.
+        let mut map: Vec<Signal> = Vec::with_capacity(seq.core.num_nets());
+        for i in 0..npi {
+            map.push(out.input(frame * npi + i));
+        }
+        map.extend_from_slice(&state);
+        for gate in seq.core.gates() {
+            let remapped = remap(gate, &map);
+            map.push(out.add_gate(remapped));
+        }
+        for &o in seq.core.outputs() {
+            let mapped = map[o.index()];
+            out.mark_output(mapped);
+        }
+        state = seq
+            .registers
+            .iter()
+            .map(|&(next, _)| map[next.index()])
+            .collect();
+    }
+    out
+}
+
+fn remap(gate: &Gate, map: &[Signal]) -> Gate {
+    let f = |s: Signal| map[s.index()];
+    match *gate {
+        Gate::And(a, b) => Gate::And(f(a), f(b)),
+        Gate::Or(a, b) => Gate::Or(f(a), f(b)),
+        Gate::Xor(a, b) => Gate::Xor(f(a), f(b)),
+        Gate::Nand(a, b) => Gate::Nand(f(a), f(b)),
+        Gate::Nor(a, b) => Gate::Nor(f(a), f(b)),
+        Gate::Xnor(a, b) => Gate::Xnor(f(a), f(b)),
+        Gate::Not(a) => Gate::Not(f(a)),
+        Gate::Buf(a) => Gate::Buf(f(a)),
+        Gate::False => Gate::False,
+        Gate::True => Gate::True,
+    }
+}
+
+/// Builds an `n`-bit binary up-counter with an `enable` input. Outputs:
+/// the `n` state bits followed by a **safety-property violation flag**
+/// that is 1 iff the state equals `2^n − 1` *and* the parity of the
+/// state bits disagrees with its recomputation — a contradiction, so
+/// the flag is never 1: BMC of this flag at any depth is UNSAT.
+#[must_use]
+pub fn counter_with_safe_property(n: usize) -> SeqCircuit {
+    assert!(n >= 2);
+    let mut core = Circuit::new(1 + n); // enable + n register outputs
+    let enable = core.input(0);
+    let state: Vec<Signal> = (0..n).map(|i| core.input(1 + i)).collect();
+
+    // next = state + enable (ripple increment gated by enable).
+    let mut carry = enable;
+    let mut next = Vec::with_capacity(n);
+    for &bit in &state {
+        next.push(core.xor(bit, carry));
+        carry = core.and(bit, carry);
+    }
+
+    // all_ones = AND of state bits.
+    let mut all_ones = state[0];
+    for &bit in &state[1..] {
+        all_ones = core.and(all_ones, bit);
+    }
+    // parity and its (inverted twice) recomputation — the two always
+    // agree, making the violation flag constant false, but the SAT
+    // solver must discover that through the logic.
+    let mut parity_a = state[0];
+    for &bit in &state[1..] {
+        parity_a = core.xor(parity_a, bit);
+    }
+    let mut parity_b = core.buf(state[0]);
+    for &bit in &state[1..] {
+        // XNOR + NOT = XOR, gate-for-gate different from parity_a.
+        let xn = core.xnor(parity_b, bit);
+        parity_b = core.not(xn);
+    }
+    let disagree = core.xor(parity_a, parity_b);
+    let violation = core.and(all_ones, disagree);
+
+    for &bit in &state {
+        core.mark_output(bit);
+    }
+    core.mark_output(violation);
+
+    SeqCircuit {
+        core,
+        num_primary_inputs: 1,
+        registers: next.into_iter().map(|s| (s, false)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_sat::{SolveOutcome, Solver};
+
+    #[test]
+    fn counter_counts() {
+        let seq = counter_with_safe_property(3);
+        let inputs: Vec<Vec<bool>> = (0..10).map(|_| vec![true]).collect();
+        let outs = seq.simulate(&inputs, 10);
+        for (t, out) in outs.iter().enumerate() {
+            let value: usize = out[..3]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| usize::from(b) << i)
+                .sum();
+            assert_eq!(value, t % 8, "step {t}");
+            assert!(!out[3], "violation flag raised at step {t}");
+        }
+    }
+
+    #[test]
+    fn counter_holds_without_enable() {
+        let seq = counter_with_safe_property(2);
+        let inputs: Vec<Vec<bool>> = (0..4).map(|_| vec![false]).collect();
+        let outs = seq.simulate(&inputs, 4);
+        for out in &outs {
+            assert!(!out[0] && !out[1], "state must stay zero");
+        }
+    }
+
+    #[test]
+    fn unrolled_simulation_matches_sequential() {
+        let seq = counter_with_safe_property(2);
+        let k = 5;
+        let unrolled = unroll(&seq, k);
+        let inputs: Vec<Vec<bool>> =
+            vec![vec![true], vec![false], vec![true], vec![true], vec![true]];
+        let flat: Vec<bool> = inputs.iter().flatten().copied().collect();
+        let seq_out = seq.simulate(&inputs, k);
+        let unrolled_out = unrolled.eval(&flat);
+        let width = seq.core.outputs().len();
+        for t in 0..k {
+            assert_eq!(
+                &unrolled_out[t * width..(t + 1) * width],
+                seq_out[t].as_slice(),
+                "frame {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn bmc_of_safe_property_is_unsat() {
+        let seq = counter_with_safe_property(3);
+        let k = 6;
+        let unrolled = unroll(&seq, k);
+        let enc = crate::tseitin::encode(&unrolled);
+        let width = seq.core.outputs().len();
+        let mut solver = Solver::new();
+        solver.add_formula(&enc.formula);
+        // Assert the violation flag of some frame (here: the last).
+        let violation = enc.output_lits[k * width - 1];
+        solver.add_clause([violation]);
+        assert_eq!(solver.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn bmc_unsat_at_every_depth() {
+        let seq = counter_with_safe_property(2);
+        let width = seq.core.outputs().len();
+        for k in 1..=4 {
+            let unrolled = unroll(&seq, k);
+            let enc = crate::tseitin::encode(&unrolled);
+            let mut solver = Solver::new();
+            solver.add_formula(&enc.formula);
+            // Violation in any frame.
+            let violations: Vec<_> = (0..k)
+                .map(|t| enc.output_lits[(t + 1) * width - 1])
+                .collect();
+            solver.add_clause(violations);
+            assert_eq!(solver.solve(), SolveOutcome::Unsat, "depth {k}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Equivalence-preserving structural rewrites.
+//!
+//! Equivalence-checking benchmarks need pairs of circuits that compute
+//! the same function through different structure (the "two
+//! implementations" a miter compares). These rewrites expand gates into
+//! canonical NAND/NOR forms, yielding functionally identical netlists
+//! with different gate counts and topology.
+
+use crate::{Circuit, Gate, Signal};
+
+/// Rewrites every gate into 2-input NAND + NOT form (De Morgan
+/// expansions). The resulting circuit computes the same outputs.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_circuits::{builders, transform};
+/// let a = builders::parity_tree(4);
+/// let b = transform::rewrite_nand(&a);
+/// assert!(b.num_gates() > a.num_gates());
+/// assert_eq!(a.eval(&[true, false, true, true]), b.eval(&[true, false, true, true]));
+/// ```
+#[must_use]
+pub fn rewrite_nand(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_inputs());
+    // Maps original nets to new nets.
+    let mut map: Vec<Signal> = (0..circuit.num_inputs()).map(|i| out.input(i)).collect();
+
+    for gate in circuit.gates() {
+        let m = |s: Signal, map: &[Signal]| map[s.index()];
+        let new = match *gate {
+            Gate::And(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let n = out.nand(a, b);
+                out.not(n)
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let na = out.not(a);
+                let nb = out.not(b);
+                out.nand(na, nb)
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                out.nand(a, b)
+            }
+            Gate::Nor(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let na = out.not(a);
+                let nb = out.not(b);
+                let n = out.nand(na, nb);
+                out.not(n)
+            }
+            Gate::Xor(a, b) => {
+                // a⊕b = NAND(NAND(a, NAND(a,b)), NAND(b, NAND(a,b)))
+                let (a, b) = (m(a, &map), m(b, &map));
+                let nab = out.nand(a, b);
+                let l = out.nand(a, nab);
+                let r = out.nand(b, nab);
+                out.nand(l, r)
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let nab = out.nand(a, b);
+                let l = out.nand(a, nab);
+                let r = out.nand(b, nab);
+                let x = out.nand(l, r);
+                out.not(x)
+            }
+            Gate::Not(a) => {
+                let a = m(a, &map);
+                out.not(a)
+            }
+            Gate::Buf(a) => {
+                let a = m(a, &map);
+                out.buf(a)
+            }
+            Gate::False => out.constant_false(),
+            Gate::True => out.constant_true(),
+        };
+        map.push(new);
+    }
+    for &o in circuit.outputs() {
+        let mapped = map[o.index()];
+        out.mark_output(mapped);
+    }
+    out
+}
+
+/// Rewrites every gate into NOR + NOT form.
+#[must_use]
+pub fn rewrite_nor(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_inputs());
+    let mut map: Vec<Signal> = (0..circuit.num_inputs()).map(|i| out.input(i)).collect();
+
+    for gate in circuit.gates() {
+        let m = |s: Signal, map: &[Signal]| map[s.index()];
+        let new = match *gate {
+            Gate::Or(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let n = out.nor(a, b);
+                out.not(n)
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let na = out.not(a);
+                let nb = out.not(b);
+                out.nor(na, nb)
+            }
+            Gate::Nor(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                out.nor(a, b)
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let na = out.not(a);
+                let nb = out.not(b);
+                let n = out.nor(na, nb);
+                out.not(n)
+            }
+            Gate::Xor(a, b) => {
+                // a⊕b = NOR(NOR(a,b), NOR(¬a,¬b)) = (a∨b) ∧ (¬a∨¬b)
+                let (a, b) = (m(a, &map), m(b, &map));
+                let n1 = out.nor(a, b);
+                let na = out.not(a);
+                let nb = out.not(b);
+                let n2 = out.nor(na, nb);
+                out.nor(n1, n2)
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = (m(a, &map), m(b, &map));
+                let n1 = out.nor(a, b);
+                let na = out.not(a);
+                let nb = out.not(b);
+                let n2 = out.nor(na, nb);
+                let x = out.nor(n1, n2);
+                out.not(x)
+            }
+            Gate::Not(a) => {
+                let a = m(a, &map);
+                out.not(a)
+            }
+            Gate::Buf(a) => {
+                let a = m(a, &map);
+                out.buf(a)
+            }
+            Gate::False => out.constant_false(),
+            Gate::True => out.constant_true(),
+        };
+        map.push(new);
+    }
+    for &o in circuit.outputs() {
+        let mapped = map[o.index()];
+        out.mark_output(mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn check_equivalent(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        let n = a.num_inputs();
+        assert!(n <= 10, "exhaustive check limit");
+        for bits in 0u64..(1 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(a.eval(&inputs), b.eval(&inputs), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn nand_rewrite_preserves_adder() {
+        let a = builders::ripple_carry_adder(3);
+        let b = rewrite_nand(&a);
+        check_equivalent(&a, &b);
+        assert!(b.num_gates() > a.num_gates());
+    }
+
+    #[test]
+    fn nor_rewrite_preserves_adder() {
+        let a = builders::ripple_carry_adder(3);
+        let b = rewrite_nor(&a);
+        check_equivalent(&a, &b);
+    }
+
+    #[test]
+    fn rewrites_preserve_all_gate_types() {
+        let mut c = Circuit::new(3);
+        let (x, y, z) = (c.input(0), c.input(1), c.input(2));
+        let g1 = c.xnor(x, y);
+        let g2 = c.nor(g1, z);
+        let g3 = c.nand(g2, x);
+        let g4 = c.xor(g3, g1);
+        let t = c.constant_true();
+        let g5 = c.and(g4, t);
+        c.mark_output(g5);
+        check_equivalent(&c, &rewrite_nand(&c));
+        check_equivalent(&c, &rewrite_nor(&c));
+    }
+
+    #[test]
+    fn rewrite_of_comparator() {
+        let a = builders::comparator(3);
+        check_equivalent(&a, &rewrite_nand(&a));
+        check_equivalent(&a, &rewrite_nor(&a));
+    }
+}

@@ -1,0 +1,433 @@
+//! Shared plumbing for the `coremax` command-line MaxSAT solver.
+//!
+//! The binary lives in `src/main.rs`; this library holds the argument
+//! parsing and solver dispatch so the logic is unit-testable and
+//! reusable from the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use coremax::{
+    BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, Msu1, Msu2, Msu3,
+    Msu4, Msu4Incremental, PboBaseline,
+};
+use coremax_cnf::{dimacs, WcnfFormula};
+use coremax_instances::{debug_suite, full_suite, InstanceStats, SuiteConfig};
+use coremax_sat::Budget;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Solver name (see [`make_solver`]).
+    pub algorithm: String,
+    /// Optional wall-clock limit in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Re-check the solution before reporting.
+    pub verify: bool,
+    /// Print solver statistics.
+    pub stats: bool,
+    /// Print the model (`v` line).
+    pub print_model: bool,
+    /// Input path (`-` = stdin).
+    pub input: String,
+    /// When set, generate the benchmark suite into this directory
+    /// instead of solving (`input` is unused).
+    pub generate_dir: Option<String>,
+    /// Restrict `--generate` to one family name.
+    pub family: Option<String>,
+    /// Suite scale for `--generate`.
+    pub scale: usize,
+    /// Suite seed for `--generate`.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            algorithm: "msu4-v2".into(),
+            timeout_ms: None,
+            verify: false,
+            stats: false,
+            print_model: false,
+            input: "-".into(),
+            generate_dir: None,
+            family: None,
+            scale: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Parses CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags, missing values or
+/// missing input.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut input: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-a" | "--algorithm" => {
+                options.algorithm = iter
+                    .next()
+                    .ok_or_else(|| "missing value for --algorithm".to_string())?;
+            }
+            "-t" | "--timeout-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "missing value for --timeout-ms".to_string())?;
+                options.timeout_ms = Some(v.parse().map_err(|_| format!("invalid timeout `{v}`"))?);
+            }
+            "--generate" => {
+                options.generate_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| "missing directory for --generate".to_string())?,
+                );
+            }
+            "--family" => {
+                options.family = Some(
+                    iter.next()
+                        .ok_or_else(|| "missing value for --family".to_string())?,
+                );
+            }
+            "--scale" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "missing value for --scale".to_string())?;
+                options.scale = v.parse().map_err(|_| format!("invalid scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "missing value for --seed".to_string())?;
+                options.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+            }
+            "--verify" => options.verify = true,
+            "--stats" => options.stats = true,
+            "-m" | "--model" => options.print_model = true,
+            "-h" | "--help" => return Err(usage()),
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            other => {
+                if input.is_some() {
+                    return Err("multiple input files given".into());
+                }
+                input = Some(other.to_string());
+            }
+        }
+    }
+    if options.generate_dir.is_some() {
+        options.input = input.unwrap_or_else(|| "-".into());
+    } else {
+        options.input = input.ok_or_else(usage)?;
+    }
+    Ok(options)
+}
+
+/// The usage string shown by `--help` and on argument errors.
+#[must_use]
+pub fn usage() -> String {
+    "usage: coremax-solve [-a ALGO] [-t MS] [--verify] [--stats] [-m] FILE\n\
+     \x20      coremax-solve --generate DIR [--family NAME] [--scale N] [--seed S]\n\
+     \n\
+     ALGO: msu4-v2 (default), msu4-v1, msu4-inc, msu1, msu2, msu3, pbo,\n\
+     \x20      maxsatz-bb, linear-sat, binary-sat\n\
+     FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf;\n\
+     \x20     `-` reads stdin (format sniffed from the header)\n\
+     --generate writes the benchmark suite as .wcnf files into DIR\n\
+     (families: bmc equiv atpg php xor rand3 debug; `debug29` for the\n\
+     Table-2 suite)"
+        .to_string()
+}
+
+/// Instantiates a solver by name.
+///
+/// # Errors
+///
+/// Returns an error message for unknown names.
+pub fn make_solver(name: &str) -> Result<Box<dyn MaxSatSolver>, String> {
+    Ok(match name {
+        "msu4" | "msu4-v2" => Box::new(Msu4::v2()),
+        "msu4-v1" => Box::new(Msu4::v1()),
+        "msu4-inc" => Box::new(Msu4Incremental::new()),
+        "msu1" => Box::new(Msu1::new()),
+        "msu2" => Box::new(Msu2::new()),
+        "msu3" => Box::new(Msu3::new()),
+        "pbo" => Box::new(PboBaseline::new()),
+        "maxsatz" | "maxsatz-bb" | "bb" => Box::new(BranchBound::new()),
+        "linear-sat" | "linear" => Box::new(LinearSearchSat::new()),
+        "binary-sat" | "binary" => Box::new(BinarySearchSat::new()),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+/// Parses problem text as WCNF or CNF (sniffing the header) into a
+/// MaxSAT instance.
+///
+/// # Errors
+///
+/// Propagates DIMACS parse failures as display strings.
+pub fn parse_problem(text: &str) -> Result<WcnfFormula, String> {
+    let is_wcnf = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("p "))
+        .is_some_and(|l| l.contains("wcnf"));
+    if is_wcnf {
+        dimacs::parse_wcnf(text).map_err(|e| e.to_string())
+    } else {
+        let cnf = dimacs::parse_cnf(text).map_err(|e| e.to_string())?;
+        Ok(WcnfFormula::from_cnf_all_soft(&cnf))
+    }
+}
+
+/// Runs `options.algorithm` on `wcnf` and returns the solution.
+///
+/// # Errors
+///
+/// Returns an error for unknown algorithm names.
+pub fn run(options: &Options, wcnf: &WcnfFormula) -> Result<MaxSatSolution, String> {
+    let mut solver = make_solver(&options.algorithm)?;
+    if let Some(ms) = options.timeout_ms {
+        solver.set_budget(Budget::new().with_timeout(Duration::from_millis(ms)));
+    }
+    Ok(solver.solve(wcnf))
+}
+
+/// Writes the generated benchmark suite into `dir` as WCNF files.
+/// Returns the file names written.
+///
+/// # Errors
+///
+/// Propagates I/O failures as display strings.
+pub fn generate_suite(options: &Options, dir: &str) -> Result<Vec<String>, String> {
+    let config = SuiteConfig {
+        scale: options.scale,
+        seed: options.seed,
+    };
+    let instances = match options.family.as_deref() {
+        Some("debug29") => debug_suite(&config),
+        Some(name) => full_suite(&config)
+            .into_iter()
+            .filter(|i| i.family.name() == name)
+            .collect(),
+        None => full_suite(&config),
+    };
+    if instances.is_empty() {
+        return Err(format!(
+            "no instances for family {:?}",
+            options.family.as_deref().unwrap_or("<all>")
+        ));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut written = Vec::with_capacity(instances.len());
+    let mut index = String::from("# name family stats\n");
+    for instance in instances {
+        let name = format!("{}.wcnf", instance.name);
+        let path = std::path::Path::new(dir).join(&name);
+        std::fs::write(&path, dimacs::write_wcnf(&instance.wcnf))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        index.push_str(&format!(
+            "{} {} {}\n",
+            instance.name,
+            instance.family,
+            InstanceStats::of(&instance.wcnf)
+        ));
+        written.push(name);
+    }
+    let index_path = std::path::Path::new(dir).join("INDEX.txt");
+    std::fs::write(&index_path, index)
+        .map_err(|e| format!("cannot write {}: {e}", index_path.display()))?;
+    Ok(written)
+}
+
+/// Formats a solution in MaxSAT-evaluation style (`o` cost line, `s`
+/// status line, optional `v` model line).
+#[must_use]
+pub fn format_solution(wcnf: &WcnfFormula, solution: &MaxSatSolution, print_model: bool) -> String {
+    use coremax::MaxSatStatus;
+    let mut out = String::new();
+    if let Some(cost) = solution.cost {
+        out.push_str(&format!("o {cost}\n"));
+    }
+    out.push_str(match solution.status {
+        MaxSatStatus::Optimal => "s OPTIMUM FOUND\n",
+        MaxSatStatus::Infeasible => "s UNSATISFIABLE\n",
+        MaxSatStatus::Unknown => "s UNKNOWN\n",
+    });
+    if print_model {
+        if let Some(model) = &solution.model {
+            out.push('v');
+            for i in 0..wcnf.num_vars() {
+                let v = coremax_cnf::Var::new(i as u32);
+                let val = model.value(v).unwrap_or(false);
+                out.push(' ');
+                if !val {
+                    out.push('-');
+                }
+                out.push_str(&(i + 1).to_string());
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_args(["file.cnf".to_string()]).unwrap();
+        assert_eq!(o.algorithm, "msu4-v2");
+        assert_eq!(o.input, "file.cnf");
+        assert!(!o.verify);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let o = parse_args(
+            [
+                "-a", "msu1", "-t", "500", "--verify", "--stats", "-m", "x.wcnf",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(o.algorithm, "msu1");
+        assert_eq!(o.timeout_ms, Some(500));
+        assert!(o.verify && o.stats && o.print_model);
+        assert_eq!(o.input, "x.wcnf");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        assert!(parse_args(["--bogus".to_string(), "f".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_requires_input() {
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn stdin_marker_accepted() {
+        let o = parse_args(["-".to_string()]).unwrap();
+        assert_eq!(o.input, "-");
+    }
+
+    #[test]
+    fn all_advertised_solvers_constructible() {
+        for name in [
+            "msu4-v1",
+            "msu4-v2",
+            "msu4-inc",
+            "msu1",
+            "msu2",
+            "msu3",
+            "pbo",
+            "maxsatz-bb",
+            "linear-sat",
+            "binary-sat",
+        ] {
+            assert!(make_solver(name).is_ok(), "{name}");
+        }
+        assert!(make_solver("nope").is_err());
+    }
+
+    #[test]
+    fn problem_sniffing() {
+        let cnf = parse_problem("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(cnf.is_plain_maxsat());
+        assert_eq!(cnf.num_soft(), 2);
+        let wcnf = parse_problem("p wcnf 1 2 5\n5 1 0\n1 -1 0\n").unwrap();
+        assert_eq!(wcnf.num_hard(), 1);
+    }
+
+    #[test]
+    fn end_to_end_solve_and_format() {
+        let wcnf = parse_problem("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let options = Options {
+            algorithm: "msu4-v2".into(),
+            ..Options::default()
+        };
+        let solution = run(&options, &wcnf).unwrap();
+        assert_eq!(solution.cost, Some(1));
+        let text = format_solution(&wcnf, &solution, true);
+        assert!(text.contains("o 1"));
+        assert!(text.contains("s OPTIMUM FOUND"));
+        assert!(text.contains('v'));
+    }
+
+    #[test]
+    fn generate_mode_parses() {
+        let o = parse_args(
+            [
+                "--generate",
+                "/tmp/x",
+                "--family",
+                "php",
+                "--scale",
+                "2",
+                "--seed",
+                "7",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(o.generate_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(o.family.as_deref(), Some("php"));
+        assert_eq!(o.scale, 2);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn generate_writes_parseable_files() {
+        let dir = std::env::temp_dir().join("coremax-gen-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = Options {
+            generate_dir: Some(dir.display().to_string()),
+            family: Some("xor".into()),
+            ..Options::default()
+        };
+        let files = generate_suite(&options, &dir.display().to_string()).unwrap();
+        assert!(!files.is_empty());
+        for f in &files {
+            let text = std::fs::read_to_string(dir.join(f)).unwrap();
+            let w = dimacs::parse_wcnf(&text).expect("generated file parses");
+            assert!(w.num_soft() > 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generate_rejects_unknown_family() {
+        let options = Options {
+            generate_dir: Some("/tmp/never".into()),
+            family: Some("nonexistent".into()),
+            ..Options::default()
+        };
+        assert!(generate_suite(&options, "/tmp/never").is_err());
+    }
+
+    #[test]
+    fn format_unknown_without_model() {
+        use coremax::{MaxSatSolution, MaxSatStats, MaxSatStatus};
+        let wcnf = parse_problem("p cnf 1 1\n1 0\n").unwrap();
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost: None,
+            model: None,
+            stats: MaxSatStats::default(),
+        };
+        let text = format_solution(&wcnf, &s, true);
+        assert_eq!(text, "s UNKNOWN\n");
+    }
+}

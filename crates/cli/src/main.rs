@@ -1,0 +1,88 @@
+//! `coremax-solve` — command-line MaxSAT solver.
+//!
+//! Reads DIMACS CNF (treated as unweighted MaxSAT) or WCNF and solves
+//! it with any algorithm of the suite. See `coremax-solve --help`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use coremax::verify_solution;
+use coremax_cli::{format_solution, generate_suite, parse_args, parse_problem, run};
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(dir) = options.generate_dir.clone() {
+        return match generate_suite(&options, &dir) {
+            Ok(files) => {
+                println!("c wrote {} instances to {dir}", files.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let text = if options.input == "-" {
+        let mut buffer = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buffer) {
+            eprintln!("error reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buffer
+    } else {
+        match std::fs::read_to_string(&options.input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", options.input);
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let wcnf = match parse_problem(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "c coremax: {} vars, {} hard, {} soft",
+        wcnf.num_vars(),
+        wcnf.num_hard(),
+        wcnf.num_soft()
+    );
+
+    let solution = match run(&options, &wcnf) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.verify && !verify_solution(&wcnf, &solution) {
+        eprintln!("INTERNAL ERROR: solution failed verification");
+        return ExitCode::from(3);
+    }
+    if options.stats {
+        println!("c stats: {}", solution.stats);
+    }
+    print!("{}", format_solution(&wcnf, &solution, options.print_model));
+
+    match solution.status {
+        coremax::MaxSatStatus::Optimal => ExitCode::SUCCESS,
+        coremax::MaxSatStatus::Infeasible => ExitCode::from(20),
+        coremax::MaxSatStatus::Unknown => ExitCode::from(10),
+    }
+}

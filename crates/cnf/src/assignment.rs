@@ -1,0 +1,221 @@
+//! Truth assignments.
+
+use std::fmt;
+
+use crate::{Lit, Var};
+
+/// A (possibly partial) truth assignment over a dense range of variables.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::{Assignment, Lit, Var};
+/// let mut a = Assignment::for_vars(3);
+/// a.assign(Var::new(0), true);
+/// assert_eq!(a.value(Var::new(0)), Some(true));
+/// assert_eq!(a.value(Var::new(1)), None);
+/// assert_eq!(a.lit_value(Lit::negative(Var::new(0))), Some(false));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    // 0 = unassigned, 1 = true, 2 = false — kept private so the invariant
+    // "values.len() == num_vars" holds.
+    values: Vec<u8>,
+}
+
+impl Assignment {
+    /// Creates an all-unassigned assignment for `num_vars` variables.
+    #[must_use]
+    pub fn for_vars(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![0; num_vars],
+        }
+    }
+
+    /// Creates a total assignment from a boolean slice (index = variable).
+    #[must_use]
+    pub fn from_bools(values: &[bool]) -> Self {
+        Assignment {
+            values: values.iter().map(|&b| if b { 1 } else { 2 }).collect(),
+        }
+    }
+
+    /// Number of variables covered by this assignment.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the assignment to cover at least `num_vars` variables.
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if self.values.len() < num_vars {
+            self.values.resize(num_vars, 0);
+        }
+    }
+
+    /// Assigns `var` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        self.values[var.index()] = if value { 1 } else { 2 };
+    }
+
+    /// Makes `lit` true (assigns its variable accordingly).
+    pub fn assign_lit(&mut self, lit: Lit) {
+        self.assign(lit.var(), lit.is_positive());
+    }
+
+    /// Removes the assignment of `var`.
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.index()] = 0;
+    }
+
+    /// Returns the value of `var`, or `None` if unassigned or out of range.
+    #[must_use]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.values.get(var.index()) {
+            Some(1) => Some(true),
+            Some(2) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Returns the value of a literal under this assignment.
+    #[must_use]
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    /// Returns `true` if the literal evaluates to true.
+    #[must_use]
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == Some(true)
+    }
+
+    /// Returns `true` if every variable is assigned.
+    #[must_use]
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(|&v| v != 0)
+    }
+
+    /// Number of assigned variables.
+    #[must_use]
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Completes the assignment by setting every unassigned variable to
+    /// `default`.
+    pub fn complete_with(&mut self, default: bool) {
+        let fill = if default { 1 } else { 2 };
+        for v in &mut self.values {
+            if *v == 0 {
+                *v = fill;
+            }
+        }
+    }
+
+    /// Iterates over `(Var, bool)` pairs of assigned variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| match v {
+                1 => Some((Var::new(i as u32), true)),
+                2 => Some((Var::new(i as u32), false)),
+                _ => None,
+            })
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (var, val) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}={}", var, u8::from(val))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::for_vars(4);
+        assert_eq!(a.num_assigned(), 0);
+        a.assign(Var::new(2), true);
+        a.assign(Var::new(3), false);
+        assert_eq!(a.value(Var::new(2)), Some(true));
+        assert_eq!(a.value(Var::new(3)), Some(false));
+        assert_eq!(a.value(Var::new(0)), None);
+        assert_eq!(a.num_assigned(), 2);
+        assert!(!a.is_total());
+    }
+
+    #[test]
+    fn lit_semantics() {
+        let mut a = Assignment::for_vars(1);
+        let v = Var::new(0);
+        a.assign(v, false);
+        assert_eq!(a.lit_value(Lit::positive(v)), Some(false));
+        assert_eq!(a.lit_value(Lit::negative(v)), Some(true));
+        assert!(a.satisfies(Lit::negative(v)));
+        a.assign_lit(Lit::positive(v));
+        assert!(a.satisfies(Lit::positive(v)));
+    }
+
+    #[test]
+    fn unassign_and_grow() {
+        let mut a = Assignment::for_vars(1);
+        a.assign(Var::new(0), true);
+        a.unassign(Var::new(0));
+        assert_eq!(a.value(Var::new(0)), None);
+        a.grow_to(5);
+        assert_eq!(a.num_vars(), 5);
+        a.grow_to(2); // never shrinks
+        assert_eq!(a.num_vars(), 5);
+    }
+
+    #[test]
+    fn from_bools_and_total() {
+        let a = Assignment::from_bools(&[true, false, true]);
+        assert!(a.is_total());
+        assert_eq!(a.value(Var::new(1)), Some(false));
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[2], (Var::new(2), true));
+    }
+
+    #[test]
+    fn complete_with_fills_gaps() {
+        let mut a = Assignment::for_vars(3);
+        a.assign(Var::new(1), false);
+        a.complete_with(true);
+        assert!(a.is_total());
+        assert_eq!(a.value(Var::new(0)), Some(true));
+        assert_eq!(a.value(Var::new(1)), Some(false));
+    }
+
+    #[test]
+    fn out_of_range_value_is_none() {
+        let a = Assignment::for_vars(1);
+        assert_eq!(a.value(Var::new(10)), None);
+    }
+
+    #[test]
+    fn display_lists_assigned() {
+        let mut a = Assignment::for_vars(2);
+        a.assign(Var::new(0), true);
+        assert_eq!(a.to_string(), "{x1=1}");
+    }
+}

@@ -1,0 +1,439 @@
+//! DIMACS CNF and WCNF text I/O.
+//!
+//! Supports the classic formats used by the SAT competitions and MaxSAT
+//! evaluations referenced in the paper:
+//!
+//! - **CNF**: `p cnf <vars> <clauses>` followed by zero-terminated clauses.
+//! - **WCNF**: `p wcnf <vars> <clauses> [top]` where each clause starts
+//!   with a weight; weight = `top` marks a hard clause. Without `top`
+//!   every clause is soft (plain weighted MaxSAT).
+//!
+//! Comments (`c …`) are ignored. Clauses may span lines; a clause ends at
+//! the literal `0`.
+//!
+//! # Examples
+//!
+//! ```
+//! use coremax_cnf::dimacs;
+//! let cnf = dimacs::parse_cnf("p cnf 2 2\n1 -2 0\n2 0\n")?;
+//! assert_eq!(cnf.num_vars(), 2);
+//! assert_eq!(cnf.num_clauses(), 2);
+//! let text = dimacs::write_cnf(&cnf);
+//! let again = dimacs::parse_cnf(&text)?;
+//! assert_eq!(cnf, again);
+//! # Ok::<(), coremax_cnf::ParseDimacsError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::error::{ParseDimacsError, ParseDimacsErrorKind};
+use crate::{CnfFormula, Lit, WcnfFormula, Weight};
+
+/// Parses DIMACS CNF text into a [`CnfFormula`].
+///
+/// The declared variable count is honoured even if larger than the
+/// maximum variable used; literals beyond the declared count are errors.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, tokens, weights or
+/// unterminated clauses.
+pub fn parse_cnf(text: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut parser = Parser::new(text);
+    let header = parser.read_header()?;
+    if header.format != Format::Cnf {
+        return Err(ParseDimacsError::new(
+            parser.header_line,
+            ParseDimacsErrorKind::BadHeader,
+        ));
+    }
+    let mut formula = CnfFormula::with_vars(header.num_vars);
+    while let Some(clause) = parser.read_clause(header.num_vars, None)? {
+        if formula.num_clauses() == header.num_clauses {
+            return Err(ParseDimacsError::new(
+                parser.line,
+                ParseDimacsErrorKind::TooManyClauses,
+            ));
+        }
+        formula.add_clause(clause.lits);
+    }
+    Ok(formula)
+}
+
+/// Parses DIMACS WCNF text into a [`WcnfFormula`].
+///
+/// If the header carries a `top` weight, clauses with exactly that weight
+/// are hard; all others are soft. Without `top`, all clauses are soft.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input.
+pub fn parse_wcnf(text: &str) -> Result<WcnfFormula, ParseDimacsError> {
+    let mut parser = Parser::new(text);
+    let header = parser.read_header()?;
+    if header.format != Format::Wcnf {
+        return Err(ParseDimacsError::new(
+            parser.header_line,
+            ParseDimacsErrorKind::BadHeader,
+        ));
+    }
+    let mut formula = WcnfFormula::with_vars(header.num_vars);
+    let mut seen = 0usize;
+    while let Some(clause) = parser.read_clause(header.num_vars, Some(header.top))? {
+        if seen == header.num_clauses {
+            return Err(ParseDimacsError::new(
+                parser.line,
+                ParseDimacsErrorKind::TooManyClauses,
+            ));
+        }
+        seen += 1;
+        match clause.weight {
+            Some(w) if Some(w) == header.top => formula.add_hard(clause.lits),
+            Some(w) => formula.add_soft(clause.lits, w),
+            None => unreachable!("wcnf clauses always carry a weight"),
+        }
+    }
+    Ok(formula)
+}
+
+/// Serialises a [`CnfFormula`] to DIMACS CNF text.
+#[must_use]
+pub fn write_cnf(formula: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+    for clause in formula.iter() {
+        for &lit in clause.lits() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Serialises a [`WcnfFormula`] to DIMACS WCNF text, using
+/// `total_soft_weight + 1` as the `top` (hard) weight.
+#[must_use]
+pub fn write_wcnf(formula: &WcnfFormula) -> String {
+    let top = formula.total_soft_weight().saturating_add(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p wcnf {} {} {}",
+        formula.num_vars(),
+        formula.num_clauses(),
+        top
+    );
+    for clause in formula.hard_clauses() {
+        let _ = write!(out, "{top} ");
+        for &lit in clause.lits() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    for soft in formula.soft_clauses() {
+        let _ = write!(out, "{} ", soft.weight);
+        for &lit in soft.clause.lits() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Cnf,
+    Wcnf,
+}
+
+struct Header {
+    format: Format,
+    num_vars: usize,
+    num_clauses: usize,
+    /// `Some(top)` iff the wcnf header declared a top weight.
+    top: Option<Weight>,
+}
+
+struct ParsedClause {
+    weight: Option<Weight>,
+    lits: Vec<Lit>,
+}
+
+struct Parser<'a> {
+    lines: std::iter::Peekable<std::str::Lines<'a>>,
+    /// Tokens remaining on the current line.
+    tokens: Vec<&'a str>,
+    /// Position in `tokens`.
+    pos: usize,
+    line: usize,
+    header_line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            lines: text.lines().peekable(),
+            tokens: Vec::new(),
+            pos: 0,
+            line: 0,
+            header_line: 0,
+        }
+    }
+
+    /// Advances to the next meaningful token, skipping comments/blanks.
+    fn next_token(&mut self) -> Option<&'a str> {
+        loop {
+            if self.pos < self.tokens.len() {
+                let tok = self.tokens[self.pos];
+                self.pos += 1;
+                return Some(tok);
+            }
+            let line = self.lines.next()?;
+            self.line += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+                continue;
+            }
+            self.tokens = trimmed.split_ascii_whitespace().collect();
+            self.pos = 0;
+        }
+    }
+
+    fn read_header(&mut self) -> Result<Header, ParseDimacsError> {
+        let tok = self
+            .next_token()
+            .ok_or_else(|| ParseDimacsError::new(self.line, ParseDimacsErrorKind::BadHeader))?;
+        self.header_line = self.line;
+        if tok != "p" {
+            return Err(ParseDimacsError::new(
+                self.line,
+                ParseDimacsErrorKind::BadHeader,
+            ));
+        }
+        let bad = |p: &Parser<'_>| ParseDimacsError::new(p.line, ParseDimacsErrorKind::BadHeader);
+        let fmt_tok = self.next_token().ok_or_else(|| bad(self))?;
+        let format = match fmt_tok {
+            "cnf" => Format::Cnf,
+            "wcnf" => Format::Wcnf,
+            _ => return Err(bad(self)),
+        };
+        let nv: usize = self
+            .next_token()
+            .ok_or_else(|| bad(self))?
+            .parse()
+            .map_err(|_| bad(self))?;
+        let nc: usize = self
+            .next_token()
+            .ok_or_else(|| bad(self))?
+            .parse()
+            .map_err(|_| bad(self))?;
+        // Optional wcnf top weight; it sits on the same (header) line.
+        let mut top = None;
+        if format == Format::Wcnf && self.pos < self.tokens.len() {
+            let t = self.tokens[self.pos];
+            self.pos += 1;
+            top = Some(t.parse().map_err(|_| {
+                ParseDimacsError::new(self.line, ParseDimacsErrorKind::BadWeight(t.to_string()))
+            })?);
+        }
+        Ok(Header {
+            format,
+            num_vars: nv,
+            num_clauses: nc,
+            top,
+        })
+    }
+
+    /// Reads the next clause. `wcnf_top = Some(top)` switches weighted
+    /// mode on (each clause starts with a weight). Returns `None` at EOF.
+    fn read_clause(
+        &mut self,
+        num_vars: usize,
+        wcnf_top: Option<Option<Weight>>,
+    ) -> Result<Option<ParsedClause>, ParseDimacsError> {
+        let first = match self.next_token() {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        let mut lits = Vec::new();
+        let weight = if wcnf_top.is_some() {
+            let w: Weight = first.parse().map_err(|_| {
+                ParseDimacsError::new(
+                    self.line,
+                    ParseDimacsErrorKind::BadWeight(first.to_string()),
+                )
+            })?;
+            if w == 0 {
+                return Err(ParseDimacsError::new(
+                    self.line,
+                    ParseDimacsErrorKind::BadWeight(first.to_string()),
+                ));
+            }
+            Some(w)
+        } else {
+            if !self.push_lit(first, num_vars, &mut lits)? {
+                // The first token was already the terminator: empty clause.
+                return Ok(Some(ParsedClause { weight: None, lits }));
+            }
+            None
+        };
+        loop {
+            let tok = match self.next_token() {
+                Some(t) => t,
+                None => {
+                    return Err(ParseDimacsError::new(
+                        self.line,
+                        ParseDimacsErrorKind::UnterminatedClause,
+                    ))
+                }
+            };
+            if !self.push_lit(tok, num_vars, &mut lits)? {
+                return Ok(Some(ParsedClause { weight, lits }));
+            }
+        }
+    }
+
+    /// Parses one literal token into `lits`. Returns `Ok(false)` when the
+    /// token is the clause terminator `0`.
+    fn push_lit(
+        &self,
+        tok: &str,
+        num_vars: usize,
+        lits: &mut Vec<Lit>,
+    ) -> Result<bool, ParseDimacsError> {
+        let value: i32 = tok.parse().map_err(|_| {
+            ParseDimacsError::new(self.line, ParseDimacsErrorKind::BadLiteral(tok.to_string()))
+        })?;
+        if value == 0 {
+            return Ok(false);
+        }
+        if value.unsigned_abs() as usize > num_vars {
+            return Err(ParseDimacsError::new(
+                self.line,
+                ParseDimacsErrorKind::VariableOutOfRange(value),
+            ));
+        }
+        let lit = Lit::from_dimacs(value).ok_or_else(|| {
+            ParseDimacsError::new(self.line, ParseDimacsErrorKind::BadLiteral(tok.to_string()))
+        })?;
+        lits.push(lit);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_cnf() {
+        let f = parse_cnf("c comment\np cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clause(0).lits()[1].to_dimacs(), -2);
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let f = parse_cnf("p cnf 4 1\n1 2\n3 -4\n0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.clause(0).len(), 4);
+    }
+
+    #[test]
+    fn parse_empty_clause() {
+        let f = parse_cnf("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert!(f.clause(0).is_empty());
+    }
+
+    #[test]
+    fn reject_missing_header() {
+        let e = parse_cnf("1 2 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn reject_bad_literal() {
+        let e = parse_cnf("p cnf 2 1\n1 xy 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadLiteral(_)));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn reject_unterminated_clause() {
+        let e = parse_cnf("p cnf 2 1\n1 2\n").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+    }
+
+    #[test]
+    fn reject_variable_out_of_range() {
+        let e = parse_cnf("p cnf 2 1\n1 5 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::VariableOutOfRange(5));
+    }
+
+    #[test]
+    fn reject_too_many_clauses() {
+        let e = parse_cnf("p cnf 1 1\n1 0\n-1 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::TooManyClauses);
+    }
+
+    #[test]
+    fn reject_wcnf_header_for_cnf_parse() {
+        assert!(parse_cnf("p wcnf 1 1 2\n2 1 0\n").is_err());
+    }
+
+    #[test]
+    fn cnf_roundtrip() {
+        let text = "p cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let f = parse_cnf(text).unwrap();
+        assert_eq!(write_cnf(&f), text.replace("1 -2 0", "1 -2 0"));
+        let g = parse_cnf(&write_cnf(&f)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn parse_wcnf_with_top() {
+        let w = parse_wcnf("p wcnf 2 3 10\n10 1 0\n3 -1 0\n1 2 0\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.soft_clauses()[0].weight, 3);
+    }
+
+    #[test]
+    fn parse_wcnf_without_top_all_soft() {
+        let w = parse_wcnf("p wcnf 2 2\n3 1 0\n1 -1 0\n").unwrap();
+        assert_eq!(w.num_hard(), 0);
+        assert_eq!(w.num_soft(), 2);
+    }
+
+    #[test]
+    fn reject_zero_weight() {
+        let e = parse_wcnf("p wcnf 1 1 5\n0 1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
+    }
+
+    #[test]
+    fn wcnf_roundtrip() {
+        let mut w = WcnfFormula::new();
+        let text_in = "p wcnf 3 3 7\n7 1 2 0\n5 -1 0\n1 3 0\n";
+        w.add_hard([Lit::from_dimacs(1).unwrap(), Lit::from_dimacs(2).unwrap()]);
+        w.add_soft([Lit::from_dimacs(-1).unwrap()], 5);
+        w.add_soft([Lit::from_dimacs(3).unwrap()], 1);
+        let text = write_wcnf(&w);
+        assert_eq!(text, text_in);
+        let again = parse_wcnf(&text).unwrap();
+        assert_eq!(w, again);
+    }
+
+    #[test]
+    fn comments_and_percent_lines_skipped() {
+        let f = parse_cnf("c a\n%\np cnf 1 1\nc inner\n1 0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! CNF and weighted CNF formula types for the `coremax` MaxSAT suite.
+//!
+//! This crate is the foundation of the workspace: it defines the
+//! propositional vocabulary ([`Var`], [`Lit`]), clause and formula
+//! containers ([`Clause`], [`CnfFormula`], [`WcnfFormula`]), truth
+//! assignments ([`Assignment`]), and DIMACS text I/O ([`dimacs`]).
+//!
+//! The representation follows the conventions of modern CDCL solvers
+//! (MiniSAT lineage): variables are dense non-negative integers, and a
+//! literal is a variable paired with a sign, packed into a single `u32`
+//! so that `lit.index()` can be used directly as an array index for
+//! watch lists and saved phases.
+//!
+//! # Examples
+//!
+//! Build the formula from Example 1 of Marques-Silva & Planes (DATE'08),
+//! `(x1)(x2 ∨ ¬x1)(¬x2)`, and evaluate an assignment:
+//!
+//! ```
+//! use coremax_cnf::{CnfFormula, Lit, Assignment};
+//!
+//! let mut cnf = CnfFormula::new();
+//! let x1 = cnf.new_var();
+//! let x2 = cnf.new_var();
+//! cnf.add_clause([Lit::positive(x1)]);
+//! cnf.add_clause([Lit::positive(x2), Lit::negative(x1)]);
+//! cnf.add_clause([Lit::negative(x2)]);
+//!
+//! let mut a = Assignment::for_vars(cnf.num_vars());
+//! a.assign(x1, true);
+//! a.assign(x2, true);
+//! // The formula is unsatisfiable; this assignment satisfies 2 of 3 clauses.
+//! assert_eq!(cnf.num_satisfied(&a), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod clause;
+pub mod dimacs;
+mod error;
+mod formula;
+mod lit;
+mod wcnf;
+
+pub use assignment::Assignment;
+pub use clause::Clause;
+pub use error::{ParseDimacsError, ParseDimacsErrorKind};
+pub use formula::CnfFormula;
+pub use lit::{Lit, Var};
+pub use wcnf::{SoftClause, WcnfFormula, Weight, HARD_WEIGHT};

@@ -1,0 +1,281 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::num::NonZeroI32;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// Variables print 1-based (`x1`, `x2`, …) to match DIMACS conventions,
+/// but index 0-based everywhere in the API.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "x4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Maximum supported variable index.
+    pub const MAX_INDEX: u32 = (u32::MAX >> 1) - 1;
+
+    /// Creates a variable from its 0-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        assert!(index <= Self::MAX_INDEX, "variable index out of range");
+        Var(index)
+    }
+
+    /// Returns the 0-based index of this variable.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    #[must_use]
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the positive literal of this variable.
+    ///
+    /// Shorthand for [`Lit::positive`].
+    #[inline]
+    #[must_use]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Packed into a single `u32` as `var << 1 | sign` where `sign == 1`
+/// means *negated*. This makes [`Lit::index`] usable directly as a dense
+/// array index (watch lists, occurrence lists) and negation a single XOR.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::{Lit, Var};
+/// let v = Var::new(0);
+/// let p = Lit::positive(v);
+/// let n = !p;
+/// assert_eq!(n, Lit::negative(v));
+/// assert!(p.is_positive());
+/// assert!(n.is_negative());
+/// assert_eq!(p.var(), n.var());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a polarity.
+    ///
+    /// `positive == true` yields the literal `v`, `false` yields `¬v`.
+    #[inline]
+    #[must_use]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit((var.0 << 1) | u32::from(!positive))
+    }
+
+    /// The positive literal of `var`.
+    #[inline]
+    #[must_use]
+    pub fn positive(var: Var) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    #[must_use]
+    pub fn negative(var: Var) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// Creates a literal from its dense code (as returned by [`Lit::code`]).
+    #[inline]
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Creates a literal from a DIMACS integer (non-zero; negative means
+    /// negated). Returns `None` for zero or out-of-range magnitudes.
+    #[must_use]
+    pub fn from_dimacs(value: i32) -> Option<Self> {
+        let nz = NonZeroI32::new(value)?;
+        let mag = nz.get().unsigned_abs() - 1;
+        if mag > Var::MAX_INDEX {
+            return None;
+        }
+        Some(Lit::new(Var(mag), nz.get() > 0))
+    }
+
+    /// Returns the DIMACS integer representation (1-based, sign = polarity).
+    #[inline]
+    #[must_use]
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.0 >> 1) as i32 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive (unnegated) literal.
+    #[inline]
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is the negative (negated) literal.
+    #[inline]
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the dense code of this literal (`2*var + sign`), suitable
+    /// for direct indexing of per-literal arrays.
+    #[inline]
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dense code as `usize`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        Lit::positive(var)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0u32, 1, 2, 100, Var::MAX_INDEX] {
+            let v = Var::new(i);
+            assert_eq!(v.index(), i as usize);
+            assert_eq!(v.index_u32(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variable index out of range")]
+    fn var_out_of_range_panics() {
+        let _ = Var::new(Var::MAX_INDEX + 1);
+    }
+
+    #[test]
+    fn lit_packing() {
+        let v = Var::new(5);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.code(), 10);
+        assert_eq!(n.code(), 11);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!p.is_negative());
+        assert!(n.is_negative());
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let v = Var::new(7);
+        let p = Lit::positive(v);
+        assert_eq!(!!p, p);
+        assert_ne!(!p, p);
+        assert_eq!((!p).var(), p.var());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [1i32, -1, 2, -2, 42, -42] {
+            let l = Lit::from_dimacs(d).unwrap();
+            assert_eq!(l.to_dimacs(), d);
+        }
+        assert!(Lit::from_dimacs(0).is_none());
+    }
+
+    #[test]
+    fn var_into_lit() {
+        let v = Var::new(3);
+        let l: Lit = v.into();
+        assert_eq!(l, Lit::positive(v));
+        assert_eq!(v.lit(false), Lit::negative(v));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(0);
+        assert_eq!(Lit::positive(v).to_string(), "x1");
+        assert_eq!(Lit::negative(v).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn ordering_groups_by_var() {
+        let a = Lit::positive(Var::new(1));
+        let b = Lit::negative(Var::new(1));
+        let c = Lit::positive(Var::new(2));
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

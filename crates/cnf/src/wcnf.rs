@@ -1,0 +1,319 @@
+//! Weighted / partial CNF formulas for MaxSAT.
+
+use std::fmt;
+
+use crate::{Assignment, Clause, CnfFormula, Lit, Var};
+
+/// Clause weight for weighted (partial) MaxSAT.
+pub type Weight = u64;
+
+/// Weight sentinel used by WCNF "top": clauses with this weight are hard.
+pub const HARD_WEIGHT: Weight = Weight::MAX;
+
+/// A soft clause: a clause together with a positive weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftClause {
+    /// The clause itself.
+    pub clause: Clause,
+    /// Cost of falsifying the clause (must be ≥ 1).
+    pub weight: Weight,
+}
+
+/// A weighted partial CNF formula: hard clauses that must be satisfied
+/// plus soft clauses with falsification costs.
+///
+/// Plain (unweighted) MaxSAT is the special case "no hard clauses, all
+/// weights 1"; partial MaxSAT allows hard clauses; weighted variants
+/// carry arbitrary weights. All four standard MaxSAT flavours are
+/// expressible.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::{WcnfFormula, Lit, Var};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_hard([Lit::positive(x)]);
+/// w.add_soft([Lit::negative(x)], 1);
+/// assert_eq!(w.num_hard(), 1);
+/// assert_eq!(w.num_soft(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WcnfFormula {
+    num_vars: usize,
+    hard: Vec<Clause>,
+    soft: Vec<SoftClause>,
+}
+
+impl WcnfFormula {
+    /// Creates an empty formula.
+    #[must_use]
+    pub fn new() -> Self {
+        WcnfFormula::default()
+    }
+
+    /// Creates an empty formula with `num_vars` pre-allocated variables.
+    #[must_use]
+    pub fn with_vars(num_vars: usize) -> Self {
+        WcnfFormula {
+            num_vars,
+            ..WcnfFormula::default()
+        }
+    }
+
+    /// Builds a plain MaxSAT instance: every clause of `cnf` becomes a
+    /// soft clause of weight 1; there are no hard clauses.
+    #[must_use]
+    pub fn from_cnf_all_soft(cnf: &CnfFormula) -> Self {
+        let mut w = WcnfFormula::with_vars(cnf.num_vars());
+        for c in cnf.iter() {
+            w.soft.push(SoftClause {
+                clause: c.clone(),
+                weight: 1,
+            });
+        }
+        w
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Ensures the variable range covers `var`.
+    pub fn ensure_var(&mut self, var: Var) {
+        if var.index() >= self.num_vars {
+            self.num_vars = var.index() + 1;
+        }
+    }
+
+    /// Adds a hard clause.
+    pub fn add_hard<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let clause = Clause::from_lits(lits);
+        for &l in clause.lits() {
+            self.ensure_var(l.var());
+        }
+        self.hard.push(clause);
+    }
+
+    /// Adds a soft clause with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight == 0` or `weight == HARD_WEIGHT` (use
+    /// [`WcnfFormula::add_hard`] for hard clauses).
+    pub fn add_soft<I: IntoIterator<Item = Lit>>(&mut self, lits: I, weight: Weight) {
+        assert!(weight > 0, "soft clause weight must be positive");
+        assert!(
+            weight != HARD_WEIGHT,
+            "HARD_WEIGHT is reserved; use add_hard"
+        );
+        let clause = Clause::from_lits(lits);
+        for &l in clause.lits() {
+            self.ensure_var(l.var());
+        }
+        self.soft.push(SoftClause { clause, weight });
+    }
+
+    /// Number of hard clauses.
+    #[must_use]
+    pub fn num_hard(&self) -> usize {
+        self.hard.len()
+    }
+
+    /// Number of soft clauses.
+    #[must_use]
+    pub fn num_soft(&self) -> usize {
+        self.soft.len()
+    }
+
+    /// Total number of clauses (hard + soft).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.hard.len() + self.soft.len()
+    }
+
+    /// The hard clauses.
+    #[must_use]
+    pub fn hard_clauses(&self) -> &[Clause] {
+        &self.hard
+    }
+
+    /// The soft clauses.
+    #[must_use]
+    pub fn soft_clauses(&self) -> &[SoftClause] {
+        &self.soft
+    }
+
+    /// Sum of all soft weights (the cost of falsifying everything).
+    #[must_use]
+    pub fn total_soft_weight(&self) -> Weight {
+        self.soft.iter().map(|s| s.weight).sum()
+    }
+
+    /// Returns `true` if all soft clauses have weight 1.
+    #[must_use]
+    pub fn is_unweighted(&self) -> bool {
+        self.soft.iter().all(|s| s.weight == 1)
+    }
+
+    /// Returns `true` if there are no hard clauses.
+    #[must_use]
+    pub fn is_plain_maxsat(&self) -> bool {
+        self.hard.is_empty()
+    }
+
+    /// Cost of `assignment`: the total weight of falsified soft clauses,
+    /// or `None` if some hard clause is not satisfied.
+    #[must_use]
+    pub fn cost(&self, assignment: &Assignment) -> Option<Weight> {
+        for h in &self.hard {
+            if !h.is_satisfied_by(assignment) {
+                return None;
+            }
+        }
+        Some(
+            self.soft
+                .iter()
+                .filter(|s| !s.clause.is_satisfied_by(assignment))
+                .map(|s| s.weight)
+                .sum(),
+        )
+    }
+
+    /// Number of satisfied soft clauses (ignoring weights); `None` if a
+    /// hard clause is violated.
+    #[must_use]
+    pub fn num_soft_satisfied(&self, assignment: &Assignment) -> Option<usize> {
+        for h in &self.hard {
+            if !h.is_satisfied_by(assignment) {
+                return None;
+            }
+        }
+        Some(
+            self.soft
+                .iter()
+                .filter(|s| s.clause.is_satisfied_by(assignment))
+                .count(),
+        )
+    }
+
+    /// Flattens to a plain CNF containing the hard clauses followed by
+    /// the soft clauses (weights dropped). Useful for satisfiability
+    /// pre-checks and for algorithms that treat the instance as plain
+    /// MaxSAT.
+    #[must_use]
+    pub fn to_cnf(&self) -> CnfFormula {
+        let mut f = CnfFormula::with_vars(self.num_vars);
+        for c in &self.hard {
+            f.add_clause(c.lits().iter().copied());
+        }
+        for s in &self.soft {
+            f.add_clause(s.clause.lits().iter().copied());
+        }
+        f
+    }
+}
+
+impl fmt::Display for WcnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wcnf(vars={}, hard={}, soft={})",
+            self.num_vars,
+            self.hard.len(),
+            self.soft.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d).unwrap()
+    }
+
+    #[test]
+    fn build_and_count() {
+        let mut w = WcnfFormula::new();
+        w.add_hard([lit(1), lit(2)]);
+        w.add_soft([lit(-1)], 3);
+        w.add_soft([lit(-2)], 2);
+        assert_eq!(w.num_vars(), 2);
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.num_clauses(), 3);
+        assert_eq!(w.total_soft_weight(), 5);
+        assert!(!w.is_unweighted());
+        assert!(!w.is_plain_maxsat());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "HARD_WEIGHT is reserved")]
+    fn hard_weight_rejected_for_soft() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], HARD_WEIGHT);
+    }
+
+    #[test]
+    fn cost_semantics() {
+        let mut w = WcnfFormula::new();
+        w.add_hard([lit(1)]);
+        w.add_soft([lit(2)], 4);
+        w.add_soft([lit(-2)], 1);
+        // x1=T x2=T: hard ok, falsifies (¬x2) → cost 1.
+        let a = Assignment::from_bools(&[true, true]);
+        assert_eq!(w.cost(&a), Some(1));
+        assert_eq!(w.num_soft_satisfied(&a), Some(1));
+        // x1=F violates the hard clause.
+        let b = Assignment::from_bools(&[false, true]);
+        assert_eq!(w.cost(&b), None);
+        assert_eq!(w.num_soft_satisfied(&b), None);
+    }
+
+    #[test]
+    fn from_cnf_all_soft() {
+        let mut f = CnfFormula::new();
+        f.add_clause([lit(1)]);
+        f.add_clause([lit(-1)]);
+        let w = WcnfFormula::from_cnf_all_soft(&f);
+        assert!(w.is_plain_maxsat());
+        assert!(w.is_unweighted());
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.num_vars(), 1);
+    }
+
+    #[test]
+    fn to_cnf_flattens() {
+        let mut w = WcnfFormula::new();
+        w.add_hard([lit(1)]);
+        w.add_soft([lit(2)], 1);
+        let f = w.to_cnf();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn display_summary() {
+        let mut w = WcnfFormula::new();
+        w.add_hard([lit(1)]);
+        assert_eq!(w.to_string(), "wcnf(vars=1, hard=1, soft=0)");
+    }
+}

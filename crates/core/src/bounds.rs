@@ -1,0 +1,160 @@
+//! Propositions 1 and 2 of the paper: MaxSAT bounds from disjoint
+//! unsatisfiable cores and from satisfying assignments of the relaxed
+//! formula.
+
+use coremax_cnf::{CnfFormula, Lit};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+/// The result of a disjoint-core analysis (Proposition 1).
+#[derive(Debug, Clone)]
+pub struct DisjointCoreReport {
+    /// Clause indices of each disjoint core found, in discovery order.
+    pub cores: Vec<Vec<usize>>,
+    /// Upper bound on the number of simultaneously satisfiable clauses:
+    /// `|φ| − K` where `K` is the number of disjoint cores.
+    pub upper_bound_satisfied: usize,
+    /// Equivalently, a lower bound on the optimum cost (`K`).
+    pub lower_bound_cost: usize,
+    /// `true` if the analysis ran to completion (remaining formula
+    /// satisfiable), `false` if the budget stopped it early (the bounds
+    /// are still valid).
+    pub complete: bool,
+}
+
+/// Computes disjoint unsatisfiable cores of `formula` by repeatedly
+/// extracting a core and removing its clauses (Proposition 1: `K`
+/// disjoint cores ⟹ at most `|φ| − K` clauses are satisfiable).
+///
+/// # Examples
+///
+/// ```
+/// use coremax::disjoint_core_analysis;
+/// use coremax_cnf::dimacs;
+/// use coremax_sat::Budget;
+///
+/// // (x)(¬x)(y)(¬y): two disjoint cores.
+/// let f = dimacs::parse_cnf("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n")?;
+/// let report = disjoint_core_analysis(&f, &Budget::new());
+/// assert_eq!(report.cores.len(), 2);
+/// assert_eq!(report.upper_bound_satisfied, 2);
+/// # Ok::<(), coremax_cnf::ParseDimacsError>(())
+/// ```
+#[must_use]
+pub fn disjoint_core_analysis(formula: &CnfFormula, budget: &Budget) -> DisjointCoreReport {
+    let start = std::time::Instant::now();
+    let deadline = budget.effective_deadline(start);
+    let mut removed = vec![false; formula.num_clauses()];
+    let mut cores: Vec<Vec<usize>> = Vec::new();
+    let mut complete = false;
+
+    loop {
+        let mut solver = Solver::new();
+        solver.ensure_vars(formula.num_vars());
+        if let Some(d) = deadline {
+            solver.set_budget(Budget::new().with_deadline(d));
+        }
+        // Map solver clause ids back to original indices.
+        let mut id_to_index = Vec::new();
+        for (i, c) in formula.iter().enumerate() {
+            if !removed[i] {
+                solver.add_clause(c.lits().iter().copied());
+                id_to_index.push(i);
+            }
+        }
+        match solver.solve() {
+            SolveOutcome::Sat => {
+                complete = true;
+                break;
+            }
+            SolveOutcome::Unknown => break,
+            SolveOutcome::Unsat => {
+                let core: Vec<usize> = solver
+                    .unsat_core()
+                    .expect("core after UNSAT")
+                    .iter()
+                    .map(|id| id_to_index[id.index()])
+                    .collect();
+                for &i in &core {
+                    removed[i] = true;
+                }
+                cores.push(core);
+            }
+        }
+    }
+
+    let k = cores.len();
+    DisjointCoreReport {
+        upper_bound_satisfied: formula.num_clauses() - k,
+        lower_bound_cost: k,
+        cores,
+        complete,
+    }
+}
+
+/// Proposition 2 helper: given a WCNF and a model of the blocked
+/// relaxation, the number of blocking variables assigned 1 bounds the
+/// optimum cost from above. Exposed mostly for documentation/tests; the
+/// solvers use it inline.
+#[must_use]
+pub fn blocking_upper_bound(model: &coremax_cnf::Assignment, blockers: &[Lit]) -> usize {
+    blockers.iter().filter(|&&b| model.satisfies(b)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::{dimacs, Var, WcnfFormula};
+
+    #[test]
+    fn satisfiable_formula_no_cores() {
+        let f = dimacs::parse_cnf("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let r = disjoint_core_analysis(&f, &Budget::new());
+        assert!(r.cores.is_empty());
+        assert_eq!(r.upper_bound_satisfied, 2);
+        assert_eq!(r.lower_bound_cost, 0);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn two_disjoint_cores_found() {
+        let f = dimacs::parse_cnf("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n").unwrap();
+        let r = disjoint_core_analysis(&f, &Budget::new());
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.lower_bound_cost, 2);
+        // Cores must be disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for core in &r.cores {
+            for &i in core {
+                assert!(seen.insert(i), "clause {i} in two cores");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_sound_for_example2() {
+        let f = dimacs::parse_cnf(
+            "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+        )
+        .unwrap();
+        let r = disjoint_core_analysis(&f, &Budget::new());
+        // True optimum: 6 satisfied / cost 2. The UB must be ≥ 6 and the
+        // cost LB ≤ 2.
+        assert!(r.upper_bound_satisfied >= 6);
+        assert!(r.lower_bound_cost <= 2);
+        assert!(r.lower_bound_cost >= 1);
+    }
+
+    #[test]
+    fn blocking_upper_bound_counts() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], 1);
+        let _ = w;
+        let b = Lit::positive(Var::new(5));
+        let mut m = coremax_cnf::Assignment::for_vars(6);
+        m.assign(Var::new(5), true);
+        assert_eq!(blocking_upper_bound(&m, &[b]), 1);
+        m.assign(Var::new(5), false);
+        assert_eq!(blocking_upper_bound(&m, &[b]), 0);
+    }
+}

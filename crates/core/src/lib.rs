@@ -1,0 +1,75 @@
+//! Core-guided MaxSAT algorithms — a reproduction of
+//! *Algorithms for Maximum Satisfiability using Unsatisfiable Cores*
+//! (Marques-Silva & Planes, DATE 2008).
+//!
+//! The headline contribution is [`Msu4`], Algorithm 1 of the paper: a
+//! MaxSAT procedure that drives a CDCL SAT solver, extracts an
+//! unsatisfiable core whenever the working formula is refuted, attaches
+//! at most one blocking variable to each soft clause appearing in a
+//! core, and squeezes a lower bound (satisfying assignments,
+//! Proposition 2) against an upper bound (disjoint cores,
+//! Proposition 1) with cardinality constraints until they meet.
+//!
+//! The crate also contains every comparison point of the paper's
+//! evaluation plus the algorithm family around it:
+//!
+//! | Solver | Paper role |
+//! |---|---|
+//! | [`Msu4`] (BDD / sorting-network encodings) | the contribution (v1 / v2) |
+//! | [`Msu1`] | Fu & Malik's algorithm \[11\] |
+//! | [`Msu3`], [`Msu2`] | the companion-report algorithms \[22\] |
+//! | [`PboBaseline`] | minisat+ on the PBO formulation (§2.2) |
+//! | [`BranchBound`] | maxsatz-style branch and bound \[18\] |
+//! | [`LinearSearchSat`], [`BinarySearchSat`] | "MaxSAT as iterated SAT" baselines |
+//! | [`Msu4Incremental`] | §5's "alternative SAT technology": assumption-based incremental msu4 |
+//!
+//! All solvers implement [`MaxSatSolver`] and accept weighted partial
+//! WCNF input where the algorithm supports it (see each type's docs).
+//!
+//! # Examples
+//!
+//! Solve the paper's running example (Example 2, optimum 6 of 8):
+//!
+//! ```
+//! use coremax::{Msu4, MaxSatSolver, MaxSatStatus};
+//! use coremax_cnf::{dimacs, WcnfFormula};
+//!
+//! let cnf = dimacs::parse_cnf(
+//!     "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+//! ).expect("valid DIMACS");
+//! let wcnf = WcnfFormula::from_cnf_all_soft(&cnf);
+//! let mut solver = Msu4::v2();
+//! let solution = solver.solve(&wcnf);
+//! assert_eq!(solution.status, MaxSatStatus::Optimal);
+//! assert_eq!(solution.cost, Some(2));           // two clauses falsified
+//! assert_eq!(solution.num_satisfied(&wcnf), Some(6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod branch_bound;
+mod core_min;
+mod linear_core;
+mod msu1;
+mod msu4;
+mod msu4_inc;
+mod pbo_baseline;
+mod sat_search;
+mod types;
+mod verify;
+mod weighted;
+
+pub use bounds::{blocking_upper_bound, disjoint_core_analysis, DisjointCoreReport};
+pub use branch_bound::BranchBound;
+pub use core_min::minimize_core;
+pub use linear_core::{Msu2, Msu3};
+pub use msu1::Msu1;
+pub use msu4::{Msu4, Msu4Config};
+pub use msu4_inc::Msu4Incremental;
+pub use pbo_baseline::PboBaseline;
+pub use sat_search::{BinarySearchSat, LinearSearchSat};
+pub use types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+pub use verify::verify_solution;
+pub use weighted::{replicate_weights, worst_case_cost, WeightedByReplication};

@@ -1,0 +1,393 @@
+//! msu2 and msu3 — the companion-report algorithms (reference \[22\],
+//! Marques-Silva & Planes, CoRR abs/0712.0097).
+//!
+//! Both are core-guided like msu4 but search the bound from below only
+//! (UNSAT → SAT): blocking variables are attached to soft clauses as
+//! cores are discovered, and a single global `Σ b ≤ k` constraint is
+//! kept, with `k` incremented on every refutation. The first satisfiable
+//! working formula proves cost `k` optimal. The report's stated
+//! improvements over msu1 are (a) at most one blocking variable per
+//! clause and (b) a linear cardinality encoding; we expose both axes:
+//!
+//! - [`Msu3`]: the plain linear UNSAT→SAT search,
+//! - [`Msu2`]: the same search with the sequential-counter ("linear")
+//!   encoding and the per-core `Σ ≥ 1` redundant constraints.
+//!
+//! The exact pseudo-code of \[22\] is not reproduced in the DATE'08
+//! paper; this reconstruction matches its described properties (see
+//! DESIGN.md §6).
+
+use std::time::Instant;
+
+use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
+use coremax_cnf::{Lit, Var, WcnfFormula};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// Shared implementation of the msu2/msu3 linear UNSAT→SAT search.
+#[derive(Debug, Clone)]
+struct LinearCore {
+    encoding: CardEncoding,
+    core_at_least_one: bool,
+    budget: Budget,
+}
+
+impl LinearCore {
+    fn solve(&self, wcnf: &WcnfFormula, stats: &mut MaxSatStats) -> MaxSatSolution {
+        assert!(
+            wcnf.is_unweighted(),
+            "msu2/msu3 handle unweighted (partial) MaxSAT; got weighted soft clauses"
+        );
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+
+        let hard: Vec<Vec<Lit>> = wcnf
+            .hard_clauses()
+            .iter()
+            .map(|c| c.lits().to_vec())
+            .collect();
+        let soft: Vec<Vec<Lit>> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| s.clause.lits().to_vec())
+            .collect();
+        let num_soft = soft.len();
+
+        let mut blocking: Vec<Option<Lit>> = vec![None; num_soft];
+        let mut vb: Vec<Lit> = Vec::new();
+        let mut ge1_constraints: Vec<Vec<Lit>> = Vec::new();
+        let mut num_vars_base = wcnf.num_vars();
+        let mut k: usize = 0; // current lower bound on cost
+
+        let finish = |status: MaxSatStatus,
+                      cost: Option<usize>,
+                      model: Option<coremax_cnf::Assignment>,
+                      stats: &mut MaxSatStats| {
+            stats.wall_time = start.elapsed();
+            MaxSatSolution {
+                status,
+                cost: cost.map(|c| c as u64),
+                model: model.clone(),
+                stats: *stats,
+            }
+        };
+
+        loop {
+            // φW = hard ∪ soft(blocked) ∪ ge1 ∪ CNF(Σ_vb b ≤ k).
+            let mut solver = Solver::new();
+            solver.ensure_vars(num_vars_base);
+            if let Some(d) = deadline {
+                solver.set_budget(Budget::new().with_deadline(d));
+            }
+            for h in &hard {
+                solver.add_clause(h.iter().copied());
+            }
+            for (i, s) in soft.iter().enumerate() {
+                match blocking[i] {
+                    Some(b) => {
+                        solver.add_clause(s.iter().copied().chain(std::iter::once(b)));
+                    }
+                    None => {
+                        solver.add_clause(s.iter().copied());
+                    }
+                }
+            }
+            for c in &ge1_constraints {
+                solver.add_clause(c.iter().copied());
+            }
+            let bound_start = solver.num_original_clauses();
+            if !vb.is_empty() && k < vb.len() {
+                let mut sink = CnfSink::new(num_vars_base);
+                encode_at_most(&vb, k, self.encoding, &mut sink);
+                solver.ensure_vars(sink.num_vars());
+                let clauses = sink.into_clauses();
+                stats.cardinality_clauses += clauses.len() as u64;
+                for c in clauses {
+                    solver.add_clause(c);
+                }
+            }
+
+            stats.sat_calls += 1;
+            match solver.solve() {
+                SolveOutcome::Unknown => {
+                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                }
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let model = solver.model().expect("model after SAT").clone();
+                    return finish(MaxSatStatus::Optimal, Some(k), Some(model), stats);
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    stats.cores += 1;
+                    let core = solver.unsat_core().expect("core after UNSAT").to_vec();
+                    let soft_range = hard.len()..hard.len() + num_soft;
+                    let mut touched_soft = false;
+                    let mut touched_bound = false;
+                    let mut fresh_blockers: Vec<Lit> = Vec::new();
+                    for id in &core {
+                        let idx = id.index();
+                        if soft_range.contains(&idx) {
+                            touched_soft = true;
+                            let i = idx - hard.len();
+                            if blocking[i].is_none() {
+                                let b = Lit::positive(Var::new(num_vars_base as u32));
+                                num_vars_base += 1;
+                                blocking[i] = Some(b);
+                                vb.push(b);
+                                stats.blocking_vars += 1;
+                                fresh_blockers.push(b);
+                            }
+                        } else if idx >= bound_start || idx >= soft_range.end {
+                            touched_bound = true; // bound or ge1 helper clause
+                        }
+                    }
+                    if !touched_soft && !touched_bound {
+                        // Pure hard-clause contradiction.
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
+                    // Like msu4's optional line-19 constraint, the ≥1
+                    // clause is only sound over the *newly* blocked
+                    // clauses (cores are not minimal, so previously
+                    // blocked clauses may appear spuriously). Unlike in
+                    // msu4 — whose accumulated bounds only tighten — the
+                    // bound here loosens as `k` grows, so the clause is
+                    // implied only when the refutation did not use the
+                    // bound at all.
+                    if self.core_at_least_one && !fresh_blockers.is_empty() && !touched_bound {
+                        ge1_constraints.push(fresh_blockers.clone());
+                        stats.cardinality_clauses += 1;
+                    }
+                    if fresh_blockers.is_empty() {
+                        // The core involves only hard clauses, blocked
+                        // clauses and the bound: any assignment of cost ≤ k
+                        // would extend to a model of the refuted working
+                        // formula, so the refutation proves optimum > k.
+                        k += 1;
+                        if k > num_soft {
+                            // Cannot falsify more clauses than exist: the
+                            // hard part must be inconsistent.
+                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        }
+                    }
+                    // With fresh blocking variables the working formula
+                    // gains freedom; re-solve at the same bound. Each
+                    // iteration either blocks a new clause or lifts the
+                    // bound, so the loop terminates in ≤ 2·|soft| rounds.
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                }
+            }
+        }
+    }
+}
+
+/// msu3: linear UNSAT→SAT core-guided search, one blocking variable per
+/// clause, BDD-encoded global bound.
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics on weighted input.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{Msu3, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1);
+/// w.add_soft([Lit::negative(x)], 1);
+/// assert_eq!(Msu3::new().solve(&w).cost, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Msu3 {
+    inner: LinearCore,
+}
+
+impl Default for Msu3 {
+    fn default() -> Self {
+        Msu3::new()
+    }
+}
+
+impl Msu3 {
+    /// msu3 with the BDD bound encoding.
+    #[must_use]
+    pub fn new() -> Self {
+        Msu3 {
+            inner: LinearCore {
+                encoding: CardEncoding::Bdd,
+                core_at_least_one: false,
+                budget: Budget::new(),
+            },
+        }
+    }
+
+    /// msu3 with an explicit bound encoding.
+    #[must_use]
+    pub fn with_encoding(encoding: CardEncoding) -> Self {
+        Msu3 {
+            inner: LinearCore {
+                encoding,
+                core_at_least_one: false,
+                budget: Budget::new(),
+            },
+        }
+    }
+}
+
+impl MaxSatSolver for Msu3 {
+    fn name(&self) -> &'static str {
+        "msu3"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.inner.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        let mut stats = MaxSatStats::default();
+        self.inner.solve(wcnf, &mut stats)
+    }
+}
+
+/// msu2: the msu3 search with the sequential-counter ("linear")
+/// cardinality encoding and redundant per-core `Σ b ≥ 1` clauses.
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics on weighted input.
+#[derive(Debug, Clone)]
+pub struct Msu2 {
+    inner: LinearCore,
+}
+
+impl Default for Msu2 {
+    fn default() -> Self {
+        Msu2::new()
+    }
+}
+
+impl Msu2 {
+    /// msu2 with its default (sequential counter) encoding.
+    #[must_use]
+    pub fn new() -> Self {
+        Msu2 {
+            inner: LinearCore {
+                encoding: CardEncoding::SequentialCounter,
+                core_at_least_one: true,
+                budget: Budget::new(),
+            },
+        }
+    }
+}
+
+impl MaxSatSolver for Msu2 {
+    fn name(&self) -> &'static str {
+        "msu2"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.inner.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        let mut stats = MaxSatStats::default();
+        self.inner.solve(wcnf, &mut stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::dimacs;
+    use coremax_sat::dpll_max_satisfiable;
+
+    fn unweighted(text: &str) -> WcnfFormula {
+        WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap())
+    }
+
+    fn solvers() -> Vec<Box<dyn MaxSatSolver>> {
+        vec![Box::new(Msu2::new()), Box::new(Msu3::new())]
+    }
+
+    #[test]
+    fn paper_examples() {
+        let e2 =
+            unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        for mut s in solvers() {
+            let r = s.solve(&e2);
+            assert_eq!(r.cost, Some(2), "{}", s.name());
+            assert_eq!(r.status, MaxSatStatus::Optimal);
+            let m = r.model.unwrap();
+            assert_eq!(e2.cost(&m), Some(2), "{} model is suboptimal", s.name());
+        }
+    }
+
+    #[test]
+    fn satisfiable_costs_zero() {
+        let w = unweighted("p cnf 2 2\n1 2 0\n-1 0\n");
+        for mut s in solvers() {
+            assert_eq!(s.solve(&w).cost, Some(0), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn partial_infeasible() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_hard([Lit::negative(x)]);
+        w.add_soft([Lit::positive(x)], 1);
+        for mut s in solvers() {
+            assert_eq!(s.solve(&w).status, MaxSatStatus::Infeasible, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_formulas() {
+        let mut seed = 0xA0761D6478BD642Fu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let num_vars = 4 + (next() % 3) as usize;
+            let num_clauses = 5 + (next() % 10) as usize;
+            let mut f = coremax_cnf::CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = Var::new((next() % num_vars as u64) as u32);
+                        Lit::new(v, next() & 1 == 0)
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let oracle = f.num_clauses() - dpll_max_satisfiable(&f);
+            let w = WcnfFormula::from_cnf_all_soft(&f);
+            for mut s in solvers() {
+                let r = s.solve(&w);
+                assert_eq!(r.cost, Some(oracle as u64), "{} wrong on {f}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_cores() {
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let mut s = Msu3::new();
+        let r = s.solve(&w);
+        assert_eq!(r.cost, Some(2));
+        assert!(r.stats.cores >= 2);
+        assert!(r.stats.blocking_vars >= 2);
+    }
+}

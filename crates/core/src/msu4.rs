@@ -1,0 +1,609 @@
+//! The msu4 algorithm — Algorithm 1 of the paper.
+
+use std::time::Instant;
+
+use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
+use coremax_cnf::{Lit, Var, WcnfFormula};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// Configuration of the [`Msu4`] solver.
+#[derive(Debug, Clone)]
+pub struct Msu4Config {
+    /// CNF encoding used for the cardinality constraints. The paper's
+    /// **v1** is [`CardEncoding::Bdd`], **v2** is
+    /// [`CardEncoding::SortingNetwork`].
+    pub encoding: CardEncoding,
+    /// Whether to add the optional `Σ_{i∈core} bᵢ ≥ 1` constraint when a
+    /// core is blocked (Algorithm 1, line 19). The paper notes it "is in
+    /// fact optional, but experiments suggest that it is most often
+    /// useful"; it is on by default and an ablation bench toggles it.
+    pub core_at_least_one: bool,
+    /// Whether to shrink each extracted core with deletion-based
+    /// minimisation ([`crate::minimize_core`]) before blocking. Fewer
+    /// blocking variables per core at the price of one SAT call per
+    /// core clause — the paper's closing remark ties msu4's efficiency
+    /// to small cores, and this knob probes that dependence.
+    pub minimize_cores: bool,
+}
+
+impl Default for Msu4Config {
+    fn default() -> Self {
+        Msu4Config {
+            encoding: CardEncoding::SortingNetwork,
+            core_at_least_one: true,
+            minimize_cores: false,
+        }
+    }
+}
+
+/// The msu4 core-guided MaxSAT solver (Marques-Silva & Planes, DATE'08).
+///
+/// msu4 maintains a working formula φW. Each SAT-solver call either
+/// *refutes* φW — then every not-yet-blocked soft clause in the
+/// unsatisfiable core receives a blocking variable, raising the lower
+/// bound on the optimum cost — or *satisfies* it — then the number of
+/// blocking variables assigned 1 gives an upper bound, and a cardinality
+/// constraint demands the next model do strictly better. The algorithm
+/// stops when the bounds meet, or when a core contains no unblocked soft
+/// clause (the current bound is then provably optimal).
+///
+/// Unlike msu1 (Fu & Malik), at most **one** blocking variable is ever
+/// attached to a clause.
+///
+/// # Input restrictions
+///
+/// Supports *unweighted* (partial) MaxSAT: all soft clauses must have
+/// weight 1. Hard clauses are fully supported (they are never blocked;
+/// a core of hard clauses only means the instance is infeasible).
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics if a soft clause has weight ≠ 1.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{Msu4, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+///
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1);
+/// w.add_soft([Lit::negative(x)], 1);
+/// let solution = Msu4::v2().solve(&w);
+/// assert_eq!(solution.cost, Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Msu4 {
+    config: Msu4Config,
+    budget: Budget,
+}
+
+impl Msu4 {
+    /// msu4 with the default (v2 / sorting network) configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Msu4::default()
+    }
+
+    /// The paper's **v1**: BDD cardinality encoding.
+    #[must_use]
+    pub fn v1() -> Self {
+        Msu4::with_config(Msu4Config {
+            encoding: CardEncoding::Bdd,
+            ..Msu4Config::default()
+        })
+    }
+
+    /// The paper's **v2**: sorting-network cardinality encoding.
+    #[must_use]
+    pub fn v2() -> Self {
+        Msu4::with_config(Msu4Config {
+            encoding: CardEncoding::SortingNetwork,
+            ..Msu4Config::default()
+        })
+    }
+
+    /// msu4 with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: Msu4Config) -> Self {
+        Msu4 {
+            config,
+            budget: Budget::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &Msu4Config {
+        &self.config
+    }
+}
+
+impl MaxSatSolver for Msu4 {
+    fn name(&self) -> &'static str {
+        match self.config.encoding {
+            CardEncoding::Bdd => "msu4-v1",
+            CardEncoding::SortingNetwork => "msu4-v2",
+            _ => "msu4",
+        }
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        assert!(
+            wcnf.is_unweighted(),
+            "msu4 handles unweighted (partial) MaxSAT; got weighted soft clauses"
+        );
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let mut stats = MaxSatStats::default();
+
+        let num_soft = wcnf.num_soft();
+        let hard: Vec<Vec<Lit>> = wcnf
+            .hard_clauses()
+            .iter()
+            .map(|c| c.lits().to_vec())
+            .collect();
+        let soft: Vec<Vec<Lit>> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| s.clause.lits().to_vec())
+            .collect();
+
+        // Per-soft-clause blocking literal, assigned lazily (at most one,
+        // the defining property of msu4).
+        let mut blocking: Vec<Option<Lit>> = vec![None; num_soft];
+        // All blocking literals, in introduction order (the paper's VB).
+        let mut vb: Vec<Lit> = Vec::new();
+        // Per-core ≥1 clauses (the optional line-19 constraints); these
+        // stay for the whole run.
+        let mut ge1: Vec<Vec<Lit>> = Vec::new();
+        // CNF of the *current* Σ_vb b ≤ ub−1 bound. Superseded bounds are
+        // implied by the tightest one, so φW keeps only the latest —
+        // Algorithm 1 accumulates them, but dropping implied clauses
+        // changes neither models nor correctness and avoids a quadratic
+        // formula blow-up over the descent.
+        let mut bound_cnf: Vec<Vec<Lit>> = Vec::new();
+        // Variables: original ∪ blocking (encoder auxiliaries live above
+        // this watermark and are re-allocated per bound encoding).
+        let mut num_vars = wcnf.num_vars();
+
+        // Bounds in *cost* space: lb = the paper's νU (each disjointly
+        // refuted core forces one more falsified clause, Prop. 1);
+        // ub = the paper's νBV (best model found, Prop. 2).
+        let mut lb: usize = 0;
+        let mut ub: usize = num_soft;
+        let mut best_model: Option<coremax_cnf::Assignment> = None;
+
+        let finish = |status: MaxSatStatus,
+                      cost: Option<usize>,
+                      model: Option<coremax_cnf::Assignment>,
+                      mut stats: MaxSatStats| {
+            stats.wall_time = start.elapsed();
+            MaxSatSolution {
+                status,
+                cost: cost.map(|c| c as u64),
+                model,
+                stats,
+            }
+        };
+
+        // Feasibility pre-check: cores are not guaranteed minimal, so a
+        // hard-only contradiction could otherwise hide inside a mixed
+        // core and the termination argument of Algorithm 1 (which assumes
+        // plain MaxSAT) would return a bogus optimum.
+        let mut hard_model: Option<coremax_cnf::Assignment> = None;
+        if !hard.is_empty() {
+            let mut solver = Solver::new();
+            solver.ensure_vars(wcnf.num_vars());
+            if let Some(d) = deadline {
+                solver.set_budget(Budget::new().with_deadline(d));
+            }
+            for h in &hard {
+                solver.add_clause(h.iter().copied());
+            }
+            stats.sat_calls += 1;
+            match solver.solve() {
+                SolveOutcome::Unsat => return finish(MaxSatStatus::Infeasible, None, None, stats),
+                SolveOutcome::Unknown => return finish(MaxSatStatus::Unknown, None, None, stats),
+                SolveOutcome::Sat => {
+                    hard_model = solver.model().cloned();
+                }
+            }
+        }
+
+        loop {
+            // (Re)build φW: hard clauses, soft clauses (blocked ones carry
+            // their blocking literal), all cardinality CNF so far.
+            let mut solver = Solver::new();
+            solver.ensure_vars(num_vars);
+            if let Some(d) = deadline {
+                solver.set_budget(Budget::new().with_deadline(d));
+            }
+            // Clause-id layout: [0, hard) hard, [hard, hard+soft) soft,
+            // then ge1 clauses, then the current bound encoding. When
+            // core minimisation is on, keep the materialised working
+            // formula for subset re-solving.
+            let mut built: Vec<Vec<Lit>> = Vec::new();
+            let keep = |c: Vec<Lit>, built: &mut Vec<Vec<Lit>>| {
+                if self.config.minimize_cores {
+                    built.push(c);
+                }
+            };
+            for h in &hard {
+                solver.add_clause(h.iter().copied());
+                keep(h.clone(), &mut built);
+            }
+            for (i, s) in soft.iter().enumerate() {
+                match blocking[i] {
+                    Some(b) => {
+                        solver.add_clause(s.iter().copied().chain(std::iter::once(b)));
+                        let mut c = s.clone();
+                        c.push(b);
+                        keep(c, &mut built);
+                    }
+                    None => {
+                        solver.add_clause(s.iter().copied());
+                        keep(s.clone(), &mut built);
+                    }
+                }
+            }
+            for c in &ge1 {
+                solver.add_clause(c.iter().copied());
+                keep(c.clone(), &mut built);
+            }
+            for c in &bound_cnf {
+                solver.add_clause(c.iter().copied());
+                keep(c.clone(), &mut built);
+            }
+
+            stats.sat_calls += 1;
+            match solver.solve() {
+                SolveOutcome::Unknown => {
+                    return finish(
+                        MaxSatStatus::Unknown,
+                        best_model.is_some().then_some(ub),
+                        best_model,
+                        stats,
+                    );
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    stats.cores += 1;
+                    let raw_core: Vec<usize> = solver
+                        .unsat_core()
+                        .expect("core after UNSAT")
+                        .iter()
+                        .map(|id| id.index())
+                        .collect();
+                    let core: Vec<usize> = if self.config.minimize_cores {
+                        let mut formula = coremax_cnf::CnfFormula::with_vars(solver.num_vars());
+                        for c in &built {
+                            formula.add_clause(c.iter().copied());
+                        }
+                        let mut budget = Budget::new();
+                        if let Some(d) = deadline {
+                            budget = budget.with_deadline(d);
+                        }
+                        crate::minimize_core(&formula, &raw_core, &budget)
+                    } else {
+                        raw_core
+                    };
+                    // φI: unblocked soft clauses in the core (the paper's
+                    // "initial clauses"); also detect hard-only cores.
+                    let soft_range = hard.len()..hard.len() + num_soft;
+                    let mut new_blocked: Vec<usize> = Vec::new();
+                    let mut all_hard = true;
+                    for idx in core {
+                        if soft_range.contains(&idx) {
+                            all_hard = false;
+                            let soft_idx = idx - hard.len();
+                            if blocking[soft_idx].is_none() {
+                                new_blocked.push(soft_idx);
+                            }
+                        } else if idx >= soft_range.end {
+                            all_hard = false; // cardinality clause
+                        }
+                    }
+                    if all_hard {
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
+                    if new_blocked.is_empty() {
+                        // Line 21–22: the core can be re-derived no matter
+                        // which further clauses are blocked, so the current
+                        // upper bound is the optimum.
+                        debug_assert!(best_model.is_some() || ub == num_soft);
+                        let model = best_model.or_else(|| hard_model.clone());
+                        return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
+                    }
+                    // Lines 17–20: attach blocking variables and (optionally)
+                    // require at least one of them to be used.
+                    let mut core_blockers = Vec::with_capacity(new_blocked.len());
+                    for soft_idx in new_blocked {
+                        let b = Lit::positive(Var::new(num_vars as u32));
+                        num_vars += 1;
+                        blocking[soft_idx] = Some(b);
+                        vb.push(b);
+                        core_blockers.push(b);
+                        stats.blocking_vars += 1;
+                    }
+                    if self.config.core_at_least_one {
+                        ge1.push(core_blockers);
+                        stats.cardinality_clauses += 1;
+                    }
+                    // Lines 23–24: every such core lifts the lower bound.
+                    lb += 1;
+                }
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let model = solver.model().expect("model after SAT").clone();
+                    // Line 26 uses ν = blocking variables assigned 1; we
+                    // tighten it to the model's *actual* number of
+                    // falsified soft clauses f ≤ ν (a model may raise a
+                    // blocking variable of a clause it satisfies anyway).
+                    // Soundness is unchanged: any assignment of cost
+                    // ≤ f−1 extends to a model of φW with Σb ≤ f−1, so
+                    // the strengthened constraint excludes no optimum.
+                    // Without this, descent proceeds one wasted blocking
+                    // variable at a time, re-encoding the cardinality
+                    // network per step (see DESIGN.md §4).
+                    let f = soft
+                        .iter()
+                        .filter(|s| !s.iter().any(|&l| model.satisfies(l)))
+                        .count();
+                    debug_assert!(
+                        f <= vb.iter().filter(|&&b| model.satisfies(b)).count()
+                            || soft.iter().any(Vec::is_empty)
+                    );
+                    if f < ub || best_model.is_none() {
+                        ub = f;
+                        best_model = Some(model);
+                    }
+                    if ub == 0 {
+                        // No soft clause needed blocking: cost 0 optimum.
+                        return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
+                    }
+                    // Lines 30–31: demand strictly fewer blocking vars.
+                    // Auxiliary encoder variables sit above the
+                    // original+blocking watermark and are recycled when
+                    // the bound is replaced.
+                    let mut sink = CnfSink::new(num_vars);
+                    encode_at_most(&vb, ub - 1, self.config.encoding, &mut sink);
+                    let new_clauses = sink.into_clauses();
+                    stats.cardinality_clauses += new_clauses.len() as u64;
+                    bound_cnf = new_clauses;
+                }
+            }
+            // Line 32: bounds met.
+            if lb >= ub {
+                let model = best_model.or_else(|| hard_model.clone());
+                return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return finish(
+                        MaxSatStatus::Unknown,
+                        best_model.is_some().then_some(ub),
+                        best_model,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::dimacs;
+    use coremax_sat::dpll_max_satisfiable;
+
+    fn unweighted(text: &str) -> WcnfFormula {
+        WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap())
+    }
+
+    #[test]
+    fn example1_of_the_paper() {
+        let w = unweighted("p cnf 2 3\n1 0\n2 -1 0\n-2 0\n");
+        for mut solver in [Msu4::v1(), Msu4::v2()] {
+            let s = solver.solve(&w);
+            assert_eq!(s.status, MaxSatStatus::Optimal);
+            assert_eq!(s.cost, Some(1));
+            assert_eq!(s.num_satisfied(&w), Some(2));
+        }
+    }
+
+    #[test]
+    fn example2_of_the_paper() {
+        // §3.3: optimum 6 of 8 (two clauses falsified).
+        let w = unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        for mut solver in [Msu4::v1(), Msu4::v2()] {
+            let s = solver.solve(&w);
+            assert_eq!(s.status, MaxSatStatus::Optimal);
+            assert_eq!(s.cost, Some(2));
+            assert_eq!(s.num_satisfied(&w), Some(6));
+            // The model must actually attain the claimed cost.
+            let m = s.model.as_ref().unwrap();
+            assert_eq!(w.cost(m), Some(2));
+        }
+    }
+
+    #[test]
+    fn satisfiable_formula_costs_zero() {
+        let w = unweighted("p cnf 3 3\n1 2 0\n-1 3 0\n-3 2 0\n");
+        let s = Msu4::v2().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(0));
+    }
+
+    #[test]
+    fn all_clauses_conflicting() {
+        // (x)(¬x)(y)(¬y): cost 2.
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        for mut solver in [Msu4::v1(), Msu4::v2()] {
+            let s = solver.solve(&w);
+            assert_eq!(s.cost, Some(2), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn partial_maxsat_hard_clauses_respected() {
+        // Hard: x1. Soft: ¬x1, x2, ¬x2 → optimum cost 2? No: falsify ¬x1
+        // (forced) and one of x2/¬x2 → cost 2.
+        let mut w = WcnfFormula::new();
+        let x1 = w.new_var();
+        let x2 = w.new_var();
+        w.add_hard([Lit::positive(x1)]);
+        w.add_soft([Lit::negative(x1)], 1);
+        w.add_soft([Lit::positive(x2)], 1);
+        w.add_soft([Lit::negative(x2)], 1);
+        let s = Msu4::v2().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(2));
+        let m = s.model.unwrap();
+        assert_eq!(m.value(x1), Some(true));
+    }
+
+    #[test]
+    fn infeasible_hard_clauses() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_hard([Lit::negative(x)]);
+        w.add_soft([Lit::positive(x)], 1);
+        let s = Msu4::v2().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Infeasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "unweighted")]
+    fn weighted_input_rejected() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], 3);
+        let _ = Msu4::v2().solve(&w);
+    }
+
+    #[test]
+    fn optional_constraint_off_still_correct() {
+        let w = unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        let mut solver = Msu4::with_config(Msu4Config {
+            encoding: CardEncoding::SortingNetwork,
+            core_at_least_one: false,
+            minimize_cores: false,
+        });
+        let s = solver.solve(&w);
+        assert_eq!(s.cost, Some(2));
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_formulas() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..30 {
+            let num_vars = 4 + (next() % 4) as usize; // 4..=7
+            let num_clauses = 6 + (next() % 14) as usize;
+            let mut f = coremax_cnf::CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = Var::new((next() % num_vars as u64) as u32);
+                        Lit::new(v, next() & 1 == 0)
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let oracle = f.num_clauses() - dpll_max_satisfiable(&f);
+            let w = WcnfFormula::from_cnf_all_soft(&f);
+            for mut solver in [Msu4::v1(), Msu4::v2()] {
+                let s = solver.solve(&w);
+                assert_eq!(
+                    s.cost,
+                    Some(oracle as u64),
+                    "round {round}: {} disagreed on {f}",
+                    solver.name()
+                );
+                if let Some(m) = &s.model {
+                    assert_eq!(w.cost(m), s.cost, "model does not attain claimed cost");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let mut solver = Msu4::v2();
+        let s = solver.solve(&w);
+        assert!(s.stats.sat_calls >= 2);
+        assert!(s.stats.cores >= 1);
+        assert!(s.stats.blocking_vars >= 2);
+    }
+
+    #[test]
+    fn budget_abort_returns_unknown() {
+        use std::time::Duration;
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let mut solver = Msu4::v2();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
+        let s = solver.solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Unknown);
+    }
+
+    #[test]
+    fn core_minimisation_preserves_optimum() {
+        let w = unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        let mut solver = Msu4::with_config(Msu4Config {
+            encoding: CardEncoding::SortingNetwork,
+            core_at_least_one: true,
+            minimize_cores: true,
+        });
+        let s = solver.solve(&w);
+        assert_eq!(s.cost, Some(2));
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+    }
+
+    #[test]
+    fn core_minimisation_uses_fewer_blocking_vars() {
+        // A localised contradiction inside satisfiable padding: the raw
+        // core may drag padding in, the minimised one cannot.
+        let mut text = String::from("p cnf 12 24\n1 0\n-1 0\n");
+        for v in 2..=12 {
+            text.push_str(&format!("{v} 0\n"));
+            text.push_str(&format!("{v} {} 0\n", if v < 12 { v + 1 } else { 2 }));
+        }
+        let w = unweighted(&text);
+        let mut min_solver = Msu4::with_config(Msu4Config {
+            encoding: CardEncoding::SortingNetwork,
+            core_at_least_one: true,
+            minimize_cores: true,
+        });
+        let with_min = min_solver.solve(&w);
+        let without = Msu4::v2().solve(&w);
+        assert_eq!(with_min.cost, without.cost);
+        assert!(
+            with_min.stats.blocking_vars <= without.stats.blocking_vars,
+            "minimisation must not block more clauses"
+        );
+        assert_eq!(with_min.stats.blocking_vars, 2, "exactly the contradiction");
+    }
+
+    #[test]
+    fn names_distinguish_versions() {
+        assert_eq!(Msu4::v1().name(), "msu4-v1");
+        assert_eq!(Msu4::v2().name(), "msu4-v2");
+    }
+}

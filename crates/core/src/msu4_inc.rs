@@ -1,0 +1,355 @@
+//! Incremental msu4 over a single persistent SAT solver.
+//!
+//! The paper's §5 names "exploit[ing] alternative SAT solver technology"
+//! as the first improvement direction; this module is that improvement.
+//! Instead of rebuilding the working formula each iteration (the msu4
+//! paper used non-incremental MiniSAT 1.14), every soft clause `ωᵢ` is
+//! added **once** as `ωᵢ ∨ sᵢ` with a fresh selector variable, and the
+//! selectors double as blocking variables:
+//!
+//! - an *unblocked* clause is enforced by assuming `¬sᵢ`;
+//! - the solver's **failed assumptions** after an UNSAT answer name the
+//!   soft clauses of a core directly — no clause-id bookkeeping;
+//! - *blocking* a clause just removes its `¬sᵢ` assumption;
+//! - cardinality constraints over the active selectors only tighten, so
+//!   they are added to the same solver incrementally.
+//!
+//! This is how later core-guided solvers (e.g. open-wbo's MSU3/OLL
+//! implementations) drive their SAT engines, applied to Algorithm 1.
+
+use std::time::Instant;
+
+use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
+use coremax_cnf::{Lit, WcnfFormula};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// Assumption-based incremental msu4. Same algorithm and answer as
+/// [`crate::Msu4`], one SAT solver for the whole run.
+///
+/// # Input restrictions
+///
+/// Unweighted (partial) MaxSAT, like [`crate::Msu4`].
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics on weighted input.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{Msu4Incremental, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1);
+/// w.add_soft([Lit::negative(x)], 1);
+/// assert_eq!(Msu4Incremental::new().solve(&w).cost, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Msu4Incremental {
+    encoding: CardEncoding,
+    budget: Budget,
+}
+
+impl Default for Msu4Incremental {
+    fn default() -> Self {
+        Msu4Incremental::new()
+    }
+}
+
+impl Msu4Incremental {
+    /// Incremental msu4 with the sorting-network (v2) encoding.
+    #[must_use]
+    pub fn new() -> Self {
+        Msu4Incremental {
+            encoding: CardEncoding::SortingNetwork,
+            budget: Budget::new(),
+        }
+    }
+
+    /// Incremental msu4 with an explicit bound encoding.
+    #[must_use]
+    pub fn with_encoding(encoding: CardEncoding) -> Self {
+        Msu4Incremental {
+            encoding,
+            budget: Budget::new(),
+        }
+    }
+}
+
+impl MaxSatSolver for Msu4Incremental {
+    fn name(&self) -> &'static str {
+        "msu4-inc"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        assert!(
+            wcnf.is_unweighted(),
+            "msu4-inc handles unweighted (partial) MaxSAT; got weighted soft clauses"
+        );
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let mut stats = MaxSatStats::default();
+        let num_soft = wcnf.num_soft();
+
+        let finish = |status: MaxSatStatus,
+                      cost: Option<usize>,
+                      model: Option<coremax_cnf::Assignment>,
+                      mut stats: MaxSatStats| {
+            stats.wall_time = start.elapsed();
+            MaxSatSolution {
+                status,
+                cost: cost.map(|c| c as u64),
+                model,
+                stats,
+            }
+        };
+
+        // One solver for the whole run.
+        let mut solver = Solver::new();
+        solver.ensure_vars(wcnf.num_vars());
+        if let Some(d) = deadline {
+            solver.set_budget(Budget::new().with_deadline(d));
+        }
+        for h in wcnf.hard_clauses() {
+            solver.add_clause(h.lits().iter().copied());
+        }
+        // Selector per soft clause: clause ωᵢ ∨ sᵢ, assumption ¬sᵢ while
+        // unblocked.
+        let mut selectors: Vec<Lit> = Vec::with_capacity(num_soft);
+        for s in wcnf.soft_clauses() {
+            let sel = Lit::positive(solver.new_var());
+            solver.add_clause(s.clause.lits().iter().copied().chain(std::iter::once(sel)));
+            selectors.push(sel);
+        }
+
+        let mut blocked: Vec<bool> = vec![false; num_soft];
+        let mut vb: Vec<Lit> = Vec::new(); // selectors of blocked clauses
+        let mut lb = 0usize;
+        let mut ub = num_soft;
+        let mut best_model: Option<coremax_cnf::Assignment> = None;
+
+        loop {
+            let assumptions: Vec<Lit> = selectors
+                .iter()
+                .zip(&blocked)
+                .filter(|&(_, &b)| !b)
+                .map(|(&s, _)| !s)
+                .collect();
+            stats.sat_calls += 1;
+            match solver.solve_with_assumptions(&assumptions) {
+                SolveOutcome::Unknown => {
+                    return finish(
+                        MaxSatStatus::Unknown,
+                        best_model.is_some().then_some(ub),
+                        best_model,
+                        stats,
+                    );
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    if solver.unsat_core().is_some() {
+                        // Refuted independently of the assumptions: either
+                        // the hard clauses are inconsistent (infeasible) or
+                        // the accumulated bounds are (current ub optimal —
+                        // Algorithm 1's line 21/22 case).
+                        if vb.is_empty() {
+                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        }
+                        return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
+                    }
+                    stats.cores += 1;
+                    let failed: Vec<Lit> = solver.failed_assumptions().to_vec();
+                    // Failed assumptions are ¬sᵢ literals: the core's soft
+                    // clauses, all unblocked by construction.
+                    let mut fresh = 0usize;
+                    for a in failed {
+                        let sel = !a;
+                        if let Some(i) = selectors.iter().position(|&s| s == sel) {
+                            if !blocked[i] {
+                                blocked[i] = true;
+                                vb.push(selectors[i]);
+                                fresh += 1;
+                                stats.blocking_vars += 1;
+                            }
+                        }
+                    }
+                    if fresh == 0 {
+                        // The assumption core was empty or already
+                        // blocked: the hard part must be inconsistent.
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
+                    lb += 1;
+                }
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let model = solver.model().expect("model after SAT").clone();
+                    // Cost = falsified soft clauses (unblocked ones are
+                    // enforced by assumptions, so only blocked count).
+                    let f = wcnf
+                        .soft_clauses()
+                        .iter()
+                        .filter(|s| !s.clause.is_satisfied_by(&model))
+                        .count();
+                    if f < ub || best_model.is_none() {
+                        ub = f;
+                        best_model = Some(model);
+                    }
+                    if ub == 0 {
+                        return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
+                    }
+                    // Tighten: Σ_vb s ≤ ub − 1 (added permanently; bounds
+                    // only tighten so stale ones are merely redundant).
+                    let mut sink = CnfSink::new(solver.num_vars());
+                    encode_at_most(&vb, ub - 1, self.encoding, &mut sink);
+                    solver.ensure_vars(sink.num_vars());
+                    let clauses = sink.into_clauses();
+                    stats.cardinality_clauses += clauses.len() as u64;
+                    for c in clauses {
+                        solver.add_clause(c);
+                    }
+                }
+            }
+            if lb >= ub {
+                return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return finish(
+                        MaxSatStatus::Unknown,
+                        best_model.is_some().then_some(ub),
+                        best_model,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Msu4;
+    use coremax_cnf::dimacs;
+    use coremax_sat::dpll_max_satisfiable;
+
+    fn unweighted(text: &str) -> WcnfFormula {
+        WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap())
+    }
+
+    #[test]
+    fn paper_examples() {
+        let e1 = unweighted("p cnf 2 3\n1 0\n2 -1 0\n-2 0\n");
+        assert_eq!(Msu4Incremental::new().solve(&e1).cost, Some(1));
+        let e2 =
+            unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        let s = Msu4Incremental::new().solve(&e2);
+        assert_eq!(s.cost, Some(2));
+        assert_eq!(s.num_satisfied(&e2), Some(6));
+    }
+
+    #[test]
+    fn satisfiable_costs_zero() {
+        let w = unweighted("p cnf 2 2\n1 2 0\n-1 0\n");
+        let s = Msu4Incremental::new().solve(&w);
+        assert_eq!(s.cost, Some(0));
+        assert_eq!(s.stats.sat_calls, 1, "single incremental call suffices");
+    }
+
+    #[test]
+    fn partial_maxsat() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        let y = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_soft([Lit::negative(x)], 1);
+        w.add_soft([Lit::positive(y)], 1);
+        let s = Msu4Incremental::new().solve(&w);
+        assert_eq!(s.cost, Some(1));
+        let m = s.model.unwrap();
+        assert_eq!(m.value(x), Some(true));
+        assert_eq!(m.value(y), Some(true));
+    }
+
+    #[test]
+    fn infeasible_hard() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_hard([Lit::negative(x)]);
+        w.add_soft([Lit::positive(x)], 1);
+        assert_eq!(
+            Msu4Incremental::new().solve(&w).status,
+            MaxSatStatus::Infeasible
+        );
+    }
+
+    #[test]
+    fn agrees_with_oracle_and_rebuilding_msu4() {
+        let mut seed = 0x5851F42D4C957F2Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..25 {
+            let num_vars = 4 + (next() % 4) as usize;
+            let num_clauses = 6 + (next() % 12) as usize;
+            let mut f = coremax_cnf::CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        Lit::new(
+                            coremax_cnf::Var::new((next() % num_vars as u64) as u32),
+                            next() & 1 == 0,
+                        )
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let oracle = (f.num_clauses() - dpll_max_satisfiable(&f)) as u64;
+            let w = WcnfFormula::from_cnf_all_soft(&f);
+            let inc = Msu4Incremental::new().solve(&w);
+            let rebuild = Msu4::v2().solve(&w);
+            assert_eq!(
+                inc.cost,
+                Some(oracle),
+                "round {round}: msu4-inc wrong on {f}"
+            );
+            assert_eq!(inc.cost, rebuild.cost, "round {round}: variants disagree");
+            if let Some(m) = &inc.model {
+                assert_eq!(w.cost(m), inc.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_abort() {
+        use std::time::Duration;
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let mut solver = Msu4Incremental::new();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
+        assert_eq!(solver.solve(&w).status, MaxSatStatus::Unknown);
+    }
+
+    #[test]
+    fn single_solver_many_fewer_rebuilds() {
+        // Statistics sanity: the incremental variant performs the same
+        // number of SAT *calls* but zero solver rebuilds; its call count
+        // must match the algorithm's iteration structure.
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let s = Msu4Incremental::new().solve(&w);
+        assert_eq!(s.cost, Some(2));
+        assert!(s.stats.sat_calls >= 3);
+        assert!(s.stats.cores >= 1);
+    }
+}

@@ -1,0 +1,421 @@
+//! "MaxSAT as iterated SAT" baselines: model-improving linear search
+//! and binary search on the cost bound.
+//!
+//! Section 2 of the paper notes that converting MaxSAT into a sequence
+//! of SAT problems generally "does not perform well" compared with
+//! branch and bound — except on industrial instances, which is exactly
+//! the regime msu4 targets. These two solvers make that comparison
+//! reproducible: both attach a blocking variable to *every* soft clause
+//! up front (so the search space blow-up of §2.2 applies) and differ
+//! only in how the bound on `Σ b` moves.
+
+use std::time::Instant;
+
+use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
+use coremax_cnf::{Assignment, Lit, Var, WcnfFormula};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// Shared scaffolding: working formula with one blocking variable per
+/// soft clause.
+struct Relaxed {
+    clauses: Vec<Vec<Lit>>,
+    blockers: Vec<Lit>,
+    num_vars: usize,
+}
+
+fn relax(wcnf: &WcnfFormula) -> Relaxed {
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(wcnf.num_clauses());
+    for h in wcnf.hard_clauses() {
+        clauses.push(h.lits().to_vec());
+    }
+    let mut next = wcnf.num_vars() as u32;
+    let mut blockers = Vec::with_capacity(wcnf.num_soft());
+    for soft in wcnf.soft_clauses() {
+        let b = Lit::positive(Var::new(next));
+        next += 1;
+        let mut c = soft.clause.lits().to_vec();
+        c.push(b);
+        clauses.push(c);
+        blockers.push(b);
+    }
+    Relaxed {
+        clauses,
+        blockers,
+        num_vars: next as usize,
+    }
+}
+
+/// Builds a solver over the relaxed clauses plus `Σ b ≤ bound`.
+fn solve_with_bound(
+    relaxed: &Relaxed,
+    bound: Option<usize>,
+    encoding: CardEncoding,
+    deadline: Option<Instant>,
+    stats: &mut MaxSatStats,
+) -> (SolveOutcome, Option<Assignment>) {
+    let mut solver = Solver::new();
+    solver.ensure_vars(relaxed.num_vars);
+    if let Some(d) = deadline {
+        solver.set_budget(Budget::new().with_deadline(d));
+    }
+    for c in &relaxed.clauses {
+        solver.add_clause(c.iter().copied());
+    }
+    if let Some(k) = bound {
+        let mut sink = CnfSink::new(relaxed.num_vars);
+        encode_at_most(&relaxed.blockers, k, encoding, &mut sink);
+        solver.ensure_vars(sink.num_vars());
+        let clauses = sink.into_clauses();
+        stats.cardinality_clauses += clauses.len() as u64;
+        for c in clauses {
+            solver.add_clause(c);
+        }
+    }
+    stats.sat_calls += 1;
+    let outcome = solver.solve();
+    let model = solver.model().cloned();
+    (outcome, model)
+}
+
+fn model_cost(wcnf: &WcnfFormula, model: &Assignment) -> usize {
+    // All hard clauses are satisfied by construction; count actually
+    // falsified soft clauses rather than raised blockers.
+    wcnf.soft_clauses()
+        .iter()
+        .filter(|s| !s.clause.is_satisfied_by(model))
+        .count()
+}
+
+/// Model-improving linear search ("SAT–UNSAT"): find any model, then
+/// repeatedly demand strictly lower cost until UNSAT.
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics on weighted input.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{LinearSearchSat, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1);
+/// w.add_soft([Lit::negative(x)], 1);
+/// assert_eq!(LinearSearchSat::new().solve(&w).cost, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSearchSat {
+    encoding: CardEncoding,
+    budget: Budget,
+}
+
+impl Default for LinearSearchSat {
+    fn default() -> Self {
+        LinearSearchSat::new()
+    }
+}
+
+impl LinearSearchSat {
+    /// Linear search with the sorting-network encoding.
+    #[must_use]
+    pub fn new() -> Self {
+        LinearSearchSat {
+            encoding: CardEncoding::SortingNetwork,
+            budget: Budget::new(),
+        }
+    }
+
+    /// Linear search with an explicit bound encoding.
+    #[must_use]
+    pub fn with_encoding(encoding: CardEncoding) -> Self {
+        LinearSearchSat {
+            encoding,
+            budget: Budget::new(),
+        }
+    }
+}
+
+impl MaxSatSolver for LinearSearchSat {
+    fn name(&self) -> &'static str {
+        "linear-sat"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        assert!(
+            wcnf.is_unweighted(),
+            "linear-sat handles unweighted (partial) MaxSAT"
+        );
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let mut stats = MaxSatStats::default();
+        let relaxed = relax(wcnf);
+
+        let mut best: Option<(Assignment, usize)> = None;
+        let mut bound: Option<usize> = None;
+        loop {
+            let (outcome, model) =
+                solve_with_bound(&relaxed, bound, self.encoding, deadline, &mut stats);
+            match outcome {
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let m = model.expect("model after SAT");
+                    let cost = model_cost(wcnf, &m);
+                    best = Some((m, cost));
+                    if cost == 0 {
+                        break;
+                    }
+                    bound = Some(cost - 1);
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    break;
+                }
+                SolveOutcome::Unknown => {
+                    stats.wall_time = start.elapsed();
+                    return MaxSatSolution {
+                        status: MaxSatStatus::Unknown,
+                        cost: best.as_ref().map(|(_, c)| *c as u64),
+                        model: best.map(|(m, _)| m),
+                        stats,
+                    };
+                }
+            }
+        }
+        stats.wall_time = start.elapsed();
+        match best {
+            Some((m, cost)) => MaxSatSolution {
+                status: MaxSatStatus::Optimal,
+                cost: Some(cost as u64),
+                model: Some(m),
+                stats,
+            },
+            None => MaxSatSolution::infeasible(stats),
+        }
+    }
+}
+
+/// Binary search on the cost bound between 0 and `|soft|`.
+///
+/// # Panics
+///
+/// [`MaxSatSolver::solve`] panics on weighted input.
+#[derive(Debug, Clone)]
+pub struct BinarySearchSat {
+    encoding: CardEncoding,
+    budget: Budget,
+}
+
+impl Default for BinarySearchSat {
+    fn default() -> Self {
+        BinarySearchSat::new()
+    }
+}
+
+impl BinarySearchSat {
+    /// Binary search with the sorting-network encoding.
+    #[must_use]
+    pub fn new() -> Self {
+        BinarySearchSat {
+            encoding: CardEncoding::SortingNetwork,
+            budget: Budget::new(),
+        }
+    }
+
+    /// Binary search with an explicit bound encoding.
+    #[must_use]
+    pub fn with_encoding(encoding: CardEncoding) -> Self {
+        BinarySearchSat {
+            encoding,
+            budget: Budget::new(),
+        }
+    }
+}
+
+impl MaxSatSolver for BinarySearchSat {
+    fn name(&self) -> &'static str {
+        "binary-sat"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        assert!(
+            wcnf.is_unweighted(),
+            "binary-sat handles unweighted (partial) MaxSAT"
+        );
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let mut stats = MaxSatStats::default();
+        let relaxed = relax(wcnf);
+
+        // Feasibility first (bound = |soft| is no bound at all).
+        let (outcome, model) =
+            solve_with_bound(&relaxed, None, self.encoding, deadline, &mut stats);
+        let mut best = match outcome {
+            SolveOutcome::Unsat => {
+                stats.wall_time = start.elapsed();
+                return MaxSatSolution::infeasible(stats);
+            }
+            SolveOutcome::Unknown => {
+                stats.wall_time = start.elapsed();
+                return MaxSatSolution {
+                    status: MaxSatStatus::Unknown,
+                    cost: None,
+                    model: None,
+                    stats,
+                };
+            }
+            SolveOutcome::Sat => {
+                stats.sat_iterations += 1;
+                let m = model.expect("model after SAT");
+                let cost = model_cost(wcnf, &m);
+                (m, cost)
+            }
+        };
+
+        let mut lo = 0usize; // smallest cost not yet excluded
+        let mut hi = best.1; // best.1 is attainable
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (outcome, model) =
+                solve_with_bound(&relaxed, Some(mid), self.encoding, deadline, &mut stats);
+            match outcome {
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let m = model.expect("model after SAT");
+                    let cost = model_cost(wcnf, &m);
+                    debug_assert!(cost <= mid);
+                    hi = cost.min(mid);
+                    best = (m, hi);
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    lo = mid + 1;
+                }
+                SolveOutcome::Unknown => {
+                    stats.wall_time = start.elapsed();
+                    return MaxSatSolution {
+                        status: MaxSatStatus::Unknown,
+                        cost: Some(best.1 as u64),
+                        model: Some(best.0),
+                        stats,
+                    };
+                }
+            }
+        }
+        stats.wall_time = start.elapsed();
+        MaxSatSolution {
+            status: MaxSatStatus::Optimal,
+            cost: Some(best.1 as u64),
+            model: Some(best.0),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::dimacs;
+    use coremax_sat::dpll_max_satisfiable;
+
+    fn unweighted(text: &str) -> WcnfFormula {
+        WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap())
+    }
+
+    fn both() -> Vec<Box<dyn MaxSatSolver>> {
+        vec![
+            Box::new(LinearSearchSat::new()),
+            Box::new(BinarySearchSat::new()),
+        ]
+    }
+
+    #[test]
+    fn paper_example2() {
+        let w = unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        for mut s in both() {
+            let r = s.solve(&w);
+            assert_eq!(r.cost, Some(2), "{}", s.name());
+            assert_eq!(r.status, MaxSatStatus::Optimal);
+        }
+    }
+
+    #[test]
+    fn satisfiable_costs_zero() {
+        let w = unweighted("p cnf 1 1\n1 0\n");
+        for mut s in both() {
+            assert_eq!(s.solve(&w).cost, Some(0), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn infeasible_hard() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_hard([Lit::negative(x)]);
+        for mut s in both() {
+            assert_eq!(s.solve(&w).status, MaxSatStatus::Infeasible, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        let mut seed = 0xE7037ED1A0B428DBu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let num_vars = 4 + (next() % 3) as usize;
+            let num_clauses = 5 + (next() % 10) as usize;
+            let mut f = coremax_cnf::CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = Var::new((next() % num_vars as u64) as u32);
+                        Lit::new(v, next() & 1 == 0)
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let oracle = f.num_clauses() - dpll_max_satisfiable(&f);
+            let w = WcnfFormula::from_cnf_all_soft(&f);
+            for mut s in both() {
+                let r = s.solve(&w);
+                assert_eq!(r.cost, Some(oracle as u64), "{} wrong on {f}", s.name());
+                let m = r.model.unwrap();
+                assert_eq!(w.cost(&m), r.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_uses_fewer_calls_on_wide_ranges() {
+        // 12 mutually-exclusive units: optimum 11 falsified.
+        let mut f = coremax_cnf::CnfFormula::new();
+        let v = f.new_var();
+        for i in 0..12 {
+            f.add_clause([Lit::new(v, i == 0)]);
+        }
+        let w = WcnfFormula::from_cnf_all_soft(&f);
+        let mut lin = LinearSearchSat::new();
+        let mut bin = BinarySearchSat::new();
+        let rl = lin.solve(&w);
+        let rb = bin.solve(&w);
+        assert_eq!(rl.cost, rb.cost);
+        assert!(rb.stats.sat_calls <= rl.stats.sat_calls + 4);
+    }
+}

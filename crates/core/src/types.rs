@@ -1,0 +1,170 @@
+//! Common result types and the solver trait.
+
+use std::fmt;
+use std::time::Duration;
+
+use coremax_cnf::{Assignment, WcnfFormula, Weight};
+use coremax_sat::Budget;
+
+/// Verdict of a MaxSAT run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxSatStatus {
+    /// The optimum was found and proven.
+    Optimal,
+    /// The hard clauses are unsatisfiable: no assignment is feasible.
+    Infeasible,
+    /// The budget was exhausted before the optimum was proven (the
+    /// instance counts as *aborted* in the paper's tables).
+    Unknown,
+}
+
+impl fmt::Display for MaxSatStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MaxSatStatus::Optimal => "OPTIMAL",
+            MaxSatStatus::Infeasible => "INFEASIBLE",
+            MaxSatStatus::Unknown => "UNKNOWN",
+        })
+    }
+}
+
+/// Counters describing the work a MaxSAT solver performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MaxSatStats {
+    /// Number of SAT-solver invocations.
+    pub sat_calls: u64,
+    /// Iterations with an UNSAT outcome (the paper's `νU`).
+    pub unsat_iterations: u64,
+    /// Iterations with a SAT outcome.
+    pub sat_iterations: u64,
+    /// Unsatisfiable cores extracted.
+    pub cores: u64,
+    /// Blocking variables introduced.
+    pub blocking_vars: u64,
+    /// Clauses generated for cardinality constraints.
+    pub cardinality_clauses: u64,
+    /// Branch-and-bound nodes explored (B&B solvers only).
+    pub nodes: u64,
+    /// Total wall-clock time.
+    pub wall_time: Duration,
+}
+
+impl fmt::Display for MaxSatStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sat_calls={} unsat_iters={} sat_iters={} cores={} blocking_vars={} card_clauses={} nodes={} time={:?}",
+            self.sat_calls,
+            self.unsat_iterations,
+            self.sat_iterations,
+            self.cores,
+            self.blocking_vars,
+            self.cardinality_clauses,
+            self.nodes,
+            self.wall_time
+        )
+    }
+}
+
+/// The outcome of a MaxSAT solver run.
+///
+/// `cost` is the total weight of falsified soft clauses: the proven
+/// optimum when `status` is [`MaxSatStatus::Optimal`], or the best known
+/// upper bound when [`MaxSatStatus::Unknown`] (if any model was found).
+#[derive(Debug, Clone)]
+pub struct MaxSatSolution {
+    /// Verdict.
+    pub status: MaxSatStatus,
+    /// Optimal (or best-known) cost; `None` when infeasible or when no
+    /// model was found within budget.
+    pub cost: Option<Weight>,
+    /// A model attaining `cost`, if one was found.
+    pub model: Option<Assignment>,
+    /// Work counters.
+    pub stats: MaxSatStats,
+}
+
+impl MaxSatSolution {
+    /// Convenience constructor for the infeasible verdict.
+    #[must_use]
+    pub fn infeasible(stats: MaxSatStats) -> Self {
+        MaxSatSolution {
+            status: MaxSatStatus::Infeasible,
+            cost: None,
+            model: None,
+            stats,
+        }
+    }
+
+    /// Number of satisfied soft clauses under the solution's model
+    /// (unweighted view used by the paper, which reports "the MaxSAT
+    /// solution" as a satisfied-clause count). `None` without a model.
+    #[must_use]
+    pub fn num_satisfied(&self, wcnf: &WcnfFormula) -> Option<usize> {
+        let model = self.model.as_ref()?;
+        wcnf.num_soft_satisfied(model)
+    }
+
+    /// Returns `true` if the run proved an optimum.
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        self.status == MaxSatStatus::Optimal
+    }
+}
+
+/// Common interface of every MaxSAT algorithm in this crate.
+///
+/// # Panics
+///
+/// Implementations may document restrictions on the accepted formulas
+/// (e.g. [`crate::Msu4`] requires unweighted soft clauses) and panic on
+/// unsupported input; see each implementation.
+pub trait MaxSatSolver {
+    /// A short stable identifier (used by the experiment harness).
+    fn name(&self) -> &'static str;
+
+    /// Sets the resource budget for subsequent [`MaxSatSolver::solve`]
+    /// calls. Exceeding it yields [`MaxSatStatus::Unknown`].
+    fn set_budget(&mut self, budget: Budget);
+
+    /// Solves the given weighted partial MaxSAT instance.
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(MaxSatStatus::Optimal.to_string(), "OPTIMAL");
+        assert_eq!(MaxSatStatus::Unknown.to_string(), "UNKNOWN");
+        assert_eq!(MaxSatStatus::Infeasible.to_string(), "INFEASIBLE");
+    }
+
+    #[test]
+    fn infeasible_constructor() {
+        let s = MaxSatSolution::infeasible(MaxSatStats::default());
+        assert_eq!(s.status, MaxSatStatus::Infeasible);
+        assert!(s.cost.is_none());
+        assert!(s.model.is_none());
+        assert!(!s.is_optimal());
+    }
+
+    #[test]
+    fn num_satisfied_requires_model() {
+        let s = MaxSatSolution::infeasible(MaxSatStats::default());
+        let w = WcnfFormula::new();
+        assert_eq!(s.num_satisfied(&w), None);
+    }
+
+    #[test]
+    fn stats_display_mentions_calls() {
+        let st = MaxSatStats {
+            sat_calls: 7,
+            ..MaxSatStats::default()
+        };
+        assert!(st.to_string().contains("sat_calls=7"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Independent verification of MaxSAT solutions.
+
+use coremax_cnf::WcnfFormula;
+
+use crate::types::{MaxSatSolution, MaxSatStatus};
+
+/// Checks a [`MaxSatSolution`] against its instance:
+///
+/// - an `Optimal`/`Unknown` solution with a model must have the model's
+///   actual cost equal to the reported cost (and the model must satisfy
+///   every hard clause);
+/// - an `Optimal` solution must carry both a cost and a model;
+/// - an `Infeasible` verdict carries neither.
+///
+/// This validates *consistency*, not optimality — cross-algorithm
+/// agreement tests and the exhaustive oracle cover optimality.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{verify_solution, Msu4, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1);
+/// w.add_soft([Lit::negative(x)], 1);
+/// let s = Msu4::v2().solve(&w);
+/// assert!(verify_solution(&w, &s));
+/// ```
+#[must_use]
+pub fn verify_solution(wcnf: &WcnfFormula, solution: &MaxSatSolution) -> bool {
+    match solution.status {
+        MaxSatStatus::Infeasible => solution.cost.is_none() && solution.model.is_none(),
+        MaxSatStatus::Optimal => {
+            let (Some(cost), Some(model)) = (solution.cost, solution.model.as_ref()) else {
+                return false;
+            };
+            wcnf.cost(model) == Some(cost)
+        }
+        MaxSatStatus::Unknown => match (&solution.model, solution.cost) {
+            (Some(model), Some(cost)) => {
+                // Best-known model: its true cost may be at most the
+                // reported bound.
+                wcnf.cost(model).is_some_and(|c| c <= cost)
+            }
+            (None, None) => true,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MaxSatStats;
+    use coremax_cnf::{Assignment, Lit};
+
+    fn instance() -> WcnfFormula {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], 1);
+        w.add_soft([Lit::negative(x)], 1);
+        w
+    }
+
+    #[test]
+    fn accepts_consistent_optimal() {
+        let w = instance();
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Optimal,
+            cost: Some(1),
+            model: Some(Assignment::from_bools(&[true])),
+            stats: MaxSatStats::default(),
+        };
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn rejects_wrong_cost() {
+        let w = instance();
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Optimal,
+            cost: Some(0),
+            model: Some(Assignment::from_bools(&[true])),
+            stats: MaxSatStats::default(),
+        };
+        assert!(!verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn rejects_optimal_without_model() {
+        let w = instance();
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Optimal,
+            cost: Some(1),
+            model: None,
+            stats: MaxSatStats::default(),
+        };
+        assert!(!verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn rejects_model_violating_hard_clause() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_soft([Lit::negative(x)], 1);
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Optimal,
+            cost: Some(0),
+            model: Some(Assignment::from_bools(&[false])),
+            stats: MaxSatStats::default(),
+        };
+        assert!(!verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn accepts_infeasible_and_empty_unknown() {
+        let w = instance();
+        assert!(verify_solution(
+            &w,
+            &MaxSatSolution::infeasible(MaxSatStats::default())
+        ));
+        let unknown = MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost: None,
+            model: None,
+            stats: MaxSatStats::default(),
+        };
+        assert!(verify_solution(&w, &unknown));
+    }
+}

@@ -1,0 +1,227 @@
+//! Weighted MaxSAT through unweighted solvers.
+//!
+//! The msu* algorithms of the paper are defined for unweighted (partial)
+//! MaxSAT. The classic reduction — replicate each soft clause `w` times
+//! — makes them applicable to small-weight weighted instances, which is
+//! how weighted benchmarks were handled before weight-aware core-guided
+//! algorithms (WPM1, stratification) appeared. The replication preserves
+//! optima exactly: falsifying the original clause costs `w` in both
+//! formulations.
+
+use coremax_cnf::{WcnfFormula, Weight};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStatus};
+
+/// Expands a weighted instance into an unweighted one by replicating
+/// every soft clause `weight` times. Returns `None` when the total
+/// replicated clause count would exceed `cap` (replication is only
+/// sensible for small weights).
+///
+/// # Examples
+///
+/// ```
+/// use coremax::replicate_weights;
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 3);
+/// let u = replicate_weights(&w, 100).expect("small weights");
+/// assert_eq!(u.num_soft(), 3);
+/// assert!(u.is_unweighted());
+/// ```
+#[must_use]
+pub fn replicate_weights(wcnf: &WcnfFormula, cap: u64) -> Option<WcnfFormula> {
+    if wcnf.total_soft_weight() > cap {
+        return None;
+    }
+    let mut out = WcnfFormula::with_vars(wcnf.num_vars());
+    for h in wcnf.hard_clauses() {
+        out.add_hard(h.lits().iter().copied());
+    }
+    for s in wcnf.soft_clauses() {
+        for _ in 0..s.weight {
+            out.add_soft(s.clause.lits().iter().copied(), 1);
+        }
+    }
+    Some(out)
+}
+
+/// Adapter giving any unweighted solver weighted support by clause
+/// replication.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{Msu4, WeightedByReplication, MaxSatSolver};
+/// use coremax_cnf::{Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 4);
+/// w.add_soft([Lit::negative(x)], 9);
+/// let mut solver = WeightedByReplication::new(Msu4::v2());
+/// assert_eq!(solver.solve(&w).cost, Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedByReplication<S> {
+    inner: S,
+    cap: u64,
+}
+
+impl<S: MaxSatSolver> WeightedByReplication<S> {
+    /// Wraps `inner` with the default replication cap (100 000 clauses).
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        WeightedByReplication {
+            inner,
+            cap: 100_000,
+        }
+    }
+
+    /// Wraps `inner` with an explicit cap on the replicated clause count.
+    #[must_use]
+    pub fn with_cap(inner: S, cap: u64) -> Self {
+        WeightedByReplication { inner, cap }
+    }
+}
+
+impl<S: MaxSatSolver> MaxSatSolver for WeightedByReplication<S> {
+    fn name(&self) -> &'static str {
+        "weighted-replication"
+    }
+
+    fn set_budget(&mut self, budget: coremax_sat::Budget) {
+        self.inner.set_budget(budget);
+    }
+
+    /// Solves weighted instances by replication; unweighted instances
+    /// pass through untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total soft weight exceeds the configured cap.
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        if wcnf.is_unweighted() {
+            return self.inner.solve(wcnf);
+        }
+        let replicated = replicate_weights(wcnf, self.cap)
+            .expect("total soft weight exceeds the replication cap");
+        let mut solution = self.inner.solve(&replicated);
+        // Costs coincide; the model ranges over the same variables.
+        if solution.status == MaxSatStatus::Optimal {
+            debug_assert_eq!(
+                solution.model.as_ref().and_then(|m| wcnf.cost(m)),
+                solution.cost,
+                "replicated cost must equal weighted cost"
+            );
+        }
+        solution.cost = solution
+            .model
+            .as_ref()
+            .and_then(|m| wcnf.cost(m))
+            .or(solution.cost);
+        solution
+    }
+}
+
+/// Total weight helper used by tests: the worst possible cost.
+#[must_use]
+pub fn worst_case_cost(wcnf: &WcnfFormula) -> Weight {
+    wcnf.total_soft_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchBound, Msu3, Msu4};
+    use coremax_cnf::{Lit, Var};
+
+    fn weighted_instance() -> WcnfFormula {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        let y = w.new_var();
+        w.add_soft([Lit::positive(x)], 4);
+        w.add_soft([Lit::negative(x)], 2);
+        w.add_soft([Lit::positive(y), Lit::positive(x)], 3);
+        w.add_soft([Lit::negative(y)], 1);
+        w
+    }
+
+    #[test]
+    fn replication_counts() {
+        let w = weighted_instance();
+        let u = replicate_weights(&w, 100).unwrap();
+        assert_eq!(u.num_soft(), 10);
+        assert!(u.is_unweighted());
+        assert_eq!(u.num_vars(), w.num_vars());
+    }
+
+    #[test]
+    fn replication_respects_cap() {
+        let w = weighted_instance();
+        assert!(replicate_weights(&w, 5).is_none());
+    }
+
+    #[test]
+    fn wrapped_msu4_matches_branch_bound_on_weighted() {
+        let w = weighted_instance();
+        let oracle = BranchBound::new().solve(&w);
+        let mut wrapped = WeightedByReplication::new(Msu4::v2());
+        let s = wrapped.solve(&w);
+        assert_eq!(s.cost, oracle.cost);
+        let mut wrapped3 = WeightedByReplication::new(Msu3::new());
+        assert_eq!(wrapped3.solve(&w).cost, oracle.cost);
+    }
+
+    #[test]
+    fn unweighted_passthrough() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], 1);
+        w.add_soft([Lit::negative(x)], 1);
+        let mut wrapped = WeightedByReplication::new(Msu4::v2());
+        assert_eq!(wrapped.solve(&w).cost, Some(1));
+    }
+
+    #[test]
+    fn hard_clauses_preserved() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_soft([Lit::negative(x)], 5);
+        let mut wrapped = WeightedByReplication::new(Msu4::v2());
+        let s = wrapped.solve(&w);
+        assert_eq!(s.cost, Some(5));
+        assert_eq!(s.model.unwrap().value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn worst_case_helper() {
+        assert_eq!(worst_case_cost(&weighted_instance()), 10);
+    }
+
+    #[test]
+    fn random_weighted_agreement() {
+        let mut seed = 0xCAFEBABEDEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..10 {
+            let num_vars = 3 + (next() % 3) as usize;
+            let mut w = WcnfFormula::with_vars(num_vars);
+            for _ in 0..(4 + next() % 6) {
+                let len = 1 + (next() % 2) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var::new((next() % num_vars as u64) as u32), next() & 1 == 0))
+                    .collect();
+                w.add_soft(lits, 1 + next() % 4);
+            }
+            let oracle = BranchBound::new().solve(&w);
+            let mut wrapped = WeightedByReplication::new(Msu4::v2());
+            let s = wrapped.solve(&w);
+            assert_eq!(s.cost, oracle.cost, "weighted disagreement");
+        }
+    }
+}

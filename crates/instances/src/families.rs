@@ -1,0 +1,234 @@
+//! Individual instance generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use coremax_circuits::{atpg, builders, miter, seq, transform, tseitin};
+use coremax_cnf::{CnfFormula, Lit, Var};
+
+/// Bounded-model-checking instance: an `n`-bit counter with a safe
+/// property unrolled `k` steps, violation asserted — unsatisfiable.
+#[must_use]
+pub fn bmc_instance(n: usize, k: usize) -> CnfFormula {
+    let machine = seq::counter_with_safe_property(n);
+    let width = machine.core.outputs().len();
+    let unrolled = seq::unroll(&machine, k);
+    let enc = tseitin::encode(&unrolled);
+    let mut f = enc.formula;
+    // Assert a violation in some frame.
+    let violations: Vec<Lit> = (0..k)
+        .map(|t| enc.output_lits[(t + 1) * width - 1])
+        .collect();
+    f.add_clause(violations);
+    f
+}
+
+/// Equivalence-checking instance: the miter of a circuit against an
+/// equivalence-preserving rewrite of itself, difference asserted —
+/// unsatisfiable.
+///
+/// `kind` selects the base circuit: 0 = ripple/majority adders,
+/// 1 = comparator vs NAND rewrite, 2 = parity tree vs chain (NOR
+/// rewritten), 3 = multiplier vs NAND rewrite, 4 = barrel shifter vs
+/// NAND rewrite, 5 = ALU vs NOR rewrite.
+#[must_use]
+pub fn equiv_instance(kind: usize, size: usize) -> CnfFormula {
+    let (a, b) = match kind % 6 {
+        0 => {
+            let a = builders::ripple_carry_adder(size);
+            let b = builders::majority_adder(size);
+            (a, b)
+        }
+        1 => {
+            let a = builders::comparator(size);
+            let b = transform::rewrite_nand(&a);
+            (a, b)
+        }
+        2 => {
+            let a = builders::parity_tree(size);
+            let b = transform::rewrite_nor(&builders::parity_chain(size));
+            (a, b)
+        }
+        3 => {
+            let a = builders::array_multiplier(size);
+            let b = transform::rewrite_nand(&a);
+            (a, b)
+        }
+        4 => {
+            let a = builders::barrel_shifter(size.next_power_of_two().max(2));
+            let b = transform::rewrite_nand(&a);
+            (a, b)
+        }
+        _ => {
+            let a = builders::alu(size);
+            let b = transform::rewrite_nor(&a);
+            (a, b)
+        }
+    };
+    let m = miter::build_miter(&a, &b).expect("interfaces match by construction");
+    let enc = tseitin::encode(&m);
+    let mut f = enc.formula;
+    f.add_clause([enc.output_lits[0]]);
+    f
+}
+
+/// ATPG instance for an untestable fault: redundant logic is planted on
+/// the base circuit and the redundant net's stuck-at-0 fault is
+/// targeted — unsatisfiable.
+///
+/// `kind` selects the base circuit as in [`equiv_instance`].
+#[must_use]
+pub fn untestable_atpg(kind: usize, size: usize) -> CnfFormula {
+    let base = match kind % 3 {
+        0 => builders::ripple_carry_adder(size),
+        1 => builders::comparator(size),
+        _ => builders::array_multiplier(size),
+    };
+    let (c, r) = atpg::with_redundant_logic(&base);
+    let m = atpg::atpg_miter(
+        &c,
+        atpg::StuckAtFault {
+            net: r,
+            value: false,
+        },
+    );
+    let enc = tseitin::encode(&m);
+    let mut f = enc.formula;
+    f.add_clause([enc.output_lits[0]]);
+    f
+}
+
+/// The pigeonhole principle PHP(n+1, n): `n+1` pigeons into `n` holes —
+/// unsatisfiable, classically hard for resolution.
+#[must_use]
+pub fn pigeonhole(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut f = CnfFormula::with_vars(pigeons * holes);
+    let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+    for p in 0..pigeons {
+        f.add_clause((0..holes).map(|h| Lit::positive(var(p, h))));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                f.add_clause([Lit::negative(var(p1, h)), Lit::negative(var(p2, h))]);
+            }
+        }
+    }
+    f
+}
+
+/// An inconsistent XOR chain over `n` variables, CNF-expanded:
+/// `x1⊕x2, x2⊕x3, …, x_{n-1}⊕x_n, x1⊕x_n` with an odd total parity —
+/// unsatisfiable; each XOR contributes two clauses.
+#[must_use]
+pub fn xor_chain(n: usize) -> CnfFormula {
+    assert!(n >= 2);
+    let mut f = CnfFormula::with_vars(n);
+    let v = |i: usize| Var::new(i as u32);
+    // x_i ⊕ x_{i+1} = 1 for the chain…
+    for i in 0..n - 1 {
+        f.add_clause([Lit::positive(v(i)), Lit::positive(v(i + 1))]);
+        f.add_clause([Lit::negative(v(i)), Lit::negative(v(i + 1))]);
+    }
+    // …and close the cycle with parity depending on n so the system is
+    // inconsistent: sum of chain parities is n−1; require x1 ⊕ xn = 1 if
+    // n−1 is even, = 0 otherwise.
+    if (n - 1) % 2 == 0 {
+        f.add_clause([Lit::positive(v(0)), Lit::positive(v(n - 1))]);
+        f.add_clause([Lit::negative(v(0)), Lit::negative(v(n - 1))]);
+    } else {
+        f.add_clause([Lit::positive(v(0)), Lit::negative(v(n - 1))]);
+        f.add_clause([Lit::negative(v(0)), Lit::positive(v(n - 1))]);
+    }
+    f
+}
+
+/// A random 3-CNF at clause/variable ratio ≥ 6 (deep in the
+/// unsatisfiable region), re-sampled until actually unsatisfiable
+/// (verified with the CDCL solver). Deterministic in `seed`.
+#[must_use]
+pub fn random_unsat_3cnf(num_vars: usize, seed: u64) -> CnfFormula {
+    use coremax_sat::{SolveOutcome, Solver};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_clauses = num_vars * 6;
+    loop {
+        let mut f = CnfFormula::with_vars(num_vars);
+        for _ in 0..num_clauses {
+            let mut vars = Vec::with_capacity(3);
+            while vars.len() < 3 {
+                let v = rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            f.add_clause(
+                vars.iter()
+                    .map(|&v| Lit::new(Var::new(v as u32), rng.gen())),
+            );
+        }
+        let mut solver = Solver::new();
+        solver.add_formula(&f);
+        if solver.solve() == SolveOutcome::Unsat {
+            return f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_sat::{SolveOutcome, Solver};
+
+    fn assert_unsat(f: &CnfFormula) {
+        let mut s = Solver::new();
+        s.add_formula(f);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn bmc_instances_unsat() {
+        for (n, k) in [(2, 2), (2, 4), (3, 3)] {
+            assert_unsat(&bmc_instance(n, k));
+        }
+    }
+
+    #[test]
+    fn equiv_instances_unsat() {
+        assert_unsat(&equiv_instance(0, 3));
+        assert_unsat(&equiv_instance(1, 3));
+        assert_unsat(&equiv_instance(2, 4));
+        assert_unsat(&equiv_instance(3, 2));
+        assert_unsat(&equiv_instance(4, 4));
+        assert_unsat(&equiv_instance(5, 2));
+    }
+
+    #[test]
+    fn atpg_instances_unsat() {
+        assert_unsat(&untestable_atpg(0, 2));
+        assert_unsat(&untestable_atpg(1, 3));
+    }
+
+    #[test]
+    fn pigeonhole_unsat_and_sized() {
+        let f = pigeonhole(3);
+        assert_eq!(f.num_vars(), 12);
+        assert_unsat(&f);
+    }
+
+    #[test]
+    fn xor_chains_unsat_both_parities() {
+        assert_unsat(&xor_chain(4)); // n−1 odd
+        assert_unsat(&xor_chain(5)); // n−1 even
+        assert_unsat(&xor_chain(2));
+        assert_unsat(&xor_chain(9));
+    }
+
+    #[test]
+    fn random_3cnf_unsat_and_deterministic() {
+        let a = random_unsat_3cnf(12, 5);
+        let b = random_unsat_3cnf(12, 5);
+        assert_eq!(a, b);
+        assert_unsat(&a);
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic benchmark-instance suite for the coremax experiments.
+//!
+//! The paper evaluates on 691 unsatisfiable industrial instances (model
+//! checking, equivalence checking, test-pattern generation) plus 29
+//! design-debugging MaxSAT instances. Those archives are not
+//! redistributable, so this crate *generates* a suite of the same
+//! families at laptop scale, deterministically from a seed:
+//!
+//! | Family | Generator | Paper analogue |
+//! |---|---|---|
+//! | `bmc` | counter safety property unrolled k steps | bounded model checking |
+//! | `equiv` | miters of structurally different equivalents | equivalence checking |
+//! | `atpg` | untestable stuck-at faults on redundant logic | test-pattern generation |
+//! | `php` | pigeonhole principle | hard combinatorial cores |
+//! | `xor` | inconsistent XOR chains | parity/Tseitin-style hardness |
+//! | `rand3` | unsatisfiable random 3-CNF | the regime where B&B shines |
+//! | `debug` | fault-injected circuits vs golden reference | design debugging (Table 2) |
+//!
+//! All families except `debug` are plain unweighted MaxSAT over an
+//! unsatisfiable CNF; `debug` is partial MaxSAT (hard I/O observations,
+//! soft gate clauses).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod families;
+mod stats;
+mod suite;
+
+pub use families::{
+    bmc_instance, equiv_instance, pigeonhole, random_unsat_3cnf, untestable_atpg, xor_chain,
+};
+pub use stats::InstanceStats;
+pub use suite::{debug_suite, full_suite, Family, Instance, SuiteConfig};

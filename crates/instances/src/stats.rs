@@ -1,0 +1,172 @@
+//! Instance feature extraction: the size/shape numbers reported in
+//! benchmark tables and used to sanity-check generated suites.
+
+use coremax_cnf::WcnfFormula;
+
+/// Structural statistics of a (W)CNF instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Number of hard clauses.
+    pub num_hard: usize,
+    /// Number of soft clauses.
+    pub num_soft: usize,
+    /// Total literal occurrences.
+    pub num_literals: usize,
+    /// Mean clause length over all clauses.
+    pub mean_clause_len: f64,
+    /// Length of the longest clause.
+    pub max_clause_len: usize,
+    /// Clause/variable ratio (the random-SAT hardness coordinate).
+    pub clause_var_ratio: f64,
+    /// Fraction of binary clauses (a proxy for implication-graph
+    /// density — high for circuit-derived CNF).
+    pub binary_fraction: f64,
+}
+
+impl InstanceStats {
+    /// Computes statistics for `wcnf`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use coremax_cnf::{Lit, WcnfFormula};
+    /// use coremax_instances::InstanceStats;
+    /// let mut w = WcnfFormula::new();
+    /// let x = w.new_var();
+    /// let y = w.new_var();
+    /// w.add_hard([Lit::positive(x), Lit::positive(y)]);
+    /// w.add_soft([Lit::negative(x)], 1);
+    /// let s = InstanceStats::of(&w);
+    /// assert_eq!(s.num_vars, 2);
+    /// assert_eq!(s.num_literals, 3);
+    /// assert_eq!(s.binary_fraction, 0.5);
+    /// ```
+    #[must_use]
+    pub fn of(wcnf: &WcnfFormula) -> Self {
+        let mut num_literals = 0usize;
+        let mut max_clause_len = 0usize;
+        let mut binary = 0usize;
+        let mut clauses = 0usize;
+        let mut visit = |len: usize| {
+            num_literals += len;
+            max_clause_len = max_clause_len.max(len);
+            if len == 2 {
+                binary += 1;
+            }
+            clauses += 1;
+        };
+        for c in wcnf.hard_clauses() {
+            visit(c.len());
+        }
+        for s in wcnf.soft_clauses() {
+            visit(s.clause.len());
+        }
+        let num_vars = wcnf.num_vars();
+        InstanceStats {
+            num_vars,
+            num_hard: wcnf.num_hard(),
+            num_soft: wcnf.num_soft(),
+            num_literals,
+            mean_clause_len: if clauses == 0 {
+                0.0
+            } else {
+                num_literals as f64 / clauses as f64
+            },
+            max_clause_len,
+            clause_var_ratio: if num_vars == 0 {
+                0.0
+            } else {
+                clauses as f64 / num_vars as f64
+            },
+            binary_fraction: if clauses == 0 {
+                0.0
+            } else {
+                binary as f64 / clauses as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vars={} hard={} soft={} lits={} mean_len={:.2} max_len={} ratio={:.2} binary={:.0}%",
+            self.num_vars,
+            self.num_hard,
+            self.num_soft,
+            self.num_literals,
+            self.mean_clause_len,
+            self.max_clause_len,
+            self.clause_var_ratio,
+            self.binary_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{full_suite, Family, SuiteConfig};
+    use coremax_cnf::Lit;
+
+    #[test]
+    fn empty_formula() {
+        let s = InstanceStats::of(&WcnfFormula::new());
+        assert_eq!(s.num_vars, 0);
+        assert_eq!(s.mean_clause_len, 0.0);
+        assert_eq!(s.clause_var_ratio, 0.0);
+    }
+
+    #[test]
+    fn counts_hard_and_soft() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        let y = w.new_var();
+        let z = w.new_var();
+        w.add_hard([Lit::positive(x), Lit::positive(y), Lit::positive(z)]);
+        w.add_soft([Lit::negative(x), Lit::negative(y)], 1);
+        w.add_soft([Lit::positive(z)], 1);
+        let s = InstanceStats::of(&w);
+        assert_eq!(s.num_hard, 1);
+        assert_eq!(s.num_soft, 2);
+        assert_eq!(s.num_literals, 6);
+        assert_eq!(s.max_clause_len, 3);
+        assert!((s.mean_clause_len - 2.0).abs() < 1e-9);
+        assert!((s.clause_var_ratio - 1.0).abs() < 1e-9);
+        assert!((s.binary_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_families_are_binary_heavy() {
+        // Tseitin CNF of 2-input gates is dominated by 2- and 3-literal
+        // clauses; this structural signature separates circuit-derived
+        // instances from random 3-CNF.
+        let suite = full_suite(&SuiteConfig::default());
+        let equiv = suite
+            .iter()
+            .find(|i| i.family == Family::Equiv)
+            .expect("equiv present");
+        let rand = suite
+            .iter()
+            .find(|i| i.family == Family::Rand3)
+            .expect("rand3 present");
+        let se = InstanceStats::of(&equiv.wcnf);
+        let sr = InstanceStats::of(&rand.wcnf);
+        assert!(se.binary_fraction > 0.2, "{se}");
+        assert!(sr.binary_fraction < 0.05, "{sr}");
+        assert!(sr.clause_var_ratio > 5.0, "{sr}");
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], 1);
+        let text = InstanceStats::of(&w).to_string();
+        assert!(text.contains("vars=1"));
+        assert!(text.contains("soft=1"));
+    }
+}

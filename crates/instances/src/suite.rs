@@ -1,0 +1,320 @@
+//! Benchmark suite assembly (the "691 instances" analogue).
+
+use coremax_circuits::{builders, debug};
+use coremax_cnf::WcnfFormula;
+
+use crate::families;
+
+/// Benchmark family tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Bounded model checking.
+    Bmc,
+    /// Combinational equivalence checking.
+    Equiv,
+    /// Untestable-fault ATPG.
+    Atpg,
+    /// Pigeonhole principle.
+    Php,
+    /// Inconsistent XOR chains.
+    Xor,
+    /// Random unsatisfiable 3-CNF.
+    Rand3,
+    /// Design debugging (partial MaxSAT).
+    Debug,
+}
+
+impl Family {
+    /// Short stable name used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Bmc => "bmc",
+            Family::Equiv => "equiv",
+            Family::Atpg => "atpg",
+            Family::Php => "php",
+            Family::Xor => "xor",
+            Family::Rand3 => "rand3",
+            Family::Debug => "debug",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Unique name, e.g. `bmc-n3-k4`.
+    pub name: String,
+    /// Family tag.
+    pub family: Family,
+    /// The (weighted partial) MaxSAT formulation. Plain families carry
+    /// every clause as a weight-1 soft clause.
+    pub wcnf: WcnfFormula,
+}
+
+impl Instance {
+    fn plain(name: String, family: Family, cnf: &coremax_cnf::CnfFormula) -> Self {
+        Instance {
+            name,
+            family,
+            wcnf: WcnfFormula::from_cnf_all_soft(cnf),
+        }
+    }
+}
+
+/// Size/scale knobs for [`full_suite`].
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Global size multiplier (1 = CI scale, larger = closer to the
+    /// paper's regime).
+    pub scale: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { scale: 1, seed: 42 }
+    }
+}
+
+/// Generates the full evaluation suite (the analogue of the paper's 691
+/// industrial instances): a size sweep through every CNF family, sized
+/// so that the interesting solver separations appear — small instances
+/// everyone solves, a middle band where branch and bound collapses but
+/// core-guided search survives, and a top band that strains everything.
+/// Deterministic in the configuration.
+#[must_use]
+pub fn full_suite(config: &SuiteConfig) -> Vec<Instance> {
+    let s = config.scale.max(1);
+    let mut out = Vec::new();
+
+    // Bounded model checking: counter widths × unroll depths.
+    for n in 2..=(2 + 2 * s).min(6) {
+        for k in (4..=(4 + 4 * s)).step_by(4) {
+            out.push(Instance::plain(
+                format!("bmc-n{n}-k{k}"),
+                Family::Bmc,
+                &families::bmc_instance(n, k),
+            ));
+        }
+    }
+
+    // Equivalence checking. Adders span the band where chronological
+    // branch and bound collapses; multipliers strain everything.
+    for size in (4..=(4 + 3 * s).min(14)).step_by(2) {
+        out.push(Instance::plain(
+            format!("equiv-adder-s{size}"),
+            Family::Equiv,
+            &families::equiv_instance(0, size),
+        ));
+    }
+    for size in [4, 6 + 2 * s.min(4)] {
+        out.push(Instance::plain(
+            format!("equiv-cmp-s{size}"),
+            Family::Equiv,
+            &families::equiv_instance(1, size),
+        ));
+    }
+    for size in [6, 10 + 2 * s.min(4)] {
+        out.push(Instance::plain(
+            format!("equiv-parity-s{size}"),
+            Family::Equiv,
+            &families::equiv_instance(2, size),
+        ));
+    }
+    for size in 2..=(2 + s).min(5) {
+        out.push(Instance::plain(
+            format!("equiv-mult-s{size}"),
+            Family::Equiv,
+            &families::equiv_instance(3, size),
+        ));
+    }
+    // Barrel-shifter and ALU miters (equiv kinds 4-5) are available via
+    // `families::equiv_instance` and the CLI generator but are excluded
+    // from the default table-1 suite: their cores are global (whole-
+    // datapath), which probes a different regime than the paper's
+    // "SAT solvers find small cores" premise (see EXPERIMENTS.md).
+
+    // ATPG untestable faults.
+    for kind in 0..3 {
+        for size in (4..=(4 + 2 * s).min(10)).step_by(2) {
+            out.push(Instance::plain(
+                format!("atpg-k{kind}-s{size}"),
+                Family::Atpg,
+                &families::untestable_atpg(kind, size),
+            ));
+        }
+    }
+
+    // Pigeonhole.
+    for holes in 2..=(4 + s).min(7) {
+        out.push(Instance::plain(
+            format!("php-{holes}"),
+            Family::Php,
+            &families::pigeonhole(holes),
+        ));
+    }
+
+    // XOR chains.
+    for n in (10..=(20 + 10 * s).min(60)).step_by(10) {
+        out.push(Instance::plain(
+            format!("xor-{n}"),
+            Family::Xor,
+            &families::xor_chain(n),
+        ));
+        out.push(Instance::plain(
+            format!("xor-{}", n + 1),
+            Family::Xor,
+            &families::xor_chain(n + 1),
+        ));
+    }
+
+    // Random unsatisfiable 3-CNF (small: the B&B-friendly regime).
+    for i in 0..(3 * s) {
+        let num_vars = 12 + 2 * (i % 3);
+        out.push(Instance::plain(
+            format!("rand3-v{num_vars}-i{i}"),
+            Family::Rand3,
+            &families::random_unsat_3cnf(num_vars, config.seed.wrapping_add(i as u64)),
+        ));
+    }
+
+    // Design debugging (partial MaxSAT), interleaved into the full
+    // suite like the paper's evaluation.
+    out.extend(debug_suite_inner(config, 6));
+
+    out
+}
+
+/// Generates the design-debugging suite used for Table 2 (the paper's
+/// 29 instances become `count` fault-injected circuits here).
+#[must_use]
+pub fn debug_suite(config: &SuiteConfig) -> Vec<Instance> {
+    debug_suite_inner(config, 29)
+}
+
+fn debug_suite_inner(config: &SuiteConfig, count: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut attempt = 0u64;
+    while out.len() < count {
+        let seed = config.seed.wrapping_add(1000).wrapping_add(attempt);
+        attempt += 1;
+        // Sized so the localisation advantage shows: hundreds of soft
+        // gate clauses, but the error cone (and hence the cores msu4
+        // sees) stays small.
+        let reference = match i % 4 {
+            0 => builders::ripple_carry_adder(8 + 2 * config.scale.min(3)),
+            1 => builders::comparator(8 + 2 * config.scale.min(3)),
+            2 => builders::array_multiplier(3 + config.scale.min(2)),
+            _ => builders::array_multiplier(4 + config.scale.min(1)),
+        };
+        let Some((buggy, gate)) = debug::mutate_gate(&reference, seed) else {
+            continue;
+        };
+        let vectors = 2 + (i % 3);
+        let Some(inst) = debug::debug_instance(&reference, &buggy, gate, vectors, seed ^ 0x5bd1)
+        else {
+            continue;
+        };
+        out.push(Instance {
+            name: format!("debug-{i}-g{gate}-v{vectors}"),
+            family: Family::Debug,
+            wcnf: inst.wcnf,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic() {
+        let cfg = SuiteConfig::default();
+        let a = full_suite(&cfg);
+        let b = full_suite(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.wcnf, y.wcnf);
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_families() {
+        let suite = full_suite(&SuiteConfig::default());
+        for family in [
+            Family::Bmc,
+            Family::Equiv,
+            Family::Atpg,
+            Family::Php,
+            Family::Xor,
+            Family::Rand3,
+            Family::Debug,
+        ] {
+            assert!(
+                suite.iter().any(|i| i.family == family),
+                "family {family} missing"
+            );
+        }
+        assert!(suite.len() >= 30, "suite too small: {}", suite.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = full_suite(&SuiteConfig::default());
+        let mut names: Vec<&str> = suite.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn debug_suite_has_29_partial_instances() {
+        let suite = debug_suite(&SuiteConfig::default());
+        assert_eq!(suite.len(), 29);
+        for inst in &suite {
+            assert_eq!(inst.family, Family::Debug);
+            assert!(
+                inst.wcnf.num_hard() > 0,
+                "{} has no hard clauses",
+                inst.name
+            );
+            assert!(inst.wcnf.num_soft() > 0);
+        }
+    }
+
+    #[test]
+    fn plain_instances_are_unsat_cnf() {
+        use coremax_sat::{SolveOutcome, Solver};
+        let suite = full_suite(&SuiteConfig::default());
+        for inst in suite.iter().filter(|i| i.family != Family::Debug).take(8) {
+            let mut solver = Solver::new();
+            solver.add_formula(&inst.wcnf.to_cnf());
+            assert_eq!(
+                solver.solve(),
+                SolveOutcome::Unsat,
+                "{} should be UNSAT",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_grows_the_suite() {
+        let small = full_suite(&SuiteConfig { scale: 1, seed: 1 });
+        let large = full_suite(&SuiteConfig { scale: 2, seed: 1 });
+        assert!(large.len() > small.len());
+    }
+}

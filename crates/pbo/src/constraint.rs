@@ -1,0 +1,263 @@
+//! Pseudo-Boolean constraint representation and normalisation.
+
+use std::fmt;
+
+use coremax_cnf::{Assignment, Lit};
+
+/// One weighted literal `coeff · lit` in a PB constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbTerm {
+    /// Positive coefficient.
+    pub coeff: u64,
+    /// The literal (counts `coeff` when true).
+    pub lit: Lit,
+}
+
+impl PbTerm {
+    /// Creates a term.
+    #[must_use]
+    pub fn new(coeff: u64, lit: Lit) -> Self {
+        PbTerm { coeff, lit }
+    }
+}
+
+/// Comparison operator of a PB constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbOp {
+    /// `Σ ≤ bound`
+    Le,
+    /// `Σ ≥ bound`
+    Ge,
+    /// `Σ = bound`
+    Eq,
+}
+
+impl fmt::Display for PbOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PbOp::Le => "≤",
+            PbOp::Ge => "≥",
+            PbOp::Eq => "=",
+        })
+    }
+}
+
+/// A normalised pseudo-Boolean constraint `Σ cᵢ·lᵢ ⋈ bound` with all
+/// coefficients positive.
+///
+/// Signed inputs are normalised on construction using the identity
+/// `−c·l = c·¬l − c` (flip the literal, adjust the bound).
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::{Lit, Var};
+/// use coremax_pbo::{PbConstraint, PbOp};
+///
+/// let x = Lit::positive(Var::new(0));
+/// let y = Lit::positive(Var::new(1));
+/// // 2x − 3y ≤ 1  ⟹  2x + 3¬y ≤ 4
+/// let c = PbConstraint::from_signed(vec![(2, x), (-3, y)], PbOp::Le, 1);
+/// assert_eq!(c.bound(), 4);
+/// assert!(c.terms().iter().all(|t| t.coeff > 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbConstraint {
+    terms: Vec<PbTerm>,
+    op: PbOp,
+    bound: i64,
+}
+
+impl PbConstraint {
+    /// Creates a constraint from positive-coefficient terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is zero.
+    #[must_use]
+    pub fn new(terms: Vec<PbTerm>, op: PbOp, bound: i64) -> Self {
+        assert!(
+            terms.iter().all(|t| t.coeff > 0),
+            "coefficients must be positive; use from_signed"
+        );
+        PbConstraint { terms, op, bound }
+    }
+
+    /// Creates a constraint from possibly-negative coefficients,
+    /// normalising so every stored coefficient is positive.
+    #[must_use]
+    pub fn from_signed(terms: Vec<(i64, Lit)>, op: PbOp, mut bound: i64) -> Self {
+        let mut normalised = Vec::with_capacity(terms.len());
+        for (c, l) in terms {
+            match c.cmp(&0) {
+                std::cmp::Ordering::Greater => normalised.push(PbTerm::new(c as u64, l)),
+                std::cmp::Ordering::Less => {
+                    normalised.push(PbTerm::new((-c) as u64, !l));
+                    bound -= c; // bound + |c|
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        PbConstraint {
+            terms: normalised,
+            op,
+            bound,
+        }
+    }
+
+    /// Builds the cardinality constraint `Σ lits ⋈ k`.
+    #[must_use]
+    pub fn cardinality(lits: &[Lit], op: PbOp, k: u64) -> Self {
+        PbConstraint {
+            terms: lits.iter().map(|&l| PbTerm::new(1, l)).collect(),
+            op,
+            bound: k as i64,
+        }
+    }
+
+    /// The (positive-coefficient) terms.
+    #[must_use]
+    pub fn terms(&self) -> &[PbTerm] {
+        &self.terms
+    }
+
+    /// The comparison operator.
+    #[must_use]
+    pub fn op(&self) -> PbOp {
+        self.op
+    }
+
+    /// The right-hand side after normalisation.
+    #[must_use]
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+
+    /// Sum of all coefficients (the maximum LHS value).
+    #[must_use]
+    pub fn coeff_sum(&self) -> u64 {
+        self.terms.iter().map(|t| t.coeff).sum()
+    }
+
+    /// Returns `true` if the constraint can never be violated.
+    #[must_use]
+    pub fn is_trivially_true(&self) -> bool {
+        match self.op {
+            PbOp::Le => self.bound >= self.coeff_sum() as i64,
+            PbOp::Ge => self.bound <= 0,
+            PbOp::Eq => self.terms.is_empty() && self.bound == 0,
+        }
+    }
+
+    /// Returns `true` if the constraint can never be satisfied.
+    #[must_use]
+    pub fn is_trivially_false(&self) -> bool {
+        match self.op {
+            PbOp::Le => self.bound < 0,
+            PbOp::Ge => self.bound > self.coeff_sum() as i64,
+            PbOp::Eq => self.bound < 0 || self.bound > self.coeff_sum() as i64,
+        }
+    }
+
+    /// Evaluates the LHS under a total assignment.
+    #[must_use]
+    pub fn lhs_value(&self, assignment: &Assignment) -> u64 {
+        self.terms
+            .iter()
+            .filter(|t| assignment.satisfies(t.lit))
+            .map(|t| t.coeff)
+            .sum()
+    }
+
+    /// Evaluates the constraint under a total assignment.
+    #[must_use]
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        let lhs = self.lhs_value(assignment) as i64;
+        match self.op {
+            PbOp::Le => lhs <= self.bound,
+            PbOp::Ge => lhs >= self.bound,
+            PbOp::Eq => lhs == self.bound,
+        }
+    }
+}
+
+impl fmt::Display for PbConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}·{}", t.coeff, t.lit)?;
+        }
+        write!(f, " {} {}", self.op, self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::Var;
+
+    fn lit(i: u32, pos: bool) -> Lit {
+        Lit::new(Var::new(i), pos)
+    }
+
+    #[test]
+    fn signed_normalisation() {
+        // -2x + 3y ≥ 1  ⟹  2¬x + 3y ≥ 3
+        let c = PbConstraint::from_signed(vec![(-2, lit(0, true)), (3, lit(1, true))], PbOp::Ge, 1);
+        assert_eq!(c.bound(), 3);
+        assert_eq!(c.terms().len(), 2);
+        assert_eq!(c.terms()[0].lit, lit(0, false));
+        assert_eq!(c.terms()[0].coeff, 2);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let c = PbConstraint::from_signed(vec![(0, lit(0, true)), (1, lit(1, true))], PbOp::Le, 1);
+        assert_eq!(c.terms().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn new_rejects_zero_coeff() {
+        let _ = PbConstraint::new(vec![PbTerm::new(0, lit(0, true))], PbOp::Le, 1);
+    }
+
+    #[test]
+    fn triviality_checks() {
+        let x = lit(0, true);
+        let le = PbConstraint::cardinality(&[x], PbOp::Le, 5);
+        assert!(le.is_trivially_true());
+        let ge = PbConstraint::cardinality(&[x], PbOp::Ge, 2);
+        assert!(ge.is_trivially_false());
+        let normal = PbConstraint::cardinality(&[x], PbOp::Le, 0);
+        assert!(!normal.is_trivially_true());
+        assert!(!normal.is_trivially_false());
+    }
+
+    #[test]
+    fn evaluation() {
+        let c = PbConstraint::from_signed(vec![(2, lit(0, true)), (3, lit(1, true))], PbOp::Le, 3);
+        let a = Assignment::from_bools(&[true, false]);
+        assert_eq!(c.lhs_value(&a), 2);
+        assert!(c.is_satisfied_by(&a));
+        let b = Assignment::from_bools(&[true, true]);
+        assert_eq!(c.lhs_value(&b), 5);
+        assert!(!c.is_satisfied_by(&b));
+    }
+
+    #[test]
+    fn eq_semantics() {
+        let c = PbConstraint::cardinality(&[lit(0, true), lit(1, true)], PbOp::Eq, 1);
+        assert!(c.is_satisfied_by(&Assignment::from_bools(&[true, false])));
+        assert!(!c.is_satisfied_by(&Assignment::from_bools(&[true, true])));
+        assert!(!c.is_satisfied_by(&Assignment::from_bools(&[false, false])));
+    }
+
+    #[test]
+    fn display() {
+        let c = PbConstraint::cardinality(&[lit(0, true)], PbOp::Ge, 1);
+        assert_eq!(c.to_string(), "1·x1 ≥ 1");
+    }
+}

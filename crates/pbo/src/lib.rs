@@ -1,0 +1,47 @@
+//! Pseudo-Boolean constraints and a SAT-based PBO optimiser.
+//!
+//! Section 2.2 of Marques-Silva & Planes (DATE 2008) describes the
+//! baseline the paper calls **pbo**: translate a MaxSAT instance to
+//! Pseudo-Boolean Optimisation by adding one blocking variable per
+//! clause and minimising the number of blocking variables set to 1,
+//! then hand the result to minisat+. This crate rebuilds that pipeline:
+//!
+//! - [`PbConstraint`]: normalised pseudo-Boolean constraints
+//!   `Σ cᵢ·lᵢ ⋈ b` with positive coefficients,
+//! - BDD translation of PB constraints to CNF (Eén & Sörensson §4),
+//! - [`PboSolver`]: iterative model-improving linear search on the
+//!   objective, exactly minisat+'s default strategy,
+//! - [`maxsat_as_pbo`]: the blocking-variable reduction of Example 1.
+//!
+//! # Examples
+//!
+//! Minimise `b₁+b₂+b₃` subject to the relaxed formula of the paper's
+//! Example 1:
+//!
+//! ```
+//! use coremax_cnf::{Lit, Var, WcnfFormula};
+//! use coremax_pbo::{maxsat_as_pbo, PboOutcome};
+//!
+//! let mut w = WcnfFormula::new();
+//! let x1 = w.new_var();
+//! let x2 = w.new_var();
+//! w.add_soft([Lit::positive(x1)], 1);
+//! w.add_soft([Lit::positive(x2), Lit::negative(x1)], 1);
+//! w.add_soft([Lit::negative(x2)], 1);
+//! let mut pbo = maxsat_as_pbo(&w);
+//! match pbo.solve() {
+//!     PboOutcome::Optimal { cost, .. } => assert_eq!(cost, 1),
+//!     other => panic!("expected optimum, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod encode;
+mod solver;
+
+pub use constraint::{PbConstraint, PbOp, PbTerm};
+pub use encode::encode_pb;
+pub use solver::{maxsat_as_pbo, PboOutcome, PboSolver};

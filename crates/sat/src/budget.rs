@@ -1,0 +1,151 @@
+//! Resource budgets for bounded solving.
+
+use std::time::{Duration, Instant};
+
+/// Limits on how much work a [`crate::Solver`] may perform before giving
+/// up with [`crate::SolveOutcome::Unknown`].
+///
+/// A default budget is unlimited. Budgets make "aborted instances"
+/// (Table 1 / Table 2 of the paper) measurable and deterministic when
+/// expressed in conflicts rather than seconds.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_sat::Budget;
+/// use std::time::Duration;
+/// let b = Budget::new()
+///     .with_max_conflicts(10_000)
+///     .with_timeout(Duration::from_secs(5));
+/// assert_eq!(b.max_conflicts(), Some(10_000));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_conflicts: Option<u64>,
+    max_propagations: Option<u64>,
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Budget::default()
+    }
+
+    /// Caps the number of conflicts.
+    #[must_use]
+    pub fn with_max_conflicts(mut self, conflicts: u64) -> Self {
+        self.max_conflicts = Some(conflicts);
+        self
+    }
+
+    /// Caps the number of propagations.
+    #[must_use]
+    pub fn with_max_propagations(mut self, propagations: u64) -> Self {
+        self.max_propagations = Some(propagations);
+        self
+    }
+
+    /// Caps wall-clock time. The clock starts at the next `solve` call.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Caps wall-clock time with an absolute deadline (shared across
+    /// several solver invocations, e.g. one MaxSAT run).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The conflict cap, if any.
+    #[must_use]
+    pub fn max_conflicts(&self) -> Option<u64> {
+        self.max_conflicts
+    }
+
+    /// The propagation cap, if any.
+    #[must_use]
+    pub fn max_propagations(&self) -> Option<u64> {
+        self.max_propagations
+    }
+
+    /// The relative timeout, if any.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The absolute deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Returns `true` if no limit is set at all.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none()
+            && self.max_propagations.is_none()
+            && self.timeout.is_none()
+            && self.deadline.is_none()
+    }
+
+    /// Resolves the effective deadline given a solve start time: the
+    /// earlier of `start + timeout` and the absolute deadline.
+    #[must_use]
+    pub fn effective_deadline(&self, start: Instant) -> Option<Instant> {
+        match (self.timeout.map(|t| start + t), self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Budget::new().is_unlimited());
+        assert_eq!(Budget::new().max_conflicts(), None);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let b = Budget::new()
+            .with_max_conflicts(5)
+            .with_max_propagations(7)
+            .with_timeout(Duration::from_millis(100));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_conflicts(), Some(5));
+        assert_eq!(b.max_propagations(), Some(7));
+        assert_eq!(b.timeout(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn effective_deadline_takes_minimum() {
+        let start = Instant::now();
+        let d1 = start + Duration::from_secs(10);
+        let b = Budget::new()
+            .with_timeout(Duration::from_secs(60))
+            .with_deadline(d1);
+        assert_eq!(b.effective_deadline(start), Some(d1));
+
+        let b2 = Budget::new().with_timeout(Duration::from_secs(1));
+        assert_eq!(
+            b2.effective_deadline(start),
+            Some(start + Duration::from_secs(1))
+        );
+
+        assert_eq!(Budget::new().effective_deadline(start), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Arena storage for original and learned clauses.
+
+use coremax_cnf::Lit;
+
+use crate::trace::TraceId;
+
+/// Identifier of an *original* clause, in order of addition.
+///
+/// This is the currency of unsatisfiable cores: [`crate::Solver::unsat_core`]
+/// returns the ids of the original clauses whose conjunction was refuted.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_sat::{Solver, ClauseId};
+/// use coremax_cnf::{Lit, Var};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// let id: ClauseId = s.add_clause([Lit::positive(v)]);
+/// assert_eq!(id.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClauseId(pub(crate) u32);
+
+impl ClauseId {
+    /// The position of the clause in add order (0-based).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClauseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Internal reference to a clause in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CRef(pub(crate) u32);
+
+impl CRef {
+    pub(crate) const UNDEF: CRef = CRef(u32::MAX);
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_undef(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Header {
+    start: u32,
+    len: u32,
+    activity: f32,
+    learned: bool,
+    deleted: bool,
+    trace: TraceId,
+}
+
+/// Flat clause arena. Literals of all clauses live in one `Vec<Lit>`;
+/// a header per clause records the slice, activity and bookkeeping.
+/// Deleted clauses leave their literals in place (no GC) but are marked
+/// and skipped everywhere; their trace entries remain valid, which is
+/// essential for core extraction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClauseDb {
+    lits: Vec<Lit>,
+    headers: Vec<Header>,
+    num_learned: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Adds a clause; `len >= 1` expected (empty clauses are handled
+    /// before reaching the arena).
+    pub(crate) fn add(&mut self, lits: &[Lit], learned: bool, trace: TraceId) -> CRef {
+        debug_assert!(!lits.is_empty());
+        let start = self.lits.len() as u32;
+        self.lits.extend_from_slice(lits);
+        self.headers.push(Header {
+            start,
+            len: lits.len() as u32,
+            activity: 0.0,
+            learned,
+            deleted: false,
+            trace,
+        });
+        if learned {
+            self.num_learned += 1;
+        }
+        CRef((self.headers.len() - 1) as u32)
+    }
+
+    #[inline]
+    pub(crate) fn lits(&self, c: CRef) -> &[Lit] {
+        let h = &self.headers[c.index()];
+        &self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn lits_mut(&mut self, c: CRef) -> &mut [Lit] {
+        let h = &self.headers[c.index()];
+        let (s, e) = (h.start as usize, (h.start + h.len) as usize);
+        &mut self.lits[s..e]
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, c: CRef) -> usize {
+        self.headers[c.index()].len as usize
+    }
+
+    #[inline]
+    pub(crate) fn trace(&self, c: CRef) -> TraceId {
+        self.headers[c.index()].trace
+    }
+
+    #[inline]
+    pub(crate) fn is_learned(&self, c: CRef) -> bool {
+        self.headers[c.index()].learned
+    }
+
+    #[inline]
+    pub(crate) fn is_deleted(&self, c: CRef) -> bool {
+        self.headers[c.index()].deleted
+    }
+
+    pub(crate) fn mark_deleted(&mut self, c: CRef) {
+        let h = &mut self.headers[c.index()];
+        debug_assert!(!h.deleted);
+        h.deleted = true;
+        if h.learned {
+            self.num_learned -= 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self, c: CRef) -> f32 {
+        self.headers[c.index()].activity
+    }
+
+    pub(crate) fn bump_activity(&mut self, c: CRef, inc: f32) -> bool {
+        let h = &mut self.headers[c.index()];
+        h.activity += inc;
+        h.activity > 1e20
+    }
+
+    pub(crate) fn rescale_activities(&mut self) {
+        for h in &mut self.headers {
+            h.activity *= 1e-20;
+        }
+    }
+
+    pub(crate) fn num_clauses(&self) -> usize {
+        self.headers.len()
+    }
+
+    pub(crate) fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Iterates over live learned clause references.
+    pub(crate) fn learned_refs(&self) -> impl Iterator<Item = CRef> + '_ {
+        self.headers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| (h.learned && !h.deleted).then_some(CRef(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::{Lit, Var};
+
+    fn l(d: i32) -> Lit {
+        Lit::from_dimacs(d).unwrap()
+    }
+
+    #[test]
+    fn add_and_read_back() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2)], false, TraceId(0));
+        let b = db.add(&[l(-1)], false, TraceId(1));
+        assert_eq!(db.lits(a), &[l(1), l(2)]);
+        assert_eq!(db.lits(b), &[l(-1)]);
+        assert_eq!(db.len(a), 2);
+        assert_eq!(db.num_clauses(), 2);
+        assert!(!db.is_learned(a));
+        assert_eq!(db.trace(b), TraceId(1));
+    }
+
+    #[test]
+    fn learned_bookkeeping() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2)], true, TraceId(0));
+        let _b = db.add(&[l(3), l(4)], false, TraceId(1));
+        assert_eq!(db.num_learned(), 1);
+        assert!(db.is_learned(a));
+        let learned: Vec<CRef> = db.learned_refs().collect();
+        assert_eq!(learned, vec![a]);
+        db.mark_deleted(a);
+        assert_eq!(db.num_learned(), 0);
+        assert!(db.is_deleted(a));
+        assert_eq!(db.learned_refs().count(), 0);
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2)], true, TraceId(0));
+        assert!(!db.bump_activity(a, 1.0));
+        assert!((db.activity(a) - 1.0).abs() < 1e-6);
+        assert!(db.bump_activity(a, 1e20 as f32 * 2.0));
+        db.rescale_activities();
+        assert!(db.activity(a) < 1e6);
+    }
+
+    #[test]
+    fn lits_mut_allows_reordering() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2), l(3)], false, TraceId(0));
+        db.lits_mut(a).swap(0, 2);
+        assert_eq!(db.lits(a), &[l(3), l(2), l(1)]);
+    }
+
+    #[test]
+    fn cref_undef() {
+        assert!(CRef::UNDEF.is_undef());
+        assert!(!CRef(0).is_undef());
+    }
+
+    #[test]
+    fn clause_id_display_and_index() {
+        let id = ClauseId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "c7");
+        let _ = Var::new(0); // silence unused import on some cfgs
+    }
+}

@@ -1,0 +1,54 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+///
+/// Restart intervals are `base * luby(i)` conflicts, the schedule used
+/// by MiniSAT and shown optimal (up to constants) for Las Vegas restarts.
+#[must_use]
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    // MiniSAT's closed-form walk: find the finite subsequence that
+    // contains index `x` (0-based) and its size, then descend.
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms_match_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (1..=expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn powers_of_two_appear_at_sequence_ends() {
+        // Element 2^k - 1 equals 2^(k-1).
+        for k in 1..=10u32 {
+            assert_eq!(luby((1u64 << k) - 1), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..2000u64 {
+            let v = luby(i);
+            assert!(v.is_power_of_two(), "luby({i}) = {v}");
+        }
+    }
+}

@@ -1,0 +1,1246 @@
+//! The CDCL solver.
+
+use std::time::Instant;
+
+use coremax_cnf::{Assignment, CnfFormula, Lit, Var};
+
+use crate::budget::Budget;
+use crate::clause_db::{CRef, ClauseDb, ClauseId};
+use crate::heap::ActivityHeap;
+use crate::luby::luby;
+use crate::stats::SolverStats;
+use crate::trace::{Trace, TraceId};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found; see [`Solver::model`].
+    Sat,
+    /// The formula (or the formula under the given assumptions) is
+    /// unsatisfiable; see [`Solver::unsat_core`] and
+    /// [`Solver::failed_assumptions`].
+    Unsat,
+    /// The budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+/// Tunable solver parameters.
+///
+/// The defaults mirror MiniSAT's classic configuration; they are exposed
+/// so ablation benchmarks can vary them.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Multiplicative VSIDS decay (activity is divided by this each
+    /// conflict); must be in `(0, 1]`.
+    pub var_decay: f64,
+    /// Learned-clause activity decay; must be in `(0, 1]`.
+    pub clause_decay: f32,
+    /// Base interval (in conflicts) of the Luby restart schedule.
+    pub restart_base: u64,
+    /// Initial cap on retained learned clauses, as a fraction of the
+    /// number of original clauses.
+    pub learntsize_factor: f64,
+    /// Growth factor applied to the learned-clause cap at every
+    /// database reduction.
+    pub learntsize_inc: f64,
+    /// Lower bound on the learned-clause cap (prevents thrashing on
+    /// small formulas; lower it to stress database reduction in tests).
+    pub min_learnts: f64,
+    /// Default polarity used before a variable has a saved phase.
+    pub default_phase: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learntsize_factor: 1.0 / 3.0,
+            learntsize_inc: 1.1,
+            min_learnts: 1000.0,
+            default_phase: false,
+        }
+    }
+}
+
+const VALUE_UNDEF: u8 = 0;
+const VALUE_TRUE: u8 = 1;
+const VALUE_FALSE: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: CRef,
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver with unsatisfiable-core
+/// extraction. See the [crate docs](crate) for an overview and example.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    trace: Trace,
+
+    // Per-literal watch lists, indexed by `Lit::index`.
+    watches: Vec<Vec<Watcher>>,
+
+    // Per-variable state.
+    assigns: Vec<u8>,
+    levels: Vec<u32>,
+    reasons: Vec<CRef>,
+    activity: Vec<f64>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    // For variables fixed at decision level 0: the trace node deriving
+    // that unit fact from original clauses. Conflict analysis skips
+    // level-0 literals, so their derivations must be spliced into every
+    // learned clause's antecedents for cores to stay exact.
+    unit_trace: Vec<Option<TraceId>>,
+
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    order: ActivityHeap,
+    var_inc: f64,
+    cla_inc: f32,
+
+    max_learnts: f64,
+
+    // Result state.
+    ok: bool,
+    unsat_core: Option<Vec<ClauseId>>,
+    failed_assumptions: Vec<Lit>,
+    model: Option<Assignment>,
+
+    next_clause_id: u32,
+    budget: Budget,
+    stats: SolverStats,
+
+    // Scratch buffers reused across conflicts.
+    analyze_stack: Vec<Lit>,
+    analyze_toclear: Vec<Lit>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            trace: Trace::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            activity: Vec::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            unit_trace: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: ActivityHeap::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ok: true,
+            unsat_core: None,
+            failed_assumptions: Vec::new(),
+            model: None,
+            next_clause_id: 0,
+            budget: Budget::new(),
+            stats: SolverStats::default(),
+            analyze_stack: Vec::new(),
+            analyze_toclear: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(VALUE_UNDEF);
+        self.levels.push(0);
+        self.reasons.push(CRef::UNDEF);
+        self.activity.push(0.0);
+        self.phase.push(self.config.default_phase);
+        self.seen.push(false);
+        self.unit_trace.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures variables `0..num_vars` exist.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        while self.num_vars() < num_vars {
+            self.new_var();
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of original (problem) clauses added so far, including
+    /// clauses discarded as tautologies.
+    #[must_use]
+    pub fn num_original_clauses(&self) -> usize {
+        self.next_clause_id as usize
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Sets the resource budget applied to subsequent `solve` calls.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Adds every clause of `formula`, returning the assigned ids in order.
+    pub fn add_formula(&mut self, formula: &CnfFormula) -> Vec<ClauseId> {
+        self.ensure_vars(formula.num_vars());
+        formula
+            .iter()
+            .map(|c| self.add_clause(c.lits().iter().copied()))
+            .collect()
+    }
+
+    /// Adds a clause and returns its id.
+    ///
+    /// The clause is normalised (duplicate literals removed); tautologies
+    /// are accepted but never participate in solving or cores. Variables
+    /// are created on demand. Adding a clause that is falsified by the
+    /// current level-0 state makes the solver permanently UNSAT and the
+    /// core becomes available immediately.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> ClauseId {
+        let id = ClauseId(self.next_clause_id);
+        self.next_clause_id += 1;
+
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            self.ensure_vars(l.var().index() + 1);
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        let tautology = lits.windows(2).any(|w| w[0].var() == w[1].var());
+
+        let tid = self.trace.add_original(id);
+
+        if !self.ok || tautology {
+            return id;
+        }
+
+        debug_assert_eq!(self.decision_level(), 0);
+
+        if lits.is_empty() {
+            self.ok = false;
+            self.unsat_core = Some(vec![id]);
+            return id;
+        }
+
+        // Partition by current (level-0) value.
+        if lits.iter().any(|&l| self.lit_value(l) == Some(true)) {
+            // Satisfied at level 0 forever: store for completeness but do
+            // not watch. It can never appear in a core.
+            self.db.add(&lits, false, tid);
+            return id;
+        }
+        let non_false: Vec<Lit> = lits
+            .iter()
+            .copied()
+            .filter(|&l| self.lit_value(l).is_none())
+            .collect();
+
+        match non_false.len() {
+            0 => {
+                // All literals false at level 0: immediate refutation.
+                let cref = self.db.add(&lits, false, tid);
+                let core = self.final_conflict_core(cref);
+                self.ok = false;
+                self.unsat_core = Some(core);
+            }
+            1 => {
+                // Reason clauses must keep their asserted literal at
+                // position 0 (conflict analysis relies on it).
+                let unit = non_false[0];
+                let mut ordered = vec![unit];
+                ordered.extend(lits.iter().copied().filter(|&x| x != unit));
+                let cref = self.db.add(&ordered, false, tid);
+                if ordered.len() >= 2 {
+                    // Watch the unit literal plus an arbitrary (false,
+                    // level-0, never-undone) literal: the invariant holds
+                    // forever once `unit` is enqueued true.
+                    self.watch(ordered[0], cref, ordered[1]);
+                    self.watch(ordered[1], cref, ordered[0]);
+                }
+                self.enqueue(unit, cref);
+                if let Some(confl) = self.propagate() {
+                    let core = self.final_conflict_core(confl);
+                    self.ok = false;
+                    self.unsat_core = Some(core);
+                }
+            }
+            _ => {
+                // Order the clause so the first two literals are unassigned.
+                let mut ordered = non_false.clone();
+                ordered.extend(lits.iter().copied().filter(|l| !non_false.contains(l)));
+                let cref = self.db.add(&ordered, false, tid);
+                let (w0, w1) = (ordered[0], ordered[1]);
+                self.watch(w0, cref, w1);
+                self.watch(w1, cref, w0);
+            }
+        }
+        id
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// On [`SolveOutcome::Unsat`], either the formula itself was refuted
+    /// ([`Solver::unsat_core`] returns `Some`) or the assumptions are
+    /// inconsistent with it ([`Solver::failed_assumptions`] lists a
+    /// subset of assumptions sufficient for unsatisfiability).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.model = None;
+        self.failed_assumptions.clear();
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption over unknown variable"
+            );
+        }
+
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let conflict_cap = self
+            .budget
+            .max_conflicts()
+            .map(|c| self.stats.conflicts + c);
+        let propagation_cap = self
+            .budget
+            .max_propagations()
+            .map(|p| self.stats.propagations + p);
+
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.db.num_clauses() as f64 * self.config.learntsize_factor)
+                .max(self.config.min_learnts);
+        }
+
+        let mut restart_count: u64 = 0;
+        let outcome = loop {
+            restart_count += 1;
+            let budget_this_restart = self.config.restart_base * luby(restart_count);
+            match self.search(
+                assumptions,
+                budget_this_restart,
+                deadline,
+                conflict_cap,
+                propagation_cap,
+            ) {
+                SearchResult::Sat => break SolveOutcome::Sat,
+                SearchResult::Unsat => break SolveOutcome::Unsat,
+                SearchResult::Restart => {
+                    self.stats.restarts += 1;
+                }
+                SearchResult::BudgetExhausted => break SolveOutcome::Unknown,
+            }
+        };
+        self.cancel_until(0);
+        outcome
+    }
+
+    /// The satisfying assignment found by the last successful solve.
+    #[must_use]
+    pub fn model(&self) -> Option<&Assignment> {
+        self.model.as_ref()
+    }
+
+    /// The clause-level unsatisfiable core, available once the formula
+    /// has been refuted (independently of assumptions).
+    ///
+    /// The returned ids identify a subset of the original clauses whose
+    /// conjunction is unsatisfiable. The core is *not* guaranteed to be
+    /// minimal, matching the behaviour of proof-logging CDCL solvers.
+    #[must_use]
+    pub fn unsat_core(&self) -> Option<&[ClauseId]> {
+        self.unsat_core.as_deref()
+    }
+
+    /// After UNSAT-under-assumptions, the subset of assumption literals
+    /// that was used to derive the contradiction.
+    #[must_use]
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
+    }
+
+    /// Returns `true` while the formula has not been refuted.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn var_value(&self, v: Var) -> u8 {
+        self.assigns[v.index()]
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        match self.assigns[l.var().index()] {
+            VALUE_UNDEF => None,
+            VALUE_TRUE => Some(l.is_positive()),
+            _ => Some(l.is_negative()),
+        }
+    }
+
+    #[inline]
+    fn watch(&mut self, lit: Lit, cref: CRef, blocker: Lit) {
+        // Clause watches `lit`; the watcher must fire when `lit` becomes
+        // false, i.e. when `!lit` is enqueued.
+        self.watches[(!lit).index()].push(Watcher { cref, blocker });
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: CRef) {
+        debug_assert!(self.lit_value(lit).is_none());
+        let v = lit.var();
+        self.assigns[v.index()] = if lit.is_positive() {
+            VALUE_TRUE
+        } else {
+            VALUE_FALSE
+        };
+        self.levels[v.index()] = self.decision_level();
+        self.reasons[v.index()] = reason;
+        self.trail.push(lit);
+        if self.decision_level() == 0 && !reason.is_undef() {
+            // The unit fact `lit` is derived by resolving `reason` with
+            // the unit derivations of its other (level-0 false) literals,
+            // all of which were enqueued earlier.
+            let mut ants = vec![self.db.trace(reason)];
+            for k in 0..self.db.len(reason) {
+                let l = self.db.lits(reason)[k];
+                if l.var() != v {
+                    if let Some(t) = self.unit_trace[l.var().index()] {
+                        ants.push(t);
+                    }
+                }
+            }
+            self.unit_trace[v.index()] = Some(self.trace.add_learned(ants));
+        }
+    }
+
+    fn propagate(&mut self) -> Option<CRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut kept = 0usize;
+            let mut conflict: Option<CRef> = None;
+            let mut i = 0usize;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.db.is_deleted(w.cref) {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                if self.lit_value(w.blocker) == Some(true) {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                // Normalise: the false literal sits at index 1.
+                {
+                    let lits = self.db.lits_mut(w.cref);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(w.cref)[0];
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replacement = None;
+                {
+                    let lits = self.db.lits(w.cref);
+                    for (k, &l) in lits.iter().enumerate().skip(2) {
+                        if self.lit_value(l) != Some(false) {
+                            replacement = Some(k);
+                            break;
+                        }
+                    }
+                }
+                if let Some(k) = replacement {
+                    let lits = self.db.lits_mut(w.cref);
+                    lits.swap(1, k);
+                    let new_watch = lits[1];
+                    self.watch(new_watch, w.cref, first);
+                    continue; // watcher moved to another list
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(w.cref);
+                    // Keep the remaining watchers (including this one).
+                    ws[kept] = w;
+                    kept += 1;
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                } else {
+                    ws[kept] = w;
+                    kept += 1;
+                    self.enqueue(first, w.cref);
+                }
+            }
+            ws.truncate(kept);
+            debug_assert!(self.watches[p.index()].is_empty());
+            self.watches[p.index()] = ws;
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn decide(&mut self, lit: Lit) {
+        self.stats.decisions += 1;
+        self.trail_lim.push(self.trail.len());
+        self.enqueue(lit, CRef::UNDEF);
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            self.assigns[v.index()] = VALUE_UNDEF;
+            self.phase[v.index()] = lit.is_positive();
+            self.reasons[v.index()] = CRef::UNDEF;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    fn bump_clause(&mut self, c: CRef) {
+        if self.db.bump_activity(c, self.cla_inc) {
+            self.db.rescale_activities();
+            self.cla_inc *= 1e-20_f32;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first), the backtrack level, and the antecedent trace ids.
+    fn analyze(&mut self, mut confl: CRef) -> (Vec<Lit>, u32, Vec<TraceId>) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut antecedents: Vec<TraceId> = Vec::new();
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            antecedents.push(self.db.trace(confl));
+            if self.db.is_learned(confl) {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            for k in start..self.db.len(confl) {
+                let q = self.db.lits(confl)[k];
+                let v = q.var();
+                if self.seen[v.index()] {
+                    continue;
+                }
+                if self.levels[v.index()] == 0 {
+                    // Skipped from the learned clause, but its unit
+                    // derivation is part of the resolution proof.
+                    if let Some(t) = self.unit_trace[v.index()] {
+                        antecedents.push(t);
+                    }
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.levels[v.index()] >= self.decision_level() {
+                    path_count += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Select next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var();
+            self.seen[v.index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            confl = self.reasons[v.index()];
+            debug_assert!(!confl.is_undef(), "resolved literal must have a reason");
+        }
+
+        self.stats.max_literals += learnt.len() as u64;
+
+        // Recursive clause minimisation (MiniSAT ccmin deep mode). A kept
+        // literal's removal resolves extra clauses into the derivation, so
+        // the reasons visited by a *successful* redundancy proof join the
+        // antecedents.
+        self.analyze_toclear = learnt.clone();
+        let levels_mask: u64 = learnt[1..]
+            .iter()
+            .fold(0u64, |m, l| m | 1u64 << (self.levels[l.var().index()] & 63));
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let reason = self.reasons[l.var().index()];
+            if reason.is_undef() || !self.lit_redundant(l, levels_mask, &mut antecedents) {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        for l in std::mem::take(&mut self.analyze_toclear) {
+            self.seen[l.var().index()] = false;
+        }
+
+        self.stats.tot_literals += learnt.len() as u64;
+
+        // Compute backtrack level and move the max-level literal to slot 1.
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()]
+        };
+
+        (learnt, backtrack, antecedents)
+    }
+
+    /// Checks whether `lit` is implied by the rest of the learned clause
+    /// (so it can be dropped). On success the visited reasons are pushed
+    /// into `antecedents`; on failure nothing is recorded.
+    fn lit_redundant(
+        &mut self,
+        lit: Lit,
+        levels_mask: u64,
+        antecedents: &mut Vec<TraceId>,
+    ) -> bool {
+        let mut stack = std::mem::take(&mut self.analyze_stack);
+        stack.clear();
+        stack.push(lit);
+        let mut visited_reasons: Vec<TraceId> = Vec::new();
+        let top = self.analyze_toclear.len();
+        let mut failed = false;
+
+        while let Some(l) = stack.pop() {
+            let reason = self.reasons[l.var().index()];
+            debug_assert!(!reason.is_undef());
+            visited_reasons.push(self.db.trace(reason));
+            let lits: Vec<Lit> = self.db.lits(reason).to_vec();
+            for q in lits {
+                let v = q.var();
+                if q == !l || self.seen[v.index()] {
+                    continue;
+                }
+                if self.levels[v.index()] == 0 {
+                    if let Some(t) = self.unit_trace[v.index()] {
+                        visited_reasons.push(t);
+                    }
+                    continue;
+                }
+                // Abstraction check: the literal's level must appear in
+                // the clause, and it must itself have a reason.
+                if self.reasons[v.index()].is_undef()
+                    || (1u64 << (self.levels[v.index()] & 63)) & levels_mask == 0
+                {
+                    failed = true;
+                    break;
+                }
+                self.seen[v.index()] = true;
+                self.analyze_toclear.push(q);
+                stack.push(q);
+            }
+            if failed {
+                break;
+            }
+        }
+
+        if failed {
+            // Undo the marks added during this (failed) probe.
+            for l in self.analyze_toclear.drain(top..) {
+                self.seen[l.var().index()] = false;
+            }
+        } else {
+            antecedents.extend(visited_reasons);
+        }
+        self.analyze_stack = stack;
+        !failed
+    }
+
+    /// Resolves a level-0 conflict back to original clause ids: the
+    /// refutation core (Proposition: the returned clause set is UNSAT).
+    fn final_conflict_core(&mut self, confl: CRef) -> Vec<ClauseId> {
+        let mut roots = vec![self.db.trace(confl)];
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut marked = vec![false; self.num_vars()];
+        for &l in self.db.lits(confl) {
+            marked[l.var().index()] = true;
+        }
+        for idx in (0..self.trail.len()).rev() {
+            let v = self.trail[idx].var();
+            if !marked[v.index()] {
+                continue;
+            }
+            let reason = self.reasons[v.index()];
+            debug_assert!(
+                !reason.is_undef(),
+                "level-0 assignments always have clause reasons"
+            );
+            roots.push(self.db.trace(reason));
+            for &l in self.db.lits(reason) {
+                marked[l.var().index()] = true;
+            }
+        }
+        self.trace.expand_to_original(&roots)
+    }
+
+    /// MiniSAT `analyzeFinal`: collects a subset `S` of the assumption
+    /// literals such that the formula conjoined with `S` is
+    /// unsatisfiable. `a` is the assumption that was found false.
+    fn analyze_final(&mut self, a: Lit) {
+        self.failed_assumptions.clear();
+        self.failed_assumptions.push(a);
+        if self.decision_level() == 0 {
+            return;
+        }
+        let mut marked = vec![false; self.num_vars()];
+        marked[a.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for idx in (bottom..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            if !marked[v.index()] {
+                continue;
+            }
+            let reason = self.reasons[v.index()];
+            if reason.is_undef() {
+                // A decision: under assumption-driven search every
+                // decision below the failing point is an assumption, and
+                // `lit` is exactly the assumed literal.
+                self.failed_assumptions.push(lit);
+            } else {
+                for &l in self.db.lits(reason) {
+                    if self.levels[l.var().index()] > 0 {
+                        marked[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>, antecedents: Vec<TraceId>) {
+        self.stats.conflicts += 1;
+        self.stats.learned_clauses += 1;
+        let tid = self.trace.add_learned(antecedents);
+        if learnt.len() == 1 {
+            // Asserting unit: becomes a level-0 fact with the learned
+            // clause as its reason.
+            let cref = self.db.add(&learnt, true, tid);
+            self.enqueue(learnt[0], cref);
+        } else {
+            let cref = self.db.add(&learnt, true, tid);
+            let (w0, w1) = (learnt[0], learnt[1]);
+            self.watch(w0, cref, w1);
+            self.watch(w1, cref, w0);
+            self.bump_clause(cref);
+            self.enqueue(learnt[0], cref);
+        }
+        self.decay_activities();
+    }
+
+    fn reduce_db(&mut self) {
+        let mut refs: Vec<CRef> = self.db.learned_refs().collect();
+        refs.sort_by(|&a, &b| {
+            self.db
+                .activity(a)
+                .partial_cmp(&self.db.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = refs.len() / 2;
+        let mut removed = 0usize;
+        for &c in refs.iter() {
+            if removed >= target {
+                break;
+            }
+            if self.db.len(c) <= 2 || self.is_locked(c) {
+                continue;
+            }
+            self.db.mark_deleted(c);
+            self.stats.deleted_clauses += 1;
+            removed += 1;
+        }
+    }
+
+    fn is_locked(&self, c: CRef) -> bool {
+        let first = self.db.lits(c)[0];
+        self.reasons[first.var().index()] == c && self.lit_value(first) == Some(true)
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflicts_allowed: u64,
+        deadline: Option<Instant>,
+        conflict_cap: Option<u64>,
+        propagation_cap: Option<u64>,
+    ) -> SearchResult {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    let core = self.final_conflict_core(confl);
+                    self.ok = false;
+                    self.unsat_core = Some(core);
+                    return SearchResult::Unsat;
+                }
+                let (learnt, backtrack, antecedents) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.record_learnt(learnt, antecedents);
+                if let Some(cap) = conflict_cap {
+                    if self.stats.conflicts >= cap {
+                        return SearchResult::BudgetExhausted;
+                    }
+                }
+                if conflicts_here >= conflicts_allowed {
+                    self.cancel_until(0);
+                    return SearchResult::Restart;
+                }
+                continue;
+            }
+
+            // Propagation fixpoint reached: bookkeeping, then decide.
+            if let Some(cap) = propagation_cap {
+                if self.stats.propagations >= cap {
+                    return SearchResult::BudgetExhausted;
+                }
+            }
+            if let Some(d) = deadline {
+                // An Instant::now() per decision is measurable but cheap
+                // relative to a propagation fixpoint; this keeps timeout
+                // precision tight for the experiment harness.
+                if Instant::now() >= d {
+                    return SearchResult::BudgetExhausted;
+                }
+            }
+            if self.db.num_learned() as f64 >= self.max_learnts {
+                self.max_learnts *= self.config.learntsize_inc;
+                self.reduce_db();
+            }
+
+            // Assumption handling.
+            let mut next_decision: Option<Lit> = None;
+            let level = self.decision_level() as usize;
+            if level < assumptions.len() {
+                let a = assumptions[level];
+                match self.lit_value(a) {
+                    Some(true) => {
+                        // Already satisfied: open an (empty) level so the
+                        // per-level assumption indexing stays aligned.
+                        self.trail_lim.push(self.trail.len());
+                        continue;
+                    }
+                    Some(false) => {
+                        self.analyze_final(a);
+                        return SearchResult::Unsat;
+                    }
+                    None => next_decision = Some(a),
+                }
+            }
+
+            let lit = match next_decision {
+                Some(l) => l,
+                None => {
+                    let mut picked = None;
+                    while let Some(v) = self.order.pop(&self.activity) {
+                        if self.var_value(v) == VALUE_UNDEF {
+                            picked = Some(v);
+                            break;
+                        }
+                    }
+                    match picked {
+                        Some(v) => Lit::new(v, self.phase[v.index()]),
+                        None => {
+                            // All variables assigned: a model.
+                            let mut m = Assignment::for_vars(self.num_vars());
+                            for (i, &a) in self.assigns.iter().enumerate() {
+                                m.assign(Var::new(i as u32), a == VALUE_TRUE);
+                            }
+                            self.model = Some(m);
+                            return SearchResult::Sat;
+                        }
+                    }
+                }
+            };
+            self.decide(lit);
+        }
+    }
+}
+
+enum SearchResult {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(d: i32) -> Lit {
+        Lit::from_dimacs(d).unwrap()
+    }
+
+    fn solver_with(clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for c in clauses {
+            s.add_clause(c.iter().map(|&d| l(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn single_unit_sat() {
+        let mut s = solver_with(&[&[1]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_unsat_with_core() {
+        let mut s = solver_with(&[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert_eq!(core, &[ClauseId(0), ClauseId(1)]);
+    }
+
+    #[test]
+    fn unsat_detected_at_add_time() {
+        let mut s = Solver::new();
+        s.add_clause([l(1)]);
+        s.add_clause([l(-1)]);
+        assert!(!s.is_ok());
+        assert!(s.unsat_core().is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_core() {
+        let mut s = Solver::new();
+        s.add_clause([l(1)]);
+        let id = s.add_clause(std::iter::empty());
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_core().unwrap(), &[id]);
+    }
+
+    #[test]
+    fn simple_3sat_sat() {
+        let mut s = solver_with(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.value(Var::new(1)), Some(true));
+        assert_eq!(m.value(Var::new(0)), Some(false));
+        assert_eq!(m.value(Var::new(2)), Some(false));
+    }
+
+    #[test]
+    fn paper_example1_unsat_core() {
+        // (x1)(x2 ∨ ¬x1)(¬x2)
+        let mut s = solver_with(&[&[1], &[2, -1], &[-2]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert_eq!(core.len(), 3);
+    }
+
+    #[test]
+    fn core_excludes_irrelevant_clauses() {
+        // Clauses 0-1 form the contradiction; 2-3 are satisfiable noise
+        // over different variables.
+        let mut s = solver_with(&[&[1], &[-1], &[2, 3], &[-2, 3]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert_eq!(core, &[ClauseId(0), ClauseId(1)]);
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole() {
+        // p1h1, p2h1, ¬p1h1 ∨ ¬p2h1
+        let mut s = solver_with(&[&[1], &[2], &[-1, -2]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_core().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn chain_implication_unsat() {
+        // x1, x1→x2→…→x6, ¬x6.
+        let mut s = solver_with(&[
+            &[1],
+            &[-1, 2],
+            &[-2, 3],
+            &[-3, 4],
+            &[-4, 5],
+            &[-5, 6],
+            &[-6],
+        ]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_core().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn core_is_subset_when_noise_present() {
+        // An implication-chain contradiction plus 20 satisfiable clauses.
+        let mut s = Solver::new();
+        s.add_clause([l(1)]);
+        s.add_clause([l(-1), l(2)]);
+        s.add_clause([l(-2)]);
+        for i in 0..20 {
+            let base = 10 + 2 * i;
+            s.add_clause([l(base), l(base + 1)]);
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert_eq!(core, &[ClauseId(0), ClauseId(1), ClauseId(2)]);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        s.add_clause([l(1), l(-1)]);
+        s.add_clause([l(2)]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::new();
+        s.add_clause([l(1), l(1), l(1)]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert_eq!(s.model().unwrap().value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = solver_with(&[&[1, 2]]);
+        assert_eq!(s.solve_with_assumptions(&[l(-1)]), SolveOutcome::Sat);
+        assert_eq!(s.model().unwrap().value(Var::new(1)), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[l(-1), l(-2)]),
+            SolveOutcome::Unsat
+        );
+        // Formula itself is satisfiable: no clause core, but failed
+        // assumptions are reported.
+        assert!(s.unsat_core().is_none());
+        assert!(!s.failed_assumptions().is_empty());
+        // Solver remains usable.
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_subset() {
+        // x1→x2, assumption x1 and ¬x2 conflict; x3 assumption irrelevant.
+        let mut s = solver_with(&[&[-1, 2]]);
+        s.ensure_vars(3);
+        let r = s.solve_with_assumptions(&[l(3), l(1), l(-2)]);
+        assert_eq!(r, SolveOutcome::Unsat);
+        let failed = s.failed_assumptions().to_vec();
+        assert!(failed.contains(&l(1)) || failed.contains(&l(-2)));
+        assert!(!failed.contains(&l(3)));
+    }
+
+    #[test]
+    fn budget_conflicts_returns_unknown() {
+        // A hard pigeonhole instance (5 pigeons, 4 holes) with a 1-conflict cap.
+        let mut s = Solver::new();
+        let php = php_clauses(5, 4);
+        for c in &php {
+            s.add_clause(c.iter().copied());
+        }
+        s.set_budget(Budget::new().with_max_conflicts(1));
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        // With the cap lifted it is solved.
+        s.set_budget(Budget::new());
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    /// Pigeonhole principle clauses: n pigeons, m holes. p(i,j) = var i*m+j.
+    fn php_clauses(n: usize, m: usize) -> Vec<Vec<Lit>> {
+        let var = |i: usize, j: usize| Var::new((i * m + j) as u32);
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push((0..m).map(|j| Lit::positive(var(i, j))).collect());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    out.push(vec![Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pigeonhole_unsat_and_core_covers_pigeons() {
+        let mut s = Solver::new();
+        let clauses = php_clauses(4, 3);
+        let n_clauses = clauses.len();
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert!(!core.is_empty());
+        assert!(core.len() <= n_clauses);
+        // The core must be unsatisfiable on its own: re-solve it.
+        let mut s2 = Solver::new();
+        for &id in core {
+            s2.add_clause(clauses[id.index()].iter().copied());
+        }
+        assert_eq!(s2.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![l(1), l(2), l(-3)],
+            vec![l(-1), l(3)],
+            vec![l(-2), l(-3)],
+            vec![l(2), l(3)],
+        ];
+        let mut s = Solver::new();
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        for c in &clauses {
+            assert!(c.iter().any(|&lit| m.satisfies(lit)), "clause violated");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.stats().conflicts >= 1);
+    }
+
+    #[test]
+    fn solver_reusable_after_sat() {
+        let mut s = solver_with(&[&[1, 2]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        s.add_clause([l(-1)]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        s.add_clause([l(-2)]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.unsat_core().is_some());
+    }
+
+    #[test]
+    fn add_after_unsat_keeps_core() {
+        let mut s = solver_with(&[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core: Vec<ClauseId> = s.unsat_core().unwrap().to_vec();
+        s.add_clause([l(2)]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_core().unwrap(), core.as_slice());
+    }
+}

@@ -1,0 +1,67 @@
+//! Solver statistics.
+
+use std::fmt;
+
+/// Counters describing the work a [`crate::Solver`] has performed.
+///
+/// All counters are cumulative over the lifetime of the solver (across
+/// multiple `solve` calls).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently retained.
+    pub learned_clauses: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Total literals in learned clauses (before minimisation).
+    pub max_literals: u64,
+    /// Total literals in learned clauses (after minimisation).
+    pub tot_literals: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} restarts={} learned={} deleted={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learned_clauses,
+            self.deleted_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = SolverStats::default();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = SolverStats {
+            decisions: 3,
+            conflicts: 2,
+            ..SolverStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("decisions=3"));
+        assert!(text.contains("conflicts=2"));
+    }
+}

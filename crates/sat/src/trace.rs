@@ -1,0 +1,153 @@
+//! Resolution trace for clause-level unsatisfiable-core extraction.
+//!
+//! Every clause the solver ever owns — original or learned — has a
+//! [`TraceId`]. Original clauses map to their external [`ClauseId`];
+//! learned clauses record the multiset of antecedent trace ids that were
+//! resolved to derive them (the conflicting clause, every reason clause
+//! used during first-UIP analysis, and every reason used while
+//! minimising the learned clause).
+//!
+//! When the solver refutes the formula, the final (level-0) conflict is
+//! itself a resolution of some clauses; expanding those antecedents
+//! through the learned-clause DAG yields the set of original clauses
+//! that participate in the refutation — an unsatisfiable core. This is
+//! the same mechanism as MiniSAT 1.14's proof logger, which the paper's
+//! msu4 implementation used for core extraction.
+
+use crate::clause_db::ClauseId;
+
+/// Identifier of a node in the resolution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TraceId(pub(crate) u32);
+
+impl TraceId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TraceEntry {
+    /// An original clause with its external id.
+    Original(ClauseId),
+    /// A learned clause and the trace ids of its antecedents.
+    Learned(Box<[TraceId]>),
+}
+
+/// The resolution DAG. Entries are append-only: learned clauses may be
+/// deleted from the clause database, but other learned clauses may have
+/// been derived from them, so their derivations must survive.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    pub(crate) fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Registers an original clause, returning its trace id.
+    pub(crate) fn add_original(&mut self, id: ClauseId) -> TraceId {
+        self.entries.push(TraceEntry::Original(id));
+        TraceId((self.entries.len() - 1) as u32)
+    }
+
+    /// Registers a learned clause with its antecedents.
+    pub(crate) fn add_learned(&mut self, antecedents: Vec<TraceId>) -> TraceId {
+        self.entries
+            .push(TraceEntry::Learned(antecedents.into_boxed_slice()));
+        TraceId((self.entries.len() - 1) as u32)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Expands a set of trace roots to the sorted, deduplicated set of
+    /// original clause ids reachable through the antecedent DAG.
+    pub(crate) fn expand_to_original(&self, roots: &[TraceId]) -> Vec<ClauseId> {
+        let mut seen = vec![false; self.entries.len()];
+        let mut stack: Vec<TraceId> = Vec::with_capacity(roots.len());
+        for &r in roots {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+        let mut core = Vec::new();
+        while let Some(t) = stack.pop() {
+            match &self.entries[t.index()] {
+                TraceEntry::Original(id) => core.push(*id),
+                TraceEntry::Learned(ants) => {
+                    for &a in ants.iter() {
+                        if !seen[a.index()] {
+                            seen[a.index()] = true;
+                            stack.push(a);
+                        }
+                    }
+                }
+            }
+        }
+        core.sort_unstable();
+        core.dedup();
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_expansion_is_identity() {
+        let mut t = Trace::new();
+        let a = t.add_original(ClauseId(0));
+        let b = t.add_original(ClauseId(1));
+        assert_eq!(
+            t.expand_to_original(&[b, a]),
+            vec![ClauseId(0), ClauseId(1)]
+        );
+    }
+
+    #[test]
+    fn learned_chain_expands_to_leaves() {
+        let mut t = Trace::new();
+        let a = t.add_original(ClauseId(0));
+        let b = t.add_original(ClauseId(1));
+        let c = t.add_original(ClauseId(2));
+        let l1 = t.add_learned(vec![a, b]);
+        let l2 = t.add_learned(vec![l1, c]);
+        assert_eq!(
+            t.expand_to_original(&[l2]),
+            vec![ClauseId(0), ClauseId(1), ClauseId(2)]
+        );
+    }
+
+    #[test]
+    fn shared_antecedents_deduplicated() {
+        let mut t = Trace::new();
+        let a = t.add_original(ClauseId(5));
+        let l1 = t.add_learned(vec![a, a]);
+        let l2 = t.add_learned(vec![l1, a]);
+        assert_eq!(t.expand_to_original(&[l2, l1]), vec![ClauseId(5)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_entries_excluded() {
+        let mut t = Trace::new();
+        let a = t.add_original(ClauseId(0));
+        let _b = t.add_original(ClauseId(1));
+        assert_eq!(t.expand_to_original(&[a]), vec![ClauseId(0)]);
+    }
+
+    #[test]
+    fn empty_roots_empty_core() {
+        let mut t = Trace::new();
+        t.add_original(ClauseId(0));
+        assert!(t.expand_to_original(&[]).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the CDCL solver agrees with the reference DPLL on
+//! random small formulas, models satisfy every clause, and extracted
+//! cores are themselves unsatisfiable.
+
+use coremax_cnf::{CnfFormula, Lit};
+use coremax_sat::{dpll_is_satisfiable, SolveOutcome, Solver};
+use proptest::prelude::*;
+
+/// Strategy: random CNF over `max_vars` variables with clauses of length
+/// 1..=4. Produces a mix of SAT and UNSAT formulas.
+fn arb_cnf(max_vars: i32, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    let lit = (1..=max_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..=4);
+    prop::collection::vec(clause, 1..=max_clauses).prop_map(|clauses| {
+        let mut f = CnfFormula::new();
+        for c in clauses {
+            f.add_clause(c.into_iter().map(|d| Lit::from_dimacs(d).unwrap()));
+        }
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cdcl_agrees_with_dpll(f in arb_cnf(8, 30)) {
+        let expected = dpll_is_satisfiable(&f);
+        let mut s = Solver::new();
+        s.add_formula(&f);
+        let outcome = s.solve();
+        let got = match outcome {
+            SolveOutcome::Sat => true,
+            SolveOutcome::Unsat => false,
+            SolveOutcome::Unknown => unreachable!("no budget set"),
+        };
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn models_satisfy_every_clause(f in arb_cnf(10, 40)) {
+        let mut s = Solver::new();
+        s.add_formula(&f);
+        if s.solve() == SolveOutcome::Sat {
+            let m = s.model().expect("model after SAT");
+            for c in f.iter() {
+                prop_assert!(c.is_satisfied_by(m), "violated clause {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn cores_are_unsatisfiable(f in arb_cnf(7, 25)) {
+        let mut s = Solver::new();
+        let ids = s.add_formula(&f);
+        if s.solve() == SolveOutcome::Unsat {
+            let core = s.unsat_core().expect("core after UNSAT").to_vec();
+            prop_assert!(!core.is_empty());
+            // Every id must be one we added.
+            for id in &core {
+                prop_assert!(ids.contains(id));
+            }
+            // The core alone must be UNSAT (checked by the reference DPLL).
+            let mut sub = CnfFormula::with_vars(f.num_vars());
+            for id in &core {
+                sub.add_clause(f.clause(id.index()).lits().iter().copied());
+            }
+            prop_assert!(!dpll_is_satisfiable(&sub), "core was satisfiable");
+        }
+    }
+
+    #[test]
+    fn solving_under_assumptions_consistent(f in arb_cnf(6, 20), polarity in any::<bool>()) {
+        // φ ∧ a is SAT iff DPLL says φ with the unit a added is SAT.
+        let a = Lit::new(coremax_cnf::Var::new(0), polarity);
+        let mut s = Solver::new();
+        s.add_formula(&f);
+        s.ensure_vars(1);
+        let outcome = s.solve_with_assumptions(&[a]);
+        let mut g = f.clone();
+        g.ensure_var(coremax_cnf::Var::new(0));
+        g.add_clause([a]);
+        let expected = dpll_is_satisfiable(&g);
+        match outcome {
+            SolveOutcome::Sat => prop_assert!(expected),
+            SolveOutcome::Unsat => prop_assert!(!expected),
+            SolveOutcome::Unknown => unreachable!("no budget set"),
+        }
+    }
+
+    #[test]
+    fn incremental_addition_matches_batch(f in arb_cnf(6, 16)) {
+        // Adding clauses one by one with intermediate solves must agree
+        // with solving the whole formula at once.
+        let mut incremental = Solver::new();
+        let mut all_sat = true;
+        for c in f.iter() {
+            incremental.add_clause(c.lits().iter().copied());
+            let o = incremental.solve();
+            all_sat = o == SolveOutcome::Sat;
+        }
+        prop_assert_eq!(all_sat, dpll_is_satisfiable(&f));
+    }
+}

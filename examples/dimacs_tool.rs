@@ -1,0 +1,50 @@
+//! DIMACS workflow: generate a benchmark instance, write it to WCNF,
+//! read it back, solve it, and verify the solution — the round trip a
+//! downstream user scripting this library would follow.
+//!
+//! Run with: `cargo run --example dimacs_tool [-- <family>]` where
+//! `<family>` is one of `bmc`, `equiv`, `php`, `xor` (default `php`).
+
+use coremax::{verify_solution, MaxSatSolver, Msu4};
+use coremax_cnf::{dimacs, WcnfFormula};
+use coremax_instances::{bmc_instance, equiv_instance, pigeonhole, xor_chain};
+
+fn main() {
+    let family = std::env::args().nth(1).unwrap_or_else(|| "php".to_string());
+    let cnf = match family.as_str() {
+        "bmc" => bmc_instance(2, 3),
+        "equiv" => equiv_instance(0, 2),
+        "xor" => xor_chain(7),
+        _ => pigeonhole(3),
+    };
+    println!(
+        "generated `{family}`: {} vars, {} clauses",
+        cnf.num_vars(),
+        cnf.num_clauses()
+    );
+
+    // Serialise as WCNF (all clauses soft) and round-trip through text.
+    let wcnf = WcnfFormula::from_cnf_all_soft(&cnf);
+    let text = dimacs::write_wcnf(&wcnf);
+    println!("--- first lines of the WCNF ---");
+    for line in text.lines().take(5) {
+        println!("{line}");
+    }
+    let reparsed = dimacs::parse_wcnf(&text).expect("own output parses");
+    assert_eq!(reparsed, wcnf, "round trip must be lossless");
+
+    let mut solver = Msu4::v2();
+    let solution = solver.solve(&reparsed);
+    let cost = solution.cost.expect("finite instance");
+    println!(
+        "msu4-v2: cost {cost} ({} of {} clauses satisfiable), {}",
+        reparsed.num_soft() as u64 - cost,
+        reparsed.num_soft(),
+        solution.stats
+    );
+    assert!(
+        verify_solution(&reparsed, &solution),
+        "solution must verify"
+    );
+    println!("solution verified ✓");
+}

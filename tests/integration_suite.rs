@@ -1,0 +1,118 @@
+//! Suite-level integration: the generated benchmark families have the
+//! structural properties the experiments rely on, and msu4 solves a
+//! sample of every family within tight budgets.
+
+use std::time::Duration;
+
+use coremax::{disjoint_core_analysis, MaxSatSolver, MaxSatStatus, Msu4};
+use coremax_instances::{debug_suite, full_suite, Family, SuiteConfig};
+use coremax_sat::Budget;
+
+#[test]
+fn msu4_solves_one_instance_of_every_family() {
+    let suite = full_suite(&SuiteConfig::default());
+    for family in [
+        Family::Bmc,
+        Family::Equiv,
+        Family::Atpg,
+        Family::Php,
+        Family::Xor,
+        Family::Rand3,
+        Family::Debug,
+    ] {
+        let instance = suite
+            .iter()
+            .find(|i| i.family == family)
+            .unwrap_or_else(|| panic!("family {family} missing"));
+        let mut solver = Msu4::v2();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_secs(30)));
+        let solution = solver.solve(&instance.wcnf);
+        assert_eq!(
+            solution.status,
+            MaxSatStatus::Optimal,
+            "msu4-v2 aborted on {}",
+            instance.name
+        );
+        let cost = solution.cost.expect("optimal cost");
+        if family == Family::Debug {
+            // Debug instances may be fully consistent only when the bug
+            // is not excited; cost is just bounded.
+            assert!(cost <= instance.wcnf.num_soft() as u64);
+        } else {
+            assert!(cost >= 1, "{} comes from an UNSAT CNF", instance.name);
+        }
+    }
+}
+
+#[test]
+fn plain_families_have_small_cores_relative_to_size() {
+    // The paper's premise: industrial instances have inconsistency that
+    // core extraction isolates. Every circuit family must yield a
+    // proper-subset core; BMC instances (property cone inside a larger
+    // unrolling) must additionally have *localised* cores.
+    let suite = full_suite(&SuiteConfig::default());
+    for family in [Family::Bmc, Family::Equiv, Family::Atpg] {
+        let instance = suite
+            .iter()
+            .filter(|i| i.family == family)
+            .max_by_key(|i| i.wcnf.num_clauses())
+            .expect("family present");
+        let cnf = instance.wcnf.to_cnf();
+        let report = disjoint_core_analysis(&cnf, &Budget::new());
+        assert!(!report.cores.is_empty(), "{}: no core found", instance.name);
+        let smallest = report.cores.iter().map(Vec::len).min().expect("non-empty");
+        assert!(
+            smallest < cnf.num_clauses(),
+            "{}: core is the whole formula",
+            instance.name
+        );
+        if family == Family::Bmc {
+            assert!(
+                smallest * 2 < cnf.num_clauses(),
+                "{}: smallest core {} of {} clauses is not localised",
+                instance.name,
+                smallest,
+                cnf.num_clauses()
+            );
+        }
+    }
+}
+
+#[test]
+fn debug_suite_instances_feasible_and_partial() {
+    let suite = debug_suite(&SuiteConfig::default());
+    assert_eq!(suite.len(), 29, "Table 2 uses 29 instances");
+    for instance in suite.iter().take(6) {
+        let mut solver = Msu4::v2();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_secs(30)));
+        let solution = solver.solve(&instance.wcnf);
+        assert_eq!(
+            solution.status,
+            MaxSatStatus::Optimal,
+            "{} did not finish",
+            instance.name
+        );
+        // Hard observation clauses are satisfiable by construction (they
+        // come from a real simulation).
+        assert!(solution.cost.is_some());
+    }
+}
+
+#[test]
+fn suite_instance_sizes_span_a_range() {
+    let suite = full_suite(&SuiteConfig::default());
+    let sizes: Vec<usize> = suite.iter().map(|i| i.wcnf.num_clauses()).collect();
+    let min = sizes.iter().min().copied().unwrap_or(0);
+    let max = sizes.iter().max().copied().unwrap_or(0);
+    assert!(min >= 4);
+    assert!(max >= 10 * min, "size sweep too flat: {min}..{max}");
+}
+
+#[test]
+fn scaled_suite_grows_instances_not_just_count() {
+    let s1 = full_suite(&SuiteConfig { scale: 1, seed: 7 });
+    let s2 = full_suite(&SuiteConfig { scale: 2, seed: 7 });
+    let max1 = s1.iter().map(|i| i.wcnf.num_clauses()).max().unwrap();
+    let max2 = s2.iter().map(|i| i.wcnf.num_clauses()).max().unwrap();
+    assert!(max2 > max1, "scale must increase the largest instance");
+}
