@@ -10,6 +10,8 @@ use coremax::{
 use coremax_cnf::WcnfFormula;
 use coremax_instances::{equiv_instance, pigeonhole, xor_chain};
 
+type SolverFactory = Box<dyn Fn() -> Box<dyn MaxSatSolver>>;
+
 fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxsat_algorithms");
     group.sample_size(10);
@@ -24,7 +26,7 @@ fn bench_algorithms(c: &mut Criterion) {
     ];
 
     for (name, wcnf) in &cases {
-        let solvers: Vec<(&str, Box<dyn Fn() -> Box<dyn MaxSatSolver>>)> = vec![
+        let solvers: Vec<(&str, SolverFactory)> = vec![
             ("msu4v2", Box::new(|| Box::new(Msu4::v2()))),
             ("msu4v1", Box::new(|| Box::new(Msu4::v1()))),
             ("msu4inc", Box::new(|| Box::new(Msu4Incremental::new()))),

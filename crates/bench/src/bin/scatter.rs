@@ -82,9 +82,7 @@ fn main() {
         } else if ty < tx {
             y_wins += 1;
         }
-        if ty > 0.0 && !x.aborted() {
-            max_ratio = max_ratio.max(tx / ty.max(1e-6));
-        } else if x.aborted() && !y.aborted() {
+        if (ty > 0.0 && !x.aborted()) || (x.aborted() && !y.aborted()) {
             max_ratio = max_ratio.max(tx / ty.max(1e-6));
         }
     }

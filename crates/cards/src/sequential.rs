@@ -28,6 +28,9 @@ pub(crate) fn at_most(lits: &[Lit], k: usize, sink: &mut CnfSink) {
     for j in 1..k {
         sink.add_clause(vec![!reg(&s, 0, j)]);
     }
+    // Indexing is clearer than iterators here: every clause couples
+    // position i with its predecessor register row i - 1.
+    #[allow(clippy::needless_range_loop)]
     for i in 1..n - 1 {
         // xi → s(i,0)
         sink.add_clause(vec![!lits[i], reg(&s, i, 0)]);

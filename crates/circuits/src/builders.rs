@@ -288,7 +288,9 @@ pub fn alu(n: usize) -> Circuit {
         }
     }
 
-    // Bitwise units and a 4-way mux per bit.
+    // Bitwise units and a 4-way mux per bit. Indexing is clearer than
+    // iterators here: i addresses both input words (i, n + i) and sums[i].
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let a = c.input(i);
         let b = c.input(n + i);

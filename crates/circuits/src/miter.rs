@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn miter_simulation_detects_difference() {
         let a = builders::parity_tree(3);
-        let mut b = builders::parity_chain(3);
+        let b = builders::parity_chain(3);
         // Break b: flip its output with an inverter.
         let old = b.outputs()[0];
         let mut broken = Circuit::new(3);

@@ -392,7 +392,7 @@ mod tests {
     fn cnf_roundtrip() {
         let text = "p cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
         let f = parse_cnf(text).unwrap();
-        assert_eq!(write_cnf(&f), text.replace("1 -2 0", "1 -2 0"));
+        assert_eq!(write_cnf(&f), text);
         let g = parse_cnf(&write_cnf(&f)).unwrap();
         assert_eq!(f, g);
     }
@@ -435,5 +435,98 @@ mod tests {
     fn comments_and_percent_lines_skipped() {
         let f = parse_cnf("c a\n%\np cnf 1 1\nc inner\n1 0\n").unwrap();
         assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn blank_lines_between_clauses_skipped() {
+        let f = parse_cnf("p cnf 2 2\n\n1 0\n   \n\t\n-2 0\n\n").unwrap();
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn empty_clause_line_in_wcnf() {
+        // A weight followed directly by the terminator: empty soft clause.
+        let w = parse_wcnf("p wcnf 1 2 9\n5 0\n9 1 0\n").unwrap();
+        assert_eq!(w.num_soft(), 1);
+        assert_eq!(w.num_hard(), 1);
+        assert!(w.soft_clauses()[0].clause.is_empty());
+        assert_eq!(w.soft_clauses()[0].weight, 5);
+    }
+
+    #[test]
+    fn several_empty_cnf_clauses() {
+        let f = parse_cnf("p cnf 1 3\n0\n0\n0\n").unwrap();
+        assert_eq!(f.num_clauses(), 3);
+        assert!(f.iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn reject_missing_terminator_at_eof() {
+        let e = parse_cnf("p cnf 3 1\n1 2 3").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn reject_wcnf_missing_terminator_at_eof() {
+        let e = parse_wcnf("p wcnf 2 1 5\n5 1 2").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+    }
+
+    #[test]
+    fn reject_wcnf_weight_with_no_clause_at_eof() {
+        // A dangling weight token is an unterminated clause, not a panic.
+        let e = parse_wcnf("p wcnf 1 1 5\n3").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+    }
+
+    #[test]
+    fn top_weight_exactly_marks_hard() {
+        let w = parse_wcnf("p wcnf 1 3 1000\n1000 1 0\n999 -1 0\n1 1 0\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.soft_clauses()[0].weight, 999);
+    }
+
+    #[test]
+    fn weight_above_top_stays_soft() {
+        // Only weights exactly equal to top are hard (module contract);
+        // larger weights remain soft rather than being silently promoted.
+        let w = parse_wcnf("p wcnf 1 2 10\n11 1 0\n10 -1 0\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.num_soft(), 1);
+        assert_eq!(w.soft_clauses()[0].weight, 11);
+    }
+
+    #[test]
+    fn crlf_input_parses() {
+        let f = parse_cnf("p cnf 3 2\r\n1 -2 0\r\n3 0\r\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        let w = parse_wcnf("c crlf\r\np wcnf 2 2 9\r\n9 1 0\r\n4 -2 0\r\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.soft_clauses()[0].weight, 4);
+    }
+
+    #[test]
+    fn crlf_multiline_clause() {
+        let f = parse_cnf("p cnf 4 1\r\n1 2\r\n3 -4\r\n0\r\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.clause(0).len(), 4);
+    }
+
+    #[test]
+    fn wcnf_top_written_above_every_soft_weight() {
+        // write_wcnf must pick a top no soft weight can collide with,
+        // so the roundtrip preserves the hard/soft split.
+        let mut w = WcnfFormula::new();
+        w.add_hard([Lit::from_dimacs(1).unwrap()]);
+        w.add_soft([Lit::from_dimacs(-1).unwrap()], 7);
+        w.add_soft([Lit::from_dimacs(2).unwrap()], 3);
+        let text = write_wcnf(&w);
+        let again = parse_wcnf(&text).unwrap();
+        assert_eq!(again.num_hard(), 1);
+        assert_eq!(again.num_soft(), 2);
+        assert_eq!(again.total_soft_weight(), 10);
     }
 }

@@ -192,15 +192,10 @@ impl SearchCtx {
         let mut alive: Vec<bool> = vec![true; reduct.len()];
         // Repeatedly look for an inconsistency via unit propagation over
         // the remaining reduct; on success remove the involved clauses.
-        loop {
-            match up_inconsistency(&reduct, &alive, self.num_vars) {
-                Some((involved, min_weight)) => {
-                    lb += min_weight;
-                    for i in involved {
-                        alive[i] = false;
-                    }
-                }
-                None => break,
+        while let Some((involved, min_weight)) = up_inconsistency(&reduct, &alive, self.num_vars) {
+            lb += min_weight;
+            for i in involved {
+                alive[i] = false;
             }
         }
         lb
@@ -212,7 +207,7 @@ impl SearchCtx {
             return;
         }
         self.nodes += 1;
-        if self.nodes % 256 == 0 {
+        if self.nodes.is_multiple_of(256) {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.aborted = true;
@@ -286,7 +281,7 @@ impl SearchCtx {
                     score += 1 << (3u32.saturating_sub(unassigned.min(3)));
                 }
             }
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((var, score));
             }
         }

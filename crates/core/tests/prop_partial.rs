@@ -6,7 +6,7 @@ use coremax::{
     BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus, Msu1, Msu2, Msu3,
     Msu4,
 };
-use coremax_cnf::{Lit, Var, WcnfFormula};
+use coremax_cnf::{Lit, WcnfFormula};
 use proptest::prelude::*;
 
 /// Random partial MaxSAT instance: a few hard clauses over the first

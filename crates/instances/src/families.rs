@@ -134,7 +134,7 @@ pub fn xor_chain(n: usize) -> CnfFormula {
     // …and close the cycle with parity depending on n so the system is
     // inconsistent: sum of chain parities is n−1; require x1 ⊕ xn = 1 if
     // n−1 is even, = 0 otherwise.
-    if (n - 1) % 2 == 0 {
+    if (n - 1).is_multiple_of(2) {
         f.add_clause([Lit::positive(v(0)), Lit::positive(v(n - 1))]);
         f.add_clause([Lit::negative(v(0)), Lit::negative(v(n - 1))]);
     } else {

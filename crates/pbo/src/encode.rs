@@ -63,7 +63,7 @@ fn encode_le(constraint: &PbConstraint, sink: &mut CnfSink) {
     debug_assert_eq!(constraint.op(), PbOp::Le);
     debug_assert!(constraint.bound() >= 0);
     let mut terms = constraint.terms().to_vec();
-    terms.sort_by(|a, b| b.coeff.cmp(&a.coeff));
+    terms.sort_by_key(|t| std::cmp::Reverse(t.coeff));
     let bound = constraint.bound() as u64;
     // Suffix coefficient sums for the "rest always fits" terminal test.
     let mut suffix = vec![0u64; terms.len() + 1];

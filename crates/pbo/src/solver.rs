@@ -179,7 +179,7 @@ impl PboSolver {
                     // objective unit per SAT call.
                     self.minimise_model(&mut model, &bounds_so_far);
                     let cost = self.objective_value(&model);
-                    let improved = best.as_ref().map_or(true, |(_, b)| cost < *b);
+                    let improved = best.as_ref().is_none_or(|(_, b)| cost < *b);
                     if improved {
                         best = Some((model, cost));
                     }
@@ -224,10 +224,8 @@ pub fn maxsat_as_pbo(wcnf: &WcnfFormula) -> PboSolver {
         pbo.add_clause(h.lits().iter().copied());
     }
     let mut objective = Vec::with_capacity(wcnf.num_soft());
-    let mut next = wcnf.num_vars() as u32;
-    for soft in wcnf.soft_clauses() {
+    for (next, soft) in (wcnf.num_vars() as u32..).zip(wcnf.soft_clauses()) {
         let b = Lit::positive(coremax_cnf::Var::new(next));
-        next += 1;
         let mut clause: Vec<Lit> = soft.clause.lits().to_vec();
         clause.push(b);
         pbo.add_clause(clause);

@@ -220,7 +220,7 @@ mod tests {
         let a = db.add(&[l(1), l(2)], true, TraceId(0));
         assert!(!db.bump_activity(a, 1.0));
         assert!((db.activity(a) - 1.0).abs() < 1e-6);
-        assert!(db.bump_activity(a, 1e20 as f32 * 2.0));
+        assert!(db.bump_activity(a, 1e20_f32 * 2.0));
         db.rescale_activities();
         assert!(db.activity(a) < 1e6);
     }

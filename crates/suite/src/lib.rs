@@ -1,0 +1,5 @@
+//! Umbrella crate for the workspace's repo-level integration tests and
+//! examples (see `tests/` and `examples/` at the repository root, wired
+//! in via explicit `[[test]]`/`[[example]]` targets in this crate's
+//! manifest). It exports nothing; depend on the individual `coremax_*`
+//! crates instead.

@@ -1,0 +1,56 @@
+//! End-to-end smoke test: the paper's running example (Example 2, §3.3)
+//! solved through the `coremax_cli` pipeline exactly as the binary would —
+//! argument parsing, problem parsing, `run`, and output formatting — with
+//! MSU4, asserting the known optimum of 6 satisfied clauses out of 8.
+
+use coremax::{verify_solution, MaxSatStatus};
+use coremax_cli::{format_solution, parse_args, parse_problem, run};
+
+/// Example 2 of Marques-Silva & Planes (DATE 2008): 8 clauses over 4
+/// variables, at most 6 simultaneously satisfiable.
+const EXAMPLE2: &str = "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n";
+
+#[test]
+fn cli_pipeline_solves_example2_with_msu4() {
+    let options = parse_args(
+        ["--algorithm", "msu4-v2", "--verify", "-"]
+            .into_iter()
+            .map(String::from),
+    )
+    .expect("argument parsing");
+    let wcnf = parse_problem(EXAMPLE2).expect("Example 2 parses");
+
+    let solution = run(&options, &wcnf).expect("solver runs");
+
+    assert_eq!(solution.status, MaxSatStatus::Optimal);
+    assert_eq!(solution.cost, Some(2), "two clauses must be falsified");
+    assert_eq!(
+        solution.num_satisfied(&wcnf),
+        Some(6),
+        "optimum is 6 of 8 clauses"
+    );
+    let model = solution.model.as_ref().expect("optimal run yields a model");
+    assert_eq!(wcnf.cost(model), Some(2), "model must attain the optimum");
+    assert!(
+        verify_solution(&wcnf, &solution),
+        "independent verification must accept the solution"
+    );
+
+    let rendered = format_solution(&wcnf, &solution, true);
+    assert!(
+        rendered.contains("o 2"),
+        "output must report the optimum cost line, got:\n{rendered}"
+    );
+}
+
+#[test]
+fn all_core_guided_algorithms_agree_on_example2() {
+    let wcnf = parse_problem(EXAMPLE2).expect("Example 2 parses");
+    for algorithm in ["msu1", "msu3", "msu4-v1", "msu4-v2", "msu4-inc"] {
+        let mut options = parse_args(["-".to_string()]).expect("argument parsing");
+        options.algorithm = algorithm.to_string();
+        let solution = run(&options, &wcnf).unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+        assert_eq!(solution.status, MaxSatStatus::Optimal, "{algorithm}");
+        assert_eq!(solution.cost, Some(2), "{algorithm}");
+    }
+}

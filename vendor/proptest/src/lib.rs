@@ -1,0 +1,558 @@
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace's property tests use.
+//!
+//! The container has no crates.io access, so the workspace vendors this
+//! stub instead of the real crate. It keeps the same surface —
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! `Strategy` (with `prop_map`/`prop_flat_map`/`boxed`), `Just`,
+//! `any::<T>()`, integer-range and tuple strategies,
+//! `prop::collection::vec`, simple char-class regex string strategies,
+//! and `ProptestConfig::with_cases` — but generates cases with a
+//! deterministic SplitMix64 stream and reports failures by panicking
+//! (no shrinking). Each failing case prints its case index and seed so
+//! a run can be reproduced by reading the panic message.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to drive generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the RNG stream.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy, used by `prop_oneof!` to mix heterogeneous arms.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies; backs `prop_oneof!`.
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+// Integer ranges as strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 random mantissa bits scaled onto [start, end).
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+// Tuples of strategies are strategies over tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `any::<T>()` — full-domain strategy for primitives.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+#[derive(Clone)]
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-ish string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, supporting the subset of
+/// regex the tests use: a single char class with a `{min,max}` counted
+/// repetition, e.g. `"[ \t\r\np0-9cw%-]{0,120}"`. Escapes `\t`, `\r`,
+/// `\n`, `\\`, and `a-b` ranges are understood inside the class; a `-`
+/// first or last is literal.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let quant = &rest[close + 1..];
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            alphabet.push(match class[i + 1] {
+                't' => '\t',
+                'r' => '\r',
+                'n' => '\n',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (c as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    // Quantifier: `{m,n}`, `{m}`, or absent (single char).
+    let (min, max) = if quant.is_empty() {
+        (1, 1)
+    } else {
+        let body = quant.strip_prefix('{')?.strip_suffix('}')?;
+        match body.split_once(',') {
+            Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+            None => {
+                let m: usize = body.trim().parse().ok()?;
+                (m, m)
+            }
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bound for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// The body of each generated test runs `config.cases` times with values
+/// drawn from the named strategies. Failures panic immediately (no
+/// shrinking); the panic message includes the case index and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg); $($rest)*);
+    };
+    (@with_config ($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Derive a per-test seed from the test name so streams differ
+            // between tests but stay stable across runs.
+            let seed = {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            $(let $arg = $strat;)+
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::from_seed(
+                    seed.wrapping_add(case as u64),
+                );
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                let run = || {
+                    $body
+                };
+                if let Err(payload) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                ) {
+                    eprintln!(
+                        "proptest case {case} of {} failed (seed {seed:#x}) in {}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Like `assert!`, but named so property-test bodies read as upstream.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategy arms (all arms must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Mirrors proptest's `prelude::prop` module path (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_class_parses() {
+        let (alphabet, min, max) = super::parse_class_pattern("[ \t\r\np0-9cw%-]{0,120}").unwrap();
+        assert_eq!((min, max), (0, 120));
+        assert!(alphabet.contains(&'\t'));
+        assert!(alphabet.contains(&'7'));
+        assert!(alphabet.contains(&'-'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0..10i32, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(x in (1..=4i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])) {
+            prop_assert!(x != 0 && x.abs() <= 4);
+        }
+
+        #[test]
+        fn string_strategy(s in "[ab]{1,3}") {
+            prop_assert!((1..=3).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}
