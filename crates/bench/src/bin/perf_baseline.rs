@@ -1,0 +1,327 @@
+//! `perf_baseline` — reproducible performance baseline over the
+//! generated instance suite.
+//!
+//! Writes a JSON trajectory file (`BENCH_pr<N>.json` at the repo root by
+//! convention) so every PR has a number to beat. Two layers are
+//! measured:
+//!
+//! 1. **MaxSAT layer**: wall-clock time per instance for the selected
+//!    algorithms (default `msu4v2` + `msu4inc`, the paper's strongest
+//!    variants) under a per-instance budget, plus the aggregated
+//!    SAT-engine counters for the whole run.
+//! 2. **SAT layer**: raw CDCL propagation throughput per instance — the
+//!    solver is run directly on all clauses (hard and soft alike) under
+//!    a conflict cap, yielding propagations/sec and conflicts/sec on
+//!    propagation-bound families.
+//!
+//! Usage:
+//! `perf_baseline [--out FILE] [--scale N] [--seed S] [--budget-ms MS]
+//!                [--solvers a,b] [--families f1,f2] [--sat-conflicts N]
+//!                [--fail-on-abort]`
+//!
+//! `--fail-on-abort` exits with status 1 if any selected MaxSAT solver
+//! aborts (status UNKNOWN) on any instance of the selected suite — used
+//! by CI to guarantee the engine never regresses below the seed on the
+//! reduced suite.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use coremax::MaxSatStatus;
+use coremax_bench::{run_solver_over, RunRecord};
+use coremax_instances::{full_suite, Instance, SuiteConfig};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+struct Args {
+    out: String,
+    scale: usize,
+    seed: u64,
+    budget_ms: u64,
+    solvers: Vec<String>,
+    families: Option<Vec<String>>,
+    sat_conflicts: u64,
+    fail_on_abort: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_pr2.json".into(),
+            scale: 1,
+            seed: 42,
+            budget_ms: 2_000,
+            solvers: vec!["msu4v2".into(), "msu4inc".into()],
+            families: None,
+            sat_conflicts: 20_000,
+            fail_on_abort: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--budget-ms" => args.budget_ms = value("--budget-ms").parse().expect("budget-ms"),
+            "--sat-conflicts" => {
+                args.sat_conflicts = value("--sat-conflicts").parse().expect("sat-conflicts");
+            }
+            "--solvers" => {
+                args.solvers = value("--solvers").split(',').map(str::to_string).collect();
+            }
+            "--families" => {
+                args.families = Some(value("--families").split(',').map(str::to_string).collect());
+            }
+            "--fail-on-abort" => args.fail_on_abort = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One SAT-layer throughput measurement.
+struct SatRecord {
+    instance: String,
+    family: &'static str,
+    outcome: &'static str,
+    time_s: f64,
+    propagations: u64,
+    conflicts: u64,
+    learned: u64,
+    bin_propagations: u64,
+    peak_learned: u64,
+    gc_runs: u64,
+    props_per_sec: f64,
+    conflicts_per_sec: f64,
+}
+
+fn sat_throughput(instance: &Instance, max_conflicts: u64) -> SatRecord {
+    let mut solver = Solver::new();
+    solver.ensure_vars(instance.wcnf.num_vars());
+    for c in instance.wcnf.hard_clauses() {
+        solver.add_clause(c.lits().iter().copied());
+    }
+    for s in instance.wcnf.soft_clauses() {
+        solver.add_clause(s.clause.lits().iter().copied());
+    }
+    solver.set_budget(Budget::new().with_max_conflicts(max_conflicts));
+    let start = Instant::now();
+    let outcome = solver.solve();
+    let time_s = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = solver.stats();
+    SatRecord {
+        instance: instance.name.clone(),
+        family: instance.family.name(),
+        outcome: match outcome {
+            SolveOutcome::Sat => "sat",
+            SolveOutcome::Unsat => "unsat",
+            SolveOutcome::Unknown => "unknown",
+        },
+        time_s,
+        propagations: stats.propagations,
+        conflicts: stats.conflicts,
+        learned: stats.learned_clauses,
+        bin_propagations: stats.bin_propagations,
+        peak_learned: stats.peak_learned,
+        gc_runs: stats.gc_runs,
+        props_per_sec: stats.propagations as f64 / time_s,
+        conflicts_per_sec: stats.conflicts as f64 / time_s,
+    }
+}
+
+fn status_name(status: MaxSatStatus) -> &'static str {
+    match status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0usize);
+    for v in values {
+        log_sum += v.max(1e-9).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = parse_args();
+    let suite: Vec<Instance> = full_suite(&SuiteConfig {
+        scale: args.scale,
+        seed: args.seed,
+    })
+    .into_iter()
+    .filter(|i| {
+        args.families
+            .as_ref()
+            .is_none_or(|fs| fs.iter().any(|f| f == i.family.name()))
+    })
+    .collect();
+    assert!(!suite.is_empty(), "family filter selected no instances");
+    eprintln!(
+        "perf_baseline: {} instances, {} ms budget, solvers {:?}",
+        suite.len(),
+        args.budget_ms,
+        args.solvers
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"scale\": {}, \"seed\": {}, \"instances\": {}}},",
+        args.scale,
+        args.seed,
+        suite.len()
+    );
+    let _ = writeln!(out, "  \"budget_ms\": {},", args.budget_ms);
+    let _ = writeln!(out, "  \"sat_conflict_cap\": {},", args.sat_conflicts);
+
+    // ---- MaxSAT layer ----
+    let mut aborted_total = 0usize;
+    out.push_str("  \"maxsat_runs\": [\n");
+    let mut first = true;
+    let mut geo: Vec<(String, f64)> = Vec::new();
+    for solver_name in &args.solvers {
+        eprintln!("maxsat layer: {solver_name} over {} instances", suite.len());
+        let records: Vec<RunRecord> =
+            run_solver_over(solver_name, &suite, Duration::from_millis(args.budget_ms));
+        geo.push((
+            solver_name.clone(),
+            geomean(records.iter().map(|r| r.time.as_secs_f64() * 1e3)),
+        ));
+        for r in &records {
+            if r.aborted() {
+                aborted_total += 1;
+                eprintln!("  ABORT: {solver_name} on {} ({})", r.instance, r.family);
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"solver\": \"{}\", \"instance\": \"{}\", \"family\": \"{}\", \
+                 \"status\": \"{}\", \"cost\": {}, \"time_ms\": {:.3}, \
+                 \"propagations\": {}, \"conflicts\": {}, \"props_per_sec\": {:.0}}}",
+                json_escape(r.solver),
+                json_escape(&r.instance),
+                r.family,
+                status_name(r.status),
+                r.cost.map_or("null".into(), |c| c.to_string()),
+                r.time.as_secs_f64() * 1e3,
+                r.sat_propagations,
+                r.sat_conflicts,
+                r.sat_propagations as f64 / r.time.as_secs_f64().max(1e-9),
+            );
+        }
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"maxsat_geomean_time_ms\": {");
+    for (i, (name, g)) in geo.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {:.3}", json_escape(name), g);
+    }
+    out.push_str("},\n");
+
+    // ---- SAT layer ----
+    eprintln!(
+        "sat layer: propagation throughput over {} instances",
+        suite.len()
+    );
+    let sat_records: Vec<SatRecord> = suite
+        .iter()
+        .map(|i| sat_throughput(i, args.sat_conflicts))
+        .collect();
+    out.push_str("  \"sat_runs\": [\n");
+    for (i, r) in sat_records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"instance\": \"{}\", \"family\": \"{}\", \"outcome\": \"{}\", \
+             \"time_ms\": {:.3}, \"propagations\": {}, \"conflicts\": {}, \"learned\": {}, \
+             \"bin_propagations\": {}, \"peak_learned\": {}, \"gc_runs\": {}, \
+             \"props_per_sec\": {:.0}, \"conflicts_per_sec\": {:.0}}}",
+            json_escape(&r.instance),
+            r.family,
+            r.outcome,
+            r.time_s * 1e3,
+            r.propagations,
+            r.conflicts,
+            r.learned,
+            r.bin_propagations,
+            r.peak_learned,
+            r.gc_runs,
+            r.props_per_sec,
+            r.conflicts_per_sec,
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    // Per-family aggregate throughput (total propagations / total time:
+    // time-weighted, so long runs dominate as they should).
+    let mut families: Vec<&str> = sat_records.iter().map(|r| r.family).collect();
+    families.sort_unstable();
+    families.dedup();
+    out.push_str("  \"sat_family_throughput\": {");
+    for (i, family) in families.iter().enumerate() {
+        let (mut props, mut conflicts, mut time) = (0u64, 0u64, 0.0f64);
+        for r in sat_records.iter().filter(|r| r.family == *family) {
+            props += r.propagations;
+            conflicts += r.conflicts;
+            time += r.time_s;
+        }
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}\": {{\"props_per_sec\": {:.0}, \"conflicts_per_sec\": {:.0}, \"time_ms\": {:.3}}}",
+            family,
+            props as f64 / time.max(1e-9),
+            conflicts as f64 / time.max(1e-9),
+            time * 1e3,
+        );
+    }
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"maxsat_aborted\": {aborted_total}");
+    out.push_str("}\n");
+
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    for (name, g) in &geo {
+        println!("geomean {name}: {g:.3} ms");
+    }
+    println!("wrote {}", args.out);
+
+    if args.fail_on_abort && aborted_total > 0 {
+        eprintln!(
+            "FAIL: {aborted_total} aborted runs (budget {} ms)",
+            args.budget_ms
+        );
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,10 @@ pub struct RunRecord {
     pub cost: Option<u64>,
     /// Wall-clock time.
     pub time: Duration,
+    /// CDCL propagations aggregated over the run's SAT calls.
+    pub sat_propagations: u64,
+    /// CDCL conflicts aggregated over the run's SAT calls.
+    pub sat_conflicts: u64,
 }
 
 impl RunRecord {
@@ -92,6 +96,8 @@ pub fn run_solver_over(
                 status: solution.status,
                 cost: solution.cost,
                 time: solution.stats.wall_time,
+                sat_propagations: solution.stats.sat.propagations,
+                sat_conflicts: solution.stats.sat.conflicts,
             }
         })
         .collect()
@@ -190,6 +196,8 @@ mod tests {
             status: MaxSatStatus::Optimal,
             cost: Some(1),
             time: Duration::ZERO,
+            sat_propagations: 0,
+            sat_conflicts: 0,
         };
         let mut b = a.clone();
         b.solver = "b";

@@ -77,6 +77,7 @@ fn main() -> ExitCode {
     }
     if options.stats {
         println!("c stats: {}", solution.stats);
+        println!("c sat-stats: {}", solution.stats.sat);
     }
     print!("{}", format_solution(&wcnf, &solution, options.print_model));
 

@@ -109,7 +109,9 @@ impl LinearCore {
             }
 
             stats.sat_calls += 1;
-            match solver.solve() {
+            let outcome = solver.solve();
+            stats.absorb_sat(solver.stats());
+            match outcome {
                 SolveOutcome::Unknown => {
                     return finish(MaxSatStatus::Unknown, None, None, stats);
                 }

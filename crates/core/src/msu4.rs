@@ -209,7 +209,9 @@ impl MaxSatSolver for Msu4 {
                 solver.add_clause(h.iter().copied());
             }
             stats.sat_calls += 1;
-            match solver.solve() {
+            let outcome = solver.solve();
+            stats.absorb_sat(solver.stats());
+            match outcome {
                 SolveOutcome::Unsat => return finish(MaxSatStatus::Infeasible, None, None, stats),
                 SolveOutcome::Unknown => return finish(MaxSatStatus::Unknown, None, None, stats),
                 SolveOutcome::Sat => {
@@ -264,7 +266,9 @@ impl MaxSatSolver for Msu4 {
             }
 
             stats.sat_calls += 1;
-            match solver.solve() {
+            let outcome = solver.solve();
+            stats.absorb_sat(solver.stats());
+            match outcome {
                 SolveOutcome::Unknown => {
                     return finish(
                         MaxSatStatus::Unknown,

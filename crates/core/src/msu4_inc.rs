@@ -145,6 +145,7 @@ impl MaxSatSolver for Msu4Incremental {
             stats.sat_calls += 1;
             match solver.solve_with_assumptions(&assumptions) {
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(solver.stats());
                     return finish(
                         MaxSatStatus::Unknown,
                         best_model.is_some().then_some(ub),
@@ -160,8 +161,10 @@ impl MaxSatSolver for Msu4Incremental {
                         // the accumulated bounds are (current ub optimal —
                         // Algorithm 1's line 21/22 case).
                         if vb.is_empty() {
+                            stats.absorb_sat(solver.stats());
                             return finish(MaxSatStatus::Infeasible, None, None, stats);
                         }
+                        stats.absorb_sat(solver.stats());
                         return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
                     }
                     stats.cores += 1;
@@ -183,6 +186,7 @@ impl MaxSatSolver for Msu4Incremental {
                     if fresh == 0 {
                         // The assumption core was empty or already
                         // blocked: the hard part must be inconsistent.
+                        stats.absorb_sat(solver.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
                     lb += 1;
@@ -202,6 +206,7 @@ impl MaxSatSolver for Msu4Incremental {
                         best_model = Some(model);
                     }
                     if ub == 0 {
+                        stats.absorb_sat(solver.stats());
                         return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
                     }
                     // Tighten: Σ_vb s ≤ ub − 1 (added permanently; bounds
@@ -217,10 +222,12 @@ impl MaxSatSolver for Msu4Incremental {
                 }
             }
             if lb >= ub {
+                stats.absorb_sat(solver.stats());
                 return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
+                    stats.absorb_sat(solver.stats());
                     return finish(
                         MaxSatStatus::Unknown,
                         best_model.is_some().then_some(ub),

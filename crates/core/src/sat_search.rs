@@ -75,6 +75,7 @@ fn solve_with_bound(
     }
     stats.sat_calls += 1;
     let outcome = solver.solve();
+    stats.absorb_sat(solver.stats());
     let model = solver.model().cloned();
     (outcome, model)
 }

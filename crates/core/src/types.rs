@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use coremax_cnf::{Assignment, WcnfFormula, Weight};
-use coremax_sat::Budget;
+use coremax_sat::{Budget, SolverStats};
 
 /// Verdict of a MaxSAT run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,19 @@ pub struct MaxSatStats {
     pub nodes: u64,
     /// Total wall-clock time.
     pub wall_time: Duration,
+    /// Aggregated CDCL-engine counters across every SAT solver this run
+    /// created (propagations, conflicts, LBD histogram, GC activity, …).
+    pub sat: SolverStats,
+}
+
+impl MaxSatStats {
+    /// Folds the counters of one underlying SAT solver into this run's
+    /// aggregate. Call once per SAT-solver lifetime (after its last
+    /// `solve`), since [`SolverStats`] counters are themselves
+    /// cumulative.
+    pub fn absorb_sat(&mut self, stats: &SolverStats) {
+        self.sat.absorb(stats);
+    }
 }
 
 impl fmt::Display for MaxSatStats {

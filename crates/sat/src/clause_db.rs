@@ -36,7 +36,13 @@ impl std::fmt::Display for ClauseId {
     }
 }
 
-/// Internal reference to a clause in the arena.
+/// Internal reference to a clause: the word offset of its header in the
+/// arena (MiniSAT's region-allocator `CRef`).
+///
+/// `CRef`s are *positional*: garbage collection compacts the arena and
+/// remaps every live reference through the table returned by
+/// [`ClauseDb::collect_garbage`]. Holding a `CRef` across a collection
+/// without remapping it is a bug.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct CRef(pub(crate) u32);
 
@@ -54,26 +60,59 @@ impl CRef {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Header {
-    start: u32,
-    len: u32,
-    activity: f32,
-    learned: bool,
-    deleted: bool,
-    trace: TraceId,
-}
+// Header layout, in arena words relative to the clause's `CRef`:
+// `[len][flags|lbd<<2][activity bits][trace id][lit 0]…[lit len-1]`.
+// Headers are stored through `Lit::from_code`/`Lit::code` round-trips:
+// the arena is a single `Vec<Lit>`, so a clause's header and literals
+// share cache lines — one memory fetch serves the whole propagation
+// visit. No word is ever *used* as a literal unless it is one.
+const HDR_LEN: usize = 0;
+const HDR_FLAGS: usize = 1;
+const HDR_ACT: usize = 2;
+const HDR_TRACE: usize = 3;
+const HDR_SIZE: usize = 4;
 
-/// Flat clause arena. Literals of all clauses live in one `Vec<Lit>`;
-/// a header per clause records the slice, activity and bookkeeping.
-/// Deleted clauses leave their literals in place (no GC) but are marked
-/// and skipped everywhere; their trace entries remain valid, which is
-/// essential for core extraction.
+const FLAG_LEARNED: u32 = 1;
+const FLAG_DELETED: u32 = 2;
+const LBD_SHIFT: u32 = 2;
+
+/// Flat clause arena in the MiniSAT region-allocator style. Deleted
+/// clauses stay in place (marked and skipped everywhere) until
+/// [`ClauseDb::collect_garbage`] compacts the arena. Trace entries are
+/// independent of arena positions, so core extraction survives any
+/// number of collections.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ClauseDb {
-    lits: Vec<Lit>,
-    headers: Vec<Header>,
+    arena: Vec<Lit>,
+    /// Refs of learned clauses; may contain deleted entries between a
+    /// reduction and the next collection ([`Self::learned_refs`] filters).
+    learnts: Vec<CRef>,
+    num_clauses: usize,
     num_learned: usize,
+    /// Arena words (headers + literals) held by deleted clauses.
+    wasted_words: usize,
+}
+
+/// Outcome of a garbage collection: a sorted old-offset → new-offset
+/// table, plus the bytes returned to the allocator's working set.
+pub(crate) struct GcRemap {
+    /// `(old_cref, new_cref)` for every surviving clause, sorted by old.
+    pairs: Vec<(u32, u32)>,
+    pub(crate) bytes_reclaimed: u64,
+}
+
+impl GcRemap {
+    /// New position of `old`, or `CRef::UNDEF` if it was collected.
+    #[inline]
+    pub(crate) fn remap(&self, old: CRef) -> CRef {
+        if old.is_undef() {
+            return CRef::UNDEF;
+        }
+        match self.pairs.binary_search_by_key(&old.0, |&(o, _)| o) {
+            Ok(i) => CRef(self.pairs[i].1),
+            Err(_) => CRef::UNDEF,
+        }
+    }
 }
 
 impl ClauseDb {
@@ -81,99 +120,188 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
+    #[inline]
+    fn word(&self, idx: usize) -> u32 {
+        self.arena[idx].code()
+    }
+
+    #[inline]
+    fn set_word(&mut self, idx: usize, value: u32) {
+        self.arena[idx] = Lit::from_code(value);
+    }
+
     /// Adds a clause; `len >= 1` expected (empty clauses are handled
     /// before reaching the arena).
     pub(crate) fn add(&mut self, lits: &[Lit], learned: bool, trace: TraceId) -> CRef {
         debug_assert!(!lits.is_empty());
-        let start = self.lits.len() as u32;
-        self.lits.extend_from_slice(lits);
-        self.headers.push(Header {
-            start,
-            len: lits.len() as u32,
-            activity: 0.0,
-            learned,
-            deleted: false,
-            trace,
-        });
+        let cref = CRef(self.arena.len() as u32);
+        self.arena.push(Lit::from_code(lits.len() as u32));
+        self.arena
+            .push(Lit::from_code(if learned { FLAG_LEARNED } else { 0 }));
+        self.arena.push(Lit::from_code(0.0f32.to_bits()));
+        self.arena.push(Lit::from_code(trace.0));
+        self.arena.extend_from_slice(lits);
+        self.num_clauses += 1;
         if learned {
             self.num_learned += 1;
+            self.learnts.push(cref);
         }
-        CRef((self.headers.len() - 1) as u32)
+        cref
     }
 
     #[inline]
     pub(crate) fn lits(&self, c: CRef) -> &[Lit] {
-        let h = &self.headers[c.index()];
-        &self.lits[h.start as usize..(h.start + h.len) as usize]
-    }
-
-    #[inline]
-    pub(crate) fn lits_mut(&mut self, c: CRef) -> &mut [Lit] {
-        let h = &self.headers[c.index()];
-        let (s, e) = (h.start as usize, (h.start + h.len) as usize);
-        &mut self.lits[s..e]
+        let len = self.word(c.index() + HDR_LEN) as usize;
+        &self.arena[c.index() + HDR_SIZE..c.index() + HDR_SIZE + len]
     }
 
     #[inline]
     pub(crate) fn len(&self, c: CRef) -> usize {
-        self.headers[c.index()].len as usize
+        self.word(c.index() + HDR_LEN) as usize
+    }
+
+    /// `(start, len)` of the clause's literal slice in absolute arena
+    /// indices: one header read for callers that then index the arena
+    /// directly (hot propagation path).
+    #[inline]
+    pub(crate) fn span(&self, c: CRef) -> (usize, usize) {
+        (
+            c.index() + HDR_SIZE,
+            self.word(c.index() + HDR_LEN) as usize,
+        )
+    }
+
+    /// Direct arena access by absolute literal index (from [`Self::span`]).
+    #[inline]
+    pub(crate) fn lit_at(&self, idx: usize) -> Lit {
+        self.arena[idx]
+    }
+
+    /// Swaps two literals by absolute arena index.
+    #[inline]
+    pub(crate) fn swap_lits(&mut self, a: usize, b: usize) {
+        self.arena.swap(a, b);
     }
 
     #[inline]
     pub(crate) fn trace(&self, c: CRef) -> TraceId {
-        self.headers[c.index()].trace
+        TraceId(self.word(c.index() + HDR_TRACE))
     }
 
     #[inline]
     pub(crate) fn is_learned(&self, c: CRef) -> bool {
-        self.headers[c.index()].learned
+        self.word(c.index() + HDR_FLAGS) & FLAG_LEARNED != 0
     }
 
     #[inline]
     pub(crate) fn is_deleted(&self, c: CRef) -> bool {
-        self.headers[c.index()].deleted
+        self.word(c.index() + HDR_FLAGS) & FLAG_DELETED != 0
     }
 
     pub(crate) fn mark_deleted(&mut self, c: CRef) {
-        let h = &mut self.headers[c.index()];
-        debug_assert!(!h.deleted);
-        h.deleted = true;
-        if h.learned {
+        debug_assert!(!self.is_deleted(c));
+        let flags = self.word(c.index() + HDR_FLAGS);
+        self.set_word(c.index() + HDR_FLAGS, flags | FLAG_DELETED);
+        self.wasted_words += HDR_SIZE + self.len(c);
+        self.num_clauses -= 1;
+        if flags & FLAG_LEARNED != 0 {
             self.num_learned -= 1;
         }
     }
 
     #[inline]
     pub(crate) fn activity(&self, c: CRef) -> f32 {
-        self.headers[c.index()].activity
+        f32::from_bits(self.word(c.index() + HDR_ACT))
+    }
+
+    #[inline]
+    pub(crate) fn lbd(&self, c: CRef) -> u32 {
+        self.word(c.index() + HDR_FLAGS) >> LBD_SHIFT
+    }
+
+    /// Records a (new or improved) LBD for a clause.
+    #[inline]
+    pub(crate) fn set_lbd(&mut self, c: CRef, lbd: u32) {
+        let flags = self.word(c.index() + HDR_FLAGS) & (FLAG_LEARNED | FLAG_DELETED);
+        self.set_word(c.index() + HDR_FLAGS, flags | (lbd << LBD_SHIFT));
     }
 
     pub(crate) fn bump_activity(&mut self, c: CRef, inc: f32) -> bool {
-        let h = &mut self.headers[c.index()];
-        h.activity += inc;
-        h.activity > 1e20
+        let act = self.activity(c) + inc;
+        self.set_word(c.index() + HDR_ACT, act.to_bits());
+        act > 1e20
     }
 
     pub(crate) fn rescale_activities(&mut self) {
-        for h in &mut self.headers {
-            h.activity *= 1e-20;
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let len = self.word(off + HDR_LEN) as usize;
+            let act = f32::from_bits(self.word(off + HDR_ACT)) * 1e-20;
+            self.set_word(off + HDR_ACT, act.to_bits());
+            off += HDR_SIZE + len;
         }
     }
 
+    /// Number of live clauses.
     pub(crate) fn num_clauses(&self) -> usize {
-        self.headers.len()
+        self.num_clauses
     }
 
     pub(crate) fn num_learned(&self) -> usize {
         self.num_learned
     }
 
+    /// Arena words currently held by deleted clauses.
+    #[inline]
+    pub(crate) fn wasted_words(&self) -> usize {
+        self.wasted_words
+    }
+
+    /// Total arena words (live and deleted).
+    #[inline]
+    pub(crate) fn total_words(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Iterates over live learned clause references.
     pub(crate) fn learned_refs(&self) -> impl Iterator<Item = CRef> + '_ {
-        self.headers
+        self.learnts
             .iter()
-            .enumerate()
-            .filter_map(|(i, h)| (h.learned && !h.deleted).then_some(CRef(i as u32)))
+            .copied()
+            .filter(|&c| !self.is_deleted(c))
+    }
+
+    /// Compacts the arena: drops deleted clauses, slides live clauses
+    /// (header and literals) down in place, and returns the remap table
+    /// the owner must apply to every stored `CRef` (watch lists,
+    /// reasons). Trace ids are untouched.
+    pub(crate) fn collect_garbage(&mut self) -> GcRemap {
+        let old_words = self.arena.len();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(self.num_clauses);
+        let mut read = 0usize;
+        let mut write = 0usize;
+        while read < old_words {
+            let words = HDR_SIZE + self.word(read + HDR_LEN) as usize;
+            if self.word(read + HDR_FLAGS) & FLAG_DELETED == 0 {
+                self.arena.copy_within(read..read + words, write);
+                pairs.push((read as u32, write as u32));
+                write += words;
+            }
+            read += words;
+        }
+        self.arena.truncate(write);
+        self.wasted_words = 0;
+        self.learnts.clear();
+        for &(_, new) in &pairs {
+            let c = CRef(new);
+            if self.is_learned(c) {
+                self.learnts.push(c);
+            }
+        }
+        GcRemap {
+            pairs,
+            bytes_reclaimed: ((old_words - write) * std::mem::size_of::<Lit>()) as u64,
+        }
     }
 }
 
@@ -197,6 +325,10 @@ mod tests {
         assert_eq!(db.num_clauses(), 2);
         assert!(!db.is_learned(a));
         assert_eq!(db.trace(b), TraceId(1));
+        let (start, len) = db.span(a);
+        assert_eq!(len, 2);
+        assert_eq!(db.lit_at(start), l(1));
+        assert_eq!(db.lit_at(start + 1), l(2));
     }
 
     #[test]
@@ -212,6 +344,7 @@ mod tests {
         assert_eq!(db.num_learned(), 0);
         assert!(db.is_deleted(a));
         assert_eq!(db.learned_refs().count(), 0);
+        assert_eq!(db.wasted_words(), 6);
     }
 
     #[test]
@@ -226,11 +359,60 @@ mod tests {
     }
 
     #[test]
-    fn lits_mut_allows_reordering() {
+    fn lbd_stored_and_updated() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2), l(3)], true, TraceId(0));
+        assert_eq!(db.lbd(a), 0);
+        db.set_lbd(a, 3);
+        assert_eq!(db.lbd(a), 3);
+        assert!(db.is_learned(a));
+        db.set_lbd(a, 2);
+        assert_eq!(db.lbd(a), 2);
+        assert!(!db.is_deleted(a));
+    }
+
+    #[test]
+    fn lits_are_mutable_via_swap() {
         let mut db = ClauseDb::new();
         let a = db.add(&[l(1), l(2), l(3)], false, TraceId(0));
-        db.lits_mut(a).swap(0, 2);
+        let (start, _) = db.span(a);
+        db.swap_lits(start, start + 2);
         assert_eq!(db.lits(a), &[l(3), l(2), l(1)]);
+    }
+
+    #[test]
+    fn gc_compacts_and_remaps() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2)], false, TraceId(0));
+        let b = db.add(&[l(3), l(4), l(5)], true, TraceId(1));
+        let c = db.add(&[l(-1), l(-2)], true, TraceId(2));
+        db.set_lbd(c, 2);
+        db.mark_deleted(b);
+        assert_eq!(db.wasted_words(), 7);
+        let remap = db.collect_garbage();
+        assert_eq!(db.num_clauses(), 2);
+        assert_eq!(db.wasted_words(), 0);
+        let (na, nb, nc) = (remap.remap(a), remap.remap(b), remap.remap(c));
+        assert!(nb.is_undef());
+        assert_eq!(db.lits(na), &[l(1), l(2)]);
+        assert_eq!(db.lits(nc), &[l(-1), l(-2)]);
+        assert_eq!(db.trace(nc), TraceId(2));
+        assert!(db.is_learned(nc));
+        assert_eq!(db.lbd(nc), 2);
+        assert_eq!(db.num_learned(), 1);
+        let learned: Vec<CRef> = db.learned_refs().collect();
+        assert_eq!(learned, vec![nc]);
+        assert!(remap.bytes_reclaimed > 0);
+        assert_eq!(remap.remap(CRef::UNDEF), CRef::UNDEF);
+    }
+
+    #[test]
+    fn gc_noop_when_nothing_deleted() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&[l(1), l(2)], false, TraceId(0));
+        let remap = db.collect_garbage();
+        assert_eq!(remap.remap(a), a);
+        assert_eq!(db.lits(a), &[l(1), l(2)]);
     }
 
     #[test]

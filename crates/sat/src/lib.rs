@@ -5,11 +5,17 @@
 //! from-scratch conflict-driven clause-learning solver in the MiniSAT
 //! lineage:
 //!
-//! - two-watched-literal propagation,
+//! - two-watched-literal propagation with dedicated binary-clause watch
+//!   lists (the other literal is stored inline, so binary propagation
+//!   never touches the clause arena),
 //! - first-UIP conflict analysis with recursive clause minimisation,
+//!   allocation-free in steady state,
 //! - VSIDS variable activities with phase saving,
-//! - Luby-sequence restarts,
-//! - activity-driven learned-clause database reduction,
+//! - Luby-sequence restarts, plus an optional glucose-style adaptive
+//!   restart mode ([`RestartMode`]),
+//! - learned-clause database reduction ordered by literal block
+//!   distance (LBD) first and activity second, with glue-clause
+//!   protection, followed by clause-arena garbage collection,
 //! - solving under assumptions with failed-assumption extraction,
 //! - **resolution-trace unsatisfiable cores**: every clause carries an
 //!   id, learned clauses record their antecedents, and when the formula
@@ -51,5 +57,5 @@ mod trace;
 pub use budget::Budget;
 pub use clause_db::ClauseId;
 pub use dpll::{dpll_is_satisfiable, dpll_max_satisfiable};
-pub use solver::{SolveOutcome, Solver, SolverConfig};
-pub use stats::SolverStats;
+pub use solver::{RestartMode, SolveOutcome, Solver, SolverConfig};
+pub use stats::{SolverStats, LBD_HIST_BUCKETS};

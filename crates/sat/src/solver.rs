@@ -24,6 +24,19 @@ pub enum SolveOutcome {
     Unknown,
 }
 
+/// Restart scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartMode {
+    /// Luby-sequence restarts with base interval
+    /// [`SolverConfig::restart_base`] (MiniSAT's classic schedule).
+    #[default]
+    Luby,
+    /// Glucose-style adaptive restarts: restart as soon as the moving
+    /// average of recent learned-clause LBDs exceeds the global average
+    /// by the margin [`SolverConfig::glucose_margin`].
+    Glucose,
+}
+
 /// Tunable solver parameters.
 ///
 /// The defaults mirror MiniSAT's classic configuration; they are exposed
@@ -35,8 +48,19 @@ pub struct SolverConfig {
     pub var_decay: f64,
     /// Learned-clause activity decay; must be in `(0, 1]`.
     pub clause_decay: f32,
-    /// Base interval (in conflicts) of the Luby restart schedule.
+    /// Base interval (in conflicts) of the Luby restart schedule (only
+    /// used when [`SolverConfig::restart_mode`] is [`RestartMode::Luby`]).
     pub restart_base: u64,
+    /// Restart policy. Default: [`RestartMode::Luby`], which keeps runs
+    /// reproducible against MiniSAT-lineage expectations; switch to
+    /// [`RestartMode::Glucose`] for LBD-driven adaptive restarts.
+    pub restart_mode: RestartMode,
+    /// Window (in conflicts) of the recent-LBD moving average driving
+    /// [`RestartMode::Glucose`]. Default 50, as in Glucose.
+    pub glucose_lbd_window: usize,
+    /// A glucose restart fires when `recent_lbd_avg * glucose_margin >
+    /// global_lbd_avg`. Default 0.8, as in Glucose.
+    pub glucose_margin: f64,
     /// Initial cap on retained learned clauses, as a fraction of the
     /// number of original clauses.
     pub learntsize_factor: f64,
@@ -46,6 +70,16 @@ pub struct SolverConfig {
     /// Lower bound on the learned-clause cap (prevents thrashing on
     /// small formulas; lower it to stress database reduction in tests).
     pub min_learnts: f64,
+    /// Clause-arena garbage collection runs after a database reduction
+    /// when at least this fraction of arena literals belongs to deleted
+    /// clauses. Default 0.25; set to 0.0 to force a collection after
+    /// every reduction (test hook).
+    pub gc_frac: f64,
+    /// The wall-clock deadline is polled once per this many decisions
+    /// (and once at the start of every restart). Default 64; raising it
+    /// trades timeout precision for less `Instant::now` overhead in the
+    /// decision loop.
+    pub timeout_check_interval: u64,
     /// Default polarity used before a variable has a saved phase.
     pub default_phase: bool,
 }
@@ -56,9 +90,14 @@ impl Default for SolverConfig {
             var_decay: 0.95,
             clause_decay: 0.999,
             restart_base: 100,
+            restart_mode: RestartMode::Luby,
+            glucose_lbd_window: 50,
+            glucose_margin: 0.8,
             learntsize_factor: 1.0 / 3.0,
             learntsize_inc: 1.1,
             min_learnts: 1000.0,
+            gc_frac: 0.25,
+            timeout_check_interval: 64,
             default_phase: false,
         }
     }
@@ -74,6 +113,42 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Watcher for a binary clause: the other literal is stored inline, so
+/// binary propagation never touches the clause arena and the watcher
+/// never migrates. `cref` is only needed when the clause becomes a
+/// reason or a conflict.
+#[derive(Debug, Clone, Copy)]
+struct BinWatcher {
+    other: Lit,
+    cref: CRef,
+}
+
+/// Assignment metadata of one variable: decision level and reason
+/// clause. Stored together because conflict analysis almost always
+/// reads both — one cache fetch instead of two.
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    level: u32,
+    reason: CRef,
+}
+
+/// Distinct non-zero decision levels among `lits` (the literal block
+/// distance). Free function so callers can borrow disjoint solver
+/// fields; `stamp` is a per-level generation mark reused across calls.
+fn compute_lbd(var_data: &[VarData], stamp: &mut [u64], gen: &mut u64, lits: &[Lit]) -> u32 {
+    *gen += 1;
+    let g = *gen;
+    let mut lbd = 0u32;
+    for &l in lits {
+        let lvl = var_data[l.var().index()].level as usize;
+        if lvl != 0 && stamp[lvl] != g {
+            stamp[lvl] = g;
+            lbd += 1;
+        }
+    }
+    lbd
+}
+
 /// A conflict-driven clause-learning SAT solver with unsatisfiable-core
 /// extraction. See the [crate docs](crate) for an overview and example.
 #[derive(Debug)]
@@ -82,13 +157,17 @@ pub struct Solver {
     db: ClauseDb,
     trace: Trace,
 
-    // Per-literal watch lists, indexed by `Lit::index`.
+    // Per-literal watch lists, indexed by `Lit::index`. Binary clauses
+    // live exclusively in `bin_watches`; longer clauses in `watches`.
     watches: Vec<Vec<Watcher>>,
+    bin_watches: Vec<Vec<BinWatcher>>,
 
-    // Per-variable state.
+    // Per-LITERAL truth values (two entries per variable, indexed by
+    // `Lit::index`): `lit_value` is a single array load with no sign
+    // decode, which matters on the propagation fast path.
     assigns: Vec<u8>,
-    levels: Vec<u32>,
-    reasons: Vec<CRef>,
+    // Per-variable state.
+    var_data: Vec<VarData>,
     activity: Vec<f64>,
     phase: Vec<bool>,
     seen: Vec<bool>,
@@ -108,6 +187,14 @@ pub struct Solver {
 
     max_learnts: f64,
 
+    // Glucose restart state: ring buffer of the last `glucose_lbd_window`
+    // learn-time LBDs plus running sums.
+    lbd_queue: Vec<u32>,
+    lbd_queue_pos: usize,
+    lbd_queue_len: usize,
+    lbd_recent_sum: u64,
+    lbd_global_sum: u64,
+
     // Result state.
     ok: bool,
     unsat_core: Option<Vec<ClauseId>>,
@@ -118,9 +205,24 @@ pub struct Solver {
     budget: Budget,
     stats: SolverStats,
 
-    // Scratch buffers reused across conflicts.
+    // Scratch buffers reused across conflicts. Once their capacities
+    // plateau, a conflict performs zero transient heap allocations
+    // (`SolverStats::scratch_reallocs` counts the growth events).
     analyze_stack: Vec<Lit>,
     analyze_toclear: Vec<Lit>,
+    learnt_buf: Vec<Lit>,
+    antecedents_buf: Vec<TraceId>,
+    redundant_buf: Vec<TraceId>,
+    unit_ants_buf: Vec<TraceId>,
+    reduce_scratch: Vec<CRef>,
+    add_buf: Vec<Lit>,
+    ordered_buf: Vec<Lit>,
+    // Per-level generation stamps for LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
+    // LBD of the clause produced by the latest `analyze` call, computed
+    // before backtracking (levels are only valid pre-backtrack).
+    pending_lbd: u32,
 }
 
 impl Default for Solver {
@@ -144,9 +246,9 @@ impl Solver {
             db: ClauseDb::new(),
             trace: Trace::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
-            levels: Vec::new(),
-            reasons: Vec::new(),
+            var_data: Vec::new(),
             activity: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
@@ -158,6 +260,11 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             max_learnts: 0.0,
+            lbd_queue: Vec::new(),
+            lbd_queue_pos: 0,
+            lbd_queue_len: 0,
+            lbd_recent_sum: 0,
+            lbd_global_sum: 0,
             ok: true,
             unsat_core: None,
             failed_assumptions: Vec::new(),
@@ -167,21 +274,37 @@ impl Solver {
             stats: SolverStats::default(),
             analyze_stack: Vec::new(),
             analyze_toclear: Vec::new(),
+            learnt_buf: Vec::new(),
+            antecedents_buf: Vec::new(),
+            redundant_buf: Vec::new(),
+            unit_ants_buf: Vec::new(),
+            reduce_scratch: Vec::new(),
+            add_buf: Vec::new(),
+            ordered_buf: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_gen: 0,
+            pending_lbd: 0,
         }
     }
 
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
-        let v = Var::new(self.assigns.len() as u32);
+        let v = Var::new(self.var_data.len() as u32);
         self.assigns.push(VALUE_UNDEF);
-        self.levels.push(0);
-        self.reasons.push(CRef::UNDEF);
+        self.assigns.push(VALUE_UNDEF);
+        self.var_data.push(VarData {
+            level: 0,
+            reason: CRef::UNDEF,
+        });
         self.activity.push(0.0);
         self.phase.push(self.config.default_phase);
         self.seen.push(false);
         self.unit_trace.push(None);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.lbd_stamp.push(0);
         self.order.insert(v, &self.activity);
         v
     }
@@ -196,7 +319,7 @@ impl Solver {
     /// Number of variables.
     #[must_use]
     pub fn num_vars(&self) -> usize {
-        self.assigns.len()
+        self.var_data.len()
     }
 
     /// Number of original (problem) clauses added so far, including
@@ -234,11 +357,24 @@ impl Solver {
     /// current level-0 state makes the solver permanently UNSAT and the
     /// core becomes available immediately.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> ClauseId {
+        // Scratch buffers make clause loading allocation-free in steady
+        // state — MaxSAT drivers rebuild solvers thousands of times, so
+        // the per-clause `Vec`s used to dominate their setup cost.
+        let mut buf = std::mem::take(&mut self.add_buf);
+        buf.clear();
+        buf.extend(lits);
+        let mut ordered = std::mem::take(&mut self.ordered_buf);
+        let id = self.add_clause_impl(&mut buf, &mut ordered);
+        self.add_buf = buf;
+        self.ordered_buf = ordered;
+        id
+    }
+
+    fn add_clause_impl(&mut self, lits: &mut Vec<Lit>, ordered: &mut Vec<Lit>) -> ClauseId {
         let id = ClauseId(self.next_clause_id);
         self.next_clause_id += 1;
 
-        let mut lits: Vec<Lit> = lits.into_iter().collect();
-        for &l in &lits {
+        for &l in lits.iter() {
             self.ensure_vars(l.var().index() + 1);
         }
         lits.sort_unstable();
@@ -260,34 +396,51 @@ impl Solver {
         }
 
         // Partition by current (level-0) value.
-        if lits.iter().any(|&l| self.lit_value(l) == Some(true)) {
+        let mut satisfied = false;
+        let mut num_unassigned = 0usize;
+        for &l in lits.iter() {
+            match self.lit_value(l) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                None => num_unassigned += 1,
+                Some(false) => {}
+            }
+        }
+        if satisfied {
             // Satisfied at level 0 forever: store for completeness but do
             // not watch. It can never appear in a core.
-            self.db.add(&lits, false, tid);
+            self.db.add(lits, false, tid);
             return id;
         }
-        let non_false: Vec<Lit> = lits
-            .iter()
-            .copied()
-            .filter(|&l| self.lit_value(l).is_none())
-            .collect();
 
-        match non_false.len() {
+        match num_unassigned {
             0 => {
                 // All literals false at level 0: immediate refutation.
-                let cref = self.db.add(&lits, false, tid);
+                let cref = self.db.add(lits, false, tid);
                 let core = self.final_conflict_core(cref);
                 self.ok = false;
                 self.unsat_core = Some(core);
             }
             1 => {
-                // Reason clauses must keep their asserted literal at
-                // position 0 (conflict analysis relies on it).
-                let unit = non_false[0];
-                let mut ordered = vec![unit];
+                // Reason clauses keep their asserted literal at
+                // position 0 (cheapest for conflict analysis).
+                ordered.clear();
+                ordered.extend(
+                    lits.iter()
+                        .copied()
+                        .filter(|&l| self.lit_value(l).is_none()),
+                );
+                let unit = ordered[0];
                 ordered.extend(lits.iter().copied().filter(|&x| x != unit));
-                let cref = self.db.add(&ordered, false, tid);
-                if ordered.len() >= 2 {
+                let cref = self.db.add(ordered, false, tid);
+                if ordered.len() == 2 {
+                    // The invariant holds forever once `unit` is
+                    // enqueued true, so a binary watcher is safe even
+                    // though the other literal is already false.
+                    self.watch_binary(ordered[0], ordered[1], cref);
+                } else if ordered.len() > 2 {
                     // Watch the unit literal plus an arbitrary (false,
                     // level-0, never-undone) literal: the invariant holds
                     // forever once `unit` is enqueued true.
@@ -302,13 +455,27 @@ impl Solver {
                 }
             }
             _ => {
-                // Order the clause so the first two literals are unassigned.
-                let mut ordered = non_false.clone();
-                ordered.extend(lits.iter().copied().filter(|l| !non_false.contains(l)));
-                let cref = self.db.add(&ordered, false, tid);
-                let (w0, w1) = (ordered[0], ordered[1]);
-                self.watch(w0, cref, w1);
-                self.watch(w1, cref, w0);
+                // Order the clause so unassigned literals come first
+                // (stable partition: both halves keep the sorted order).
+                ordered.clear();
+                ordered.extend(
+                    lits.iter()
+                        .copied()
+                        .filter(|&l| self.lit_value(l).is_none()),
+                );
+                ordered.extend(
+                    lits.iter()
+                        .copied()
+                        .filter(|&l| self.lit_value(l).is_some()),
+                );
+                let cref = self.db.add(ordered, false, tid);
+                if ordered.len() == 2 {
+                    self.watch_binary(ordered[0], ordered[1], cref);
+                } else {
+                    let (w0, w1) = (ordered[0], ordered[1]);
+                    self.watch(w0, cref, w1);
+                    self.watch(w1, cref, w0);
+                }
             }
         }
         id
@@ -357,7 +524,12 @@ impl Solver {
         let mut restart_count: u64 = 0;
         let outcome = loop {
             restart_count += 1;
-            let budget_this_restart = self.config.restart_base * luby(restart_count);
+            let budget_this_restart = match self.config.restart_mode {
+                RestartMode::Luby => self.config.restart_base * luby(restart_count),
+                // Glucose restarts are triggered adaptively inside
+                // `search`, not by a conflict budget.
+                RestartMode::Glucose => u64::MAX,
+            };
             match self.search(
                 assumptions,
                 budget_this_restart,
@@ -369,6 +541,14 @@ impl Solver {
                 SearchResult::Unsat => break SolveOutcome::Unsat,
                 SearchResult::Restart => {
                     self.stats.restarts += 1;
+                    match self.config.restart_mode {
+                        RestartMode::Luby => self.stats.restarts_luby += 1,
+                        RestartMode::Glucose => self.stats.restarts_glucose += 1,
+                    }
+                    // A fresh restart starts a fresh recent-LBD window.
+                    self.lbd_queue_len = 0;
+                    self.lbd_queue_pos = 0;
+                    self.lbd_recent_sum = 0;
                 }
                 SearchResult::BudgetExhausted => break SolveOutcome::Unknown,
             }
@@ -418,15 +598,15 @@ impl Solver {
 
     #[inline]
     fn var_value(&self, v: Var) -> u8 {
-        self.assigns[v.index()]
+        self.assigns[v.index() << 1]
     }
 
     #[inline]
     fn lit_value(&self, l: Lit) -> Option<bool> {
-        match self.assigns[l.var().index()] {
+        match self.assigns[l.index()] {
             VALUE_UNDEF => None,
-            VALUE_TRUE => Some(l.is_positive()),
-            _ => Some(l.is_negative()),
+            VALUE_TRUE => Some(true),
+            _ => Some(false),
         }
     }
 
@@ -437,22 +617,30 @@ impl Solver {
         self.watches[(!lit).index()].push(Watcher { cref, blocker });
     }
 
+    /// Registers both watchers of a binary clause `l0 ∨ l1`.
+    #[inline]
+    fn watch_binary(&mut self, l0: Lit, l1: Lit, cref: CRef) {
+        self.bin_watches[(!l0).index()].push(BinWatcher { other: l1, cref });
+        self.bin_watches[(!l1).index()].push(BinWatcher { other: l0, cref });
+    }
+
     fn enqueue(&mut self, lit: Lit, reason: CRef) {
         debug_assert!(self.lit_value(lit).is_none());
         let v = lit.var();
-        self.assigns[v.index()] = if lit.is_positive() {
-            VALUE_TRUE
-        } else {
-            VALUE_FALSE
+        self.assigns[lit.index()] = VALUE_TRUE;
+        self.assigns[(!lit).index()] = VALUE_FALSE;
+        self.var_data[v.index()] = VarData {
+            level: self.decision_level(),
+            reason,
         };
-        self.levels[v.index()] = self.decision_level();
-        self.reasons[v.index()] = reason;
         self.trail.push(lit);
         if self.decision_level() == 0 && !reason.is_undef() {
             // The unit fact `lit` is derived by resolving `reason` with
             // the unit derivations of its other (level-0 false) literals,
             // all of which were enqueued earlier.
-            let mut ants = vec![self.db.trace(reason)];
+            let mut ants = std::mem::take(&mut self.unit_ants_buf);
+            ants.clear();
+            ants.push(self.db.trace(reason));
             for k in 0..self.db.len(reason) {
                 let l = self.db.lits(reason)[k];
                 if l.var() != v {
@@ -461,7 +649,8 @@ impl Solver {
                     }
                 }
             }
-            self.unit_trace[v.index()] = Some(self.trace.add_learned(ants));
+            self.unit_trace[v.index()] = Some(self.trace.add_learned(&ants));
+            self.unit_ants_buf = ants;
         }
     }
 
@@ -471,6 +660,24 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
 
+            // Binary clauses first: the other literal is inline, the
+            // clause arena is never touched, and watchers never move.
+            let bins = std::mem::take(&mut self.bin_watches[p.index()]);
+            for &w in &bins {
+                match self.lit_value(w.other) {
+                    Some(true) => {}
+                    Some(false) => {
+                        self.bin_watches[p.index()] = bins;
+                        return Some(w.cref);
+                    }
+                    None => {
+                        self.stats.bin_propagations += 1;
+                        self.enqueue(w.other, w.cref);
+                    }
+                }
+            }
+            self.bin_watches[p.index()] = bins;
+
             let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut kept = 0usize;
             let mut conflict: Option<CRef> = None;
@@ -478,24 +685,27 @@ impl Solver {
             while i < ws.len() {
                 let w = ws[i];
                 i += 1;
-                if self.db.is_deleted(w.cref) {
-                    continue; // lazily drop watchers of deleted clauses
-                }
+                // Blocker first: it needs no clause-header access, and a
+                // deleted clause parked behind a true blocker is
+                // harmless until the next collection sweeps it.
                 if self.lit_value(w.blocker) == Some(true) {
                     ws[kept] = w;
                     kept += 1;
                     continue;
                 }
-                let false_lit = !p;
-                // Normalise: the false literal sits at index 1.
-                {
-                    let lits = self.db.lits_mut(w.cref);
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(lits[1], false_lit);
+                if self.db.is_deleted(w.cref) {
+                    continue; // lazily drop watchers of deleted clauses
                 }
-                let first = self.db.lits(w.cref)[0];
+                let false_lit = !p;
+                // One header read per watcher; everything below indexes
+                // the literal arena directly.
+                let (start, len) = self.db.span(w.cref);
+                // Normalise: the false literal sits at index 1.
+                if self.db.lit_at(start) == false_lit {
+                    self.db.swap_lits(start, start + 1);
+                }
+                debug_assert_eq!(self.db.lit_at(start + 1), false_lit);
+                let first = self.db.lit_at(start);
                 if first != w.blocker && self.lit_value(first) == Some(true) {
                     ws[kept] = Watcher {
                         cref: w.cref,
@@ -506,19 +716,15 @@ impl Solver {
                 }
                 // Look for a replacement watch.
                 let mut replacement = None;
-                {
-                    let lits = self.db.lits(w.cref);
-                    for (k, &l) in lits.iter().enumerate().skip(2) {
-                        if self.lit_value(l) != Some(false) {
-                            replacement = Some(k);
-                            break;
-                        }
+                for k in 2..len {
+                    if self.lit_value(self.db.lit_at(start + k)) != Some(false) {
+                        replacement = Some(k);
+                        break;
                     }
                 }
                 if let Some(k) = replacement {
-                    let lits = self.db.lits_mut(w.cref);
-                    lits.swap(1, k);
-                    let new_watch = lits[1];
+                    self.db.swap_lits(start + 1, start + k);
+                    let new_watch = self.db.lit_at(start + 1);
                     self.watch(new_watch, w.cref, first);
                     continue; // watcher moved to another list
                 }
@@ -564,9 +770,10 @@ impl Solver {
         for idx in (bound..self.trail.len()).rev() {
             let lit = self.trail[idx];
             let v = lit.var();
-            self.assigns[v.index()] = VALUE_UNDEF;
+            self.assigns[lit.index()] = VALUE_UNDEF;
+            self.assigns[(!lit).index()] = VALUE_UNDEF;
             self.phase[v.index()] = lit.is_positive();
-            self.reasons[v.index()] = CRef::UNDEF;
+            self.var_data[v.index()].reason = CRef::UNDEF;
             self.order.insert(v, &self.activity);
         }
         self.trail.truncate(bound);
@@ -597,11 +804,24 @@ impl Solver {
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first), the backtrack level, and the antecedent trace ids.
-    fn analyze(&mut self, mut confl: CRef) -> (Vec<Lit>, u32, Vec<TraceId>) {
-        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
-        let mut antecedents: Vec<TraceId> = Vec::new();
+    /// First-UIP conflict analysis. Fills [`Solver::learnt_buf`] with
+    /// the learned clause (asserting literal first) and
+    /// [`Solver::antecedents_buf`] with the antecedent trace ids, stores
+    /// the learn-time LBD in `pending_lbd`, and returns the backtrack
+    /// level. Allocation-free once the scratch capacities plateau.
+    fn analyze(&mut self, mut confl: CRef) -> u32 {
+        let caps = (
+            self.learnt_buf.capacity(),
+            self.antecedents_buf.capacity(),
+            self.analyze_toclear.capacity(),
+            self.analyze_stack.capacity(),
+            self.redundant_buf.capacity(),
+        );
+        let mut learnt = std::mem::take(&mut self.learnt_buf);
+        learnt.clear();
+        learnt.push(Lit::from_code(0)); // placeholder for UIP
+        let mut antecedents = std::mem::take(&mut self.antecedents_buf);
+        antecedents.clear();
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
@@ -610,15 +830,34 @@ impl Solver {
             antecedents.push(self.db.trace(confl));
             if self.db.is_learned(confl) {
                 self.bump_clause(confl);
+                // Keep the stored LBD current (it can only improve):
+                // LBD-driven reduction and glue protection key off it.
+                // Glue clauses are already maximally protected, so skip
+                // the O(len) recomputation for them.
+                if self.db.lbd(confl) > 2 {
+                    let lbd = compute_lbd(
+                        &self.var_data,
+                        &mut self.lbd_stamp,
+                        &mut self.lbd_gen,
+                        self.db.lits(confl),
+                    );
+                    if lbd < self.db.lbd(confl) {
+                        self.db.set_lbd(confl, lbd);
+                    }
+                }
             }
-            let start = usize::from(p.is_some());
-            for k in start..self.db.len(confl) {
+            for k in 0..self.db.len(confl) {
                 let q = self.db.lits(confl)[k];
+                // Skip the literal resolved on (binary reasons keep it
+                // at an arbitrary position, so match by value).
+                if p == Some(q) {
+                    continue;
+                }
                 let v = q.var();
                 if self.seen[v.index()] {
                     continue;
                 }
-                if self.levels[v.index()] == 0 {
+                if self.var_data[v.index()].level == 0 {
                     // Skipped from the learned clause, but its unit
                     // derivation is part of the resolution proof.
                     if let Some(t) = self.unit_trace[v.index()] {
@@ -628,7 +867,7 @@ impl Solver {
                 }
                 self.seen[v.index()] = true;
                 self.bump_var(v);
-                if self.levels[v.index()] >= self.decision_level() {
+                if self.var_data[v.index()].level >= self.decision_level() {
                     path_count += 1;
                 } else {
                     learnt.push(q);
@@ -650,7 +889,7 @@ impl Solver {
                 break;
             }
             p = Some(lit);
-            confl = self.reasons[v.index()];
+            confl = self.var_data[v.index()].reason;
             debug_assert!(!confl.is_undef(), "resolved literal must have a reason");
         }
 
@@ -660,25 +899,37 @@ impl Solver {
         // literal's removal resolves extra clauses into the derivation, so
         // the reasons visited by a *successful* redundancy proof join the
         // antecedents.
-        self.analyze_toclear = learnt.clone();
-        let levels_mask: u64 = learnt[1..]
-            .iter()
-            .fold(0u64, |m, l| m | 1u64 << (self.levels[l.var().index()] & 63));
+        self.analyze_toclear.clear();
+        self.analyze_toclear.extend_from_slice(&learnt);
+        let levels_mask: u64 = learnt[1..].iter().fold(0u64, |m, l| {
+            m | 1u64 << (self.var_data[l.var().index()].level & 63)
+        });
         let mut j = 1;
         for i in 1..learnt.len() {
             let l = learnt[i];
-            let reason = self.reasons[l.var().index()];
+            let reason = self.var_data[l.var().index()].reason;
             if reason.is_undef() || !self.lit_redundant(l, levels_mask, &mut antecedents) {
                 learnt[j] = l;
                 j += 1;
             }
         }
         learnt.truncate(j);
-        for l in std::mem::take(&mut self.analyze_toclear) {
+        for i in 0..self.analyze_toclear.len() {
+            let l = self.analyze_toclear[i];
             self.seen[l.var().index()] = false;
         }
+        self.analyze_toclear.clear();
 
         self.stats.tot_literals += learnt.len() as u64;
+
+        // Learn-time LBD, while the literal levels are still valid.
+        self.pending_lbd = compute_lbd(
+            &self.var_data,
+            &mut self.lbd_stamp,
+            &mut self.lbd_gen,
+            &learnt,
+        )
+        .max(1);
 
         // Compute backtrack level and move the max-level literal to slot 1.
         let backtrack = if learnt.len() == 1 {
@@ -686,15 +937,33 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
+                if self.var_data[learnt[i].var().index()].level
+                    > self.var_data[learnt[max_i].var().index()].level
+                {
                     max_i = i;
                 }
             }
             learnt.swap(1, max_i);
-            self.levels[learnt[1].var().index()]
+            self.var_data[learnt[1].var().index()].level
         };
 
-        (learnt, backtrack, antecedents)
+        self.learnt_buf = learnt;
+        self.antecedents_buf = antecedents;
+        let caps_after = (
+            self.learnt_buf.capacity(),
+            self.antecedents_buf.capacity(),
+            self.analyze_toclear.capacity(),
+            self.analyze_stack.capacity(),
+            self.redundant_buf.capacity(),
+        );
+        if caps_after != caps {
+            self.stats.scratch_reallocs += u64::from(caps_after.0 != caps.0)
+                + u64::from(caps_after.1 != caps.1)
+                + u64::from(caps_after.2 != caps.2)
+                + u64::from(caps_after.3 != caps.3)
+                + u64::from(caps_after.4 != caps.4);
+        }
+        backtrack
     }
 
     /// Checks whether `lit` is implied by the rest of the learned clause
@@ -709,21 +978,22 @@ impl Solver {
         let mut stack = std::mem::take(&mut self.analyze_stack);
         stack.clear();
         stack.push(lit);
-        let mut visited_reasons: Vec<TraceId> = Vec::new();
+        let mut visited_reasons = std::mem::take(&mut self.redundant_buf);
+        visited_reasons.clear();
         let top = self.analyze_toclear.len();
         let mut failed = false;
 
         while let Some(l) = stack.pop() {
-            let reason = self.reasons[l.var().index()];
+            let reason = self.var_data[l.var().index()].reason;
             debug_assert!(!reason.is_undef());
             visited_reasons.push(self.db.trace(reason));
-            let lits: Vec<Lit> = self.db.lits(reason).to_vec();
-            for q in lits {
+            for k in 0..self.db.len(reason) {
+                let q = self.db.lits(reason)[k];
                 let v = q.var();
                 if q == !l || self.seen[v.index()] {
                     continue;
                 }
-                if self.levels[v.index()] == 0 {
+                if self.var_data[v.index()].level == 0 {
                     if let Some(t) = self.unit_trace[v.index()] {
                         visited_reasons.push(t);
                     }
@@ -731,8 +1001,8 @@ impl Solver {
                 }
                 // Abstraction check: the literal's level must appear in
                 // the clause, and it must itself have a reason.
-                if self.reasons[v.index()].is_undef()
-                    || (1u64 << (self.levels[v.index()] & 63)) & levels_mask == 0
+                if self.var_data[v.index()].reason.is_undef()
+                    || (1u64 << (self.var_data[v.index()].level & 63)) & levels_mask == 0
                 {
                     failed = true;
                     break;
@@ -752,9 +1022,10 @@ impl Solver {
                 self.seen[l.var().index()] = false;
             }
         } else {
-            antecedents.extend(visited_reasons);
+            antecedents.extend_from_slice(&visited_reasons);
         }
         self.analyze_stack = stack;
+        self.redundant_buf = visited_reasons;
         !failed
     }
 
@@ -772,7 +1043,7 @@ impl Solver {
             if !marked[v.index()] {
                 continue;
             }
-            let reason = self.reasons[v.index()];
+            let reason = self.var_data[v.index()].reason;
             debug_assert!(
                 !reason.is_undef(),
                 "level-0 assignments always have clause reasons"
@@ -803,7 +1074,7 @@ impl Solver {
             if !marked[v.index()] {
                 continue;
             }
-            let reason = self.reasons[v.index()];
+            let reason = self.var_data[v.index()].reason;
             if reason.is_undef() {
                 // A decision: under assumption-driven search every
                 // decision below the failing point is an assumption, and
@@ -811,7 +1082,7 @@ impl Solver {
                 self.failed_assumptions.push(lit);
             } else {
                 for &l in self.db.lits(reason) {
-                    if self.levels[l.var().index()] > 0 {
+                    if self.var_data[l.var().index()].level > 0 {
                         marked[l.var().index()] = true;
                     }
                 }
@@ -819,52 +1090,153 @@ impl Solver {
         }
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>, antecedents: Vec<TraceId>) {
+    /// Records the clause prepared by [`Solver::analyze`] (in
+    /// `learnt_buf` / `antecedents_buf` / `pending_lbd`) into the
+    /// database, watches it, and asserts its first literal.
+    fn record_learnt(&mut self) {
         self.stats.conflicts += 1;
         self.stats.learned_clauses += 1;
-        let tid = self.trace.add_learned(antecedents);
-        if learnt.len() == 1 {
+        let lbd = self.pending_lbd;
+        self.stats.lbd_hist[SolverStats::lbd_bucket(lbd)] += 1;
+        if lbd <= 2 {
+            self.stats.glue_clauses += 1;
+        }
+        self.note_learnt_lbd(lbd);
+        let tid = self.trace.add_learned(&self.antecedents_buf);
+        let cref = self.db.add(&self.learnt_buf, true, tid);
+        self.db.set_lbd(cref, lbd);
+        let first = self.learnt_buf[0];
+        match self.learnt_buf.len() {
             // Asserting unit: becomes a level-0 fact with the learned
             // clause as its reason.
-            let cref = self.db.add(&learnt, true, tid);
-            self.enqueue(learnt[0], cref);
-        } else {
-            let cref = self.db.add(&learnt, true, tid);
-            let (w0, w1) = (learnt[0], learnt[1]);
-            self.watch(w0, cref, w1);
-            self.watch(w1, cref, w0);
-            self.bump_clause(cref);
-            self.enqueue(learnt[0], cref);
+            1 => {}
+            2 => {
+                let other = self.learnt_buf[1];
+                self.watch_binary(first, other, cref);
+                self.bump_clause(cref);
+            }
+            _ => {
+                let (w0, w1) = (self.learnt_buf[0], self.learnt_buf[1]);
+                self.watch(w0, cref, w1);
+                self.watch(w1, cref, w0);
+                self.bump_clause(cref);
+            }
         }
+        self.enqueue(first, cref);
+        self.stats.peak_learned = self.stats.peak_learned.max(self.db.num_learned() as u64);
         self.decay_activities();
     }
 
+    /// Feeds a learn-time LBD into the glucose restart bookkeeping.
+    fn note_learnt_lbd(&mut self, lbd: u32) {
+        self.lbd_global_sum += u64::from(lbd);
+        let window = self.config.glucose_lbd_window;
+        if window == 0 {
+            return;
+        }
+        if self.lbd_queue.len() != window {
+            self.lbd_queue.clear();
+            self.lbd_queue.resize(window, 0);
+            self.lbd_queue_len = 0;
+            self.lbd_queue_pos = 0;
+            self.lbd_recent_sum = 0;
+        }
+        if self.lbd_queue_len == window {
+            self.lbd_recent_sum -= u64::from(self.lbd_queue[self.lbd_queue_pos]);
+        } else {
+            self.lbd_queue_len += 1;
+        }
+        self.lbd_queue[self.lbd_queue_pos] = lbd;
+        self.lbd_recent_sum += u64::from(lbd);
+        self.lbd_queue_pos = (self.lbd_queue_pos + 1) % window;
+    }
+
+    /// Glucose restart condition: the recent-LBD window is full and its
+    /// average exceeds the global average by the configured margin.
+    fn glucose_should_restart(&self) -> bool {
+        let window = self.config.glucose_lbd_window;
+        window > 0
+            && self.lbd_queue_len == window
+            && self.stats.conflicts > 0
+            && (self.lbd_recent_sum as f64 / window as f64) * self.config.glucose_margin
+                > self.lbd_global_sum as f64 / self.stats.conflicts as f64
+    }
+
+    /// Halves the learned-clause database. Ordering is LBD-primary
+    /// (higher LBD deleted first), activity-secondary via a total order;
+    /// glue clauses (LBD ≤ 2), binary clauses and reason clauses are
+    /// never deleted. Runs the arena garbage collector afterwards when
+    /// enough literals are reclaimable.
     fn reduce_db(&mut self) {
-        let mut refs: Vec<CRef> = self.db.learned_refs().collect();
-        refs.sort_by(|&a, &b| {
-            self.db
-                .activity(a)
-                .partial_cmp(&self.db.activity(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let mut refs = std::mem::take(&mut self.reduce_scratch);
+        let cap_before = refs.capacity();
+        refs.clear();
+        refs.extend(self.db.learned_refs());
+        {
+            let db = &self.db;
+            refs.sort_unstable_by(|&a, &b| {
+                db.lbd(b)
+                    .cmp(&db.lbd(a))
+                    .then_with(|| db.activity(a).total_cmp(&db.activity(b)))
+            });
+        }
         let target = refs.len() / 2;
         let mut removed = 0usize;
         for &c in refs.iter() {
             if removed >= target {
                 break;
             }
-            if self.db.len(c) <= 2 || self.is_locked(c) {
+            if self.db.len(c) <= 2 || self.db.lbd(c) <= 2 || self.is_locked(c) {
                 continue;
             }
             self.db.mark_deleted(c);
             self.stats.deleted_clauses += 1;
             removed += 1;
         }
+        if refs.capacity() != cap_before {
+            self.stats.scratch_reallocs += 1;
+        }
+        self.reduce_scratch = refs;
+        self.maybe_collect_garbage();
     }
 
     fn is_locked(&self, c: CRef) -> bool {
         let first = self.db.lits(c)[0];
-        self.reasons[first.var().index()] == c && self.lit_value(first) == Some(true)
+        self.var_data[first.var().index()].reason == c && self.lit_value(first) == Some(true)
+    }
+
+    /// Compacts the clause arena when at least `gc_frac` of its literals
+    /// belongs to deleted clauses, remapping every stored `CRef`
+    /// (watchers, reasons). The resolution trace holds no `CRef`s, so
+    /// cores remain exact across collections.
+    fn maybe_collect_garbage(&mut self) {
+        let wasted = self.db.wasted_words();
+        if wasted == 0 || (wasted as f64) < self.config.gc_frac * self.db.total_words() as f64 {
+            return;
+        }
+        let remap = self.db.collect_garbage();
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let n = remap.remap(w.cref);
+                w.cref = n;
+                !n.is_undef()
+            });
+        }
+        for ws in &mut self.bin_watches {
+            for w in ws.iter_mut() {
+                w.cref = remap.remap(w.cref);
+                debug_assert!(!w.cref.is_undef(), "binary clauses are never deleted");
+            }
+        }
+        for vd in &mut self.var_data {
+            if !vd.reason.is_undef() {
+                let n = remap.remap(vd.reason);
+                debug_assert!(!n.is_undef(), "reason clauses are never deleted");
+                vd.reason = n;
+            }
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_bytes_reclaimed += remap.bytes_reclaimed;
     }
 
     fn search(
@@ -876,6 +1248,15 @@ impl Solver {
         propagation_cap: Option<u64>,
     ) -> SearchResult {
         let mut conflicts_here: u64 = 0;
+        // One deadline poll per restart keeps long restarts honest even
+        // when the per-decision counter below rarely fires.
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return SearchResult::BudgetExhausted;
+            }
+        }
+        let check_interval = self.config.timeout_check_interval.max(1);
+        let mut until_time_check = check_interval;
         loop {
             if let Some(confl) = self.propagate() {
                 conflicts_here += 1;
@@ -885,15 +1266,18 @@ impl Solver {
                     self.unsat_core = Some(core);
                     return SearchResult::Unsat;
                 }
-                let (learnt, backtrack, antecedents) = self.analyze(confl);
+                let backtrack = self.analyze(confl);
                 self.cancel_until(backtrack);
-                self.record_learnt(learnt, antecedents);
+                self.record_learnt();
                 if let Some(cap) = conflict_cap {
                     if self.stats.conflicts >= cap {
                         return SearchResult::BudgetExhausted;
                     }
                 }
-                if conflicts_here >= conflicts_allowed {
+                if conflicts_here >= conflicts_allowed
+                    || (self.config.restart_mode == RestartMode::Glucose
+                        && self.glucose_should_restart())
+                {
                     self.cancel_until(0);
                     return SearchResult::Restart;
                 }
@@ -907,11 +1291,15 @@ impl Solver {
                 }
             }
             if let Some(d) = deadline {
-                // An Instant::now() per decision is measurable but cheap
-                // relative to a propagation fixpoint; this keeps timeout
-                // precision tight for the experiment harness.
-                if Instant::now() >= d {
-                    return SearchResult::BudgetExhausted;
+                // An Instant::now() per decision is measurable, so the
+                // deadline is polled once per `timeout_check_interval`
+                // decisions instead.
+                until_time_check -= 1;
+                if until_time_check == 0 {
+                    until_time_check = check_interval;
+                    if Instant::now() >= d {
+                        return SearchResult::BudgetExhausted;
+                    }
                 }
             }
             if self.db.num_learned() as f64 >= self.max_learnts {
@@ -954,8 +1342,8 @@ impl Solver {
                         None => {
                             // All variables assigned: a model.
                             let mut m = Assignment::for_vars(self.num_vars());
-                            for (i, &a) in self.assigns.iter().enumerate() {
-                                m.assign(Var::new(i as u32), a == VALUE_TRUE);
+                            for i in 0..self.num_vars() {
+                                m.assign(Var::new(i as u32), self.assigns[i << 1] == VALUE_TRUE);
                             }
                             self.model = Some(m);
                             return SearchResult::Sat;
@@ -1221,6 +1609,99 @@ mod tests {
         let mut s = solver_with(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
         assert_eq!(s.solve(), SolveOutcome::Unsat);
         assert!(s.stats().conflicts >= 1);
+    }
+
+    #[test]
+    fn binary_propagations_counted() {
+        // An implication chain of binary clauses: deciding x1 propagates
+        // the rest through the binary watch lists.
+        let mut s = solver_with(&[&[-1, 2], &[-2, 3], &[-3, 4], &[1]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        assert!(
+            s.stats().bin_propagations >= 3,
+            "expected binary propagations: {}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn binary_conflict_yields_core() {
+        // All-binary UNSAT formula: conflicts must surface through the
+        // binary watch lists with valid clause references.
+        let mut s = solver_with(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert_eq!(core.len(), 4);
+    }
+
+    #[test]
+    fn lbd_histogram_moves() {
+        let mut s = Solver::new();
+        for c in php_clauses(5, 4) {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let hist_total: u64 = s.stats().lbd_hist.iter().sum();
+        assert_eq!(hist_total, s.stats().conflicts);
+    }
+
+    #[test]
+    fn glucose_mode_agrees_and_counts_restarts() {
+        let clauses = php_clauses(6, 5);
+        let mut glucose = Solver::with_config(SolverConfig {
+            restart_mode: RestartMode::Glucose,
+            glucose_lbd_window: 10,
+            ..SolverConfig::default()
+        });
+        for c in &clauses {
+            glucose.add_clause(c.iter().copied());
+        }
+        assert_eq!(glucose.solve(), SolveOutcome::Unsat);
+        assert_eq!(glucose.stats().restarts_luby, 0);
+        assert_eq!(glucose.stats().restarts, glucose.stats().restarts_glucose);
+    }
+
+    #[test]
+    fn forced_gc_preserves_soundness_and_core() {
+        let clauses = php_clauses(6, 5);
+        let mut s = Solver::with_config(SolverConfig {
+            learntsize_factor: 0.01,
+            learntsize_inc: 1.001,
+            min_learnts: 5.0,
+            gc_frac: 0.0,
+            ..SolverConfig::default()
+        });
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.stats().gc_runs > 0, "GC forced: {}", s.stats());
+        assert!(s.stats().gc_bytes_reclaimed > 0);
+        // Core survives compaction and is still UNSAT.
+        let core = s.unsat_core().unwrap().to_vec();
+        let mut s2 = Solver::new();
+        for &id in &core {
+            s2.add_clause(clauses[id.index()].iter().copied());
+        }
+        assert_eq!(s2.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn steady_state_conflicts_do_not_allocate() {
+        // Scratch capacities plateau: the number of growth events stays
+        // bounded (and tiny) while conflicts keep accumulating, i.e.
+        // steady-state conflicts perform zero transient allocations.
+        let mut s = Solver::new();
+        for c in php_clauses(7, 6) {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let stats = *s.stats();
+        assert!(stats.conflicts > 200, "want many conflicts: {stats}");
+        assert!(
+            stats.scratch_reallocs <= 64,
+            "scratch buffers must plateau: {stats}"
+        );
     }
 
     #[test]

@@ -7,12 +7,21 @@
 //! used during first-UIP analysis, and every reason used while
 //! minimising the learned clause).
 //!
+//! Antecedent lists are pooled in one flat arena (`antecedents`) and
+//! referenced by offset/length, so recording a learned clause performs
+//! no per-clause boxed allocation — in steady state an `add_learned`
+//! call is two amortised `Vec` appends.
+//!
 //! When the solver refutes the formula, the final (level-0) conflict is
 //! itself a resolution of some clauses; expanding those antecedents
 //! through the learned-clause DAG yields the set of original clauses
 //! that participate in the refutation — an unsatisfiable core. This is
 //! the same mechanism as MiniSAT 1.14's proof logger, which the paper's
 //! msu4 implementation used for core extraction.
+//!
+//! Trace ids are independent of clause-arena positions, so clause-arena
+//! garbage collection ([`crate::Solver`]'s `collect_garbage`) never
+//! invalidates the trace: cores stay exact across compactions.
 
 use crate::clause_db::ClauseId;
 
@@ -27,12 +36,13 @@ impl TraceId {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum TraceEntry {
     /// An original clause with its external id.
     Original(ClauseId),
-    /// A learned clause and the trace ids of its antecedents.
-    Learned(Box<[TraceId]>),
+    /// A learned clause; its antecedent trace ids live at
+    /// `antecedents[start..start + len]` in the shared arena.
+    Learned { start: u32, len: u32 },
 }
 
 /// The resolution DAG. Entries are append-only: learned clauses may be
@@ -41,6 +51,8 @@ enum TraceEntry {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Trace {
     entries: Vec<TraceEntry>,
+    /// Flat arena holding every learned clause's antecedent list.
+    antecedents: Vec<TraceId>,
 }
 
 impl Trace {
@@ -54,16 +66,26 @@ impl Trace {
         TraceId((self.entries.len() - 1) as u32)
     }
 
-    /// Registers a learned clause with its antecedents.
-    pub(crate) fn add_learned(&mut self, antecedents: Vec<TraceId>) -> TraceId {
-        self.entries
-            .push(TraceEntry::Learned(antecedents.into_boxed_slice()));
+    /// Registers a learned clause with its antecedents (copied into the
+    /// shared arena, so the caller can reuse its buffer).
+    pub(crate) fn add_learned(&mut self, antecedents: &[TraceId]) -> TraceId {
+        let start = self.antecedents.len() as u32;
+        self.antecedents.extend_from_slice(antecedents);
+        self.entries.push(TraceEntry::Learned {
+            start,
+            len: antecedents.len() as u32,
+        });
         TraceId((self.entries.len() - 1) as u32)
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    #[inline]
+    fn antecedents_of(&self, start: u32, len: u32) -> &[TraceId] {
+        &self.antecedents[start as usize..(start + len) as usize]
     }
 
     /// Expands a set of trace roots to the sorted, deduplicated set of
@@ -79,10 +101,10 @@ impl Trace {
         }
         let mut core = Vec::new();
         while let Some(t) = stack.pop() {
-            match &self.entries[t.index()] {
-                TraceEntry::Original(id) => core.push(*id),
-                TraceEntry::Learned(ants) => {
-                    for &a in ants.iter() {
+            match self.entries[t.index()] {
+                TraceEntry::Original(id) => core.push(id),
+                TraceEntry::Learned { start, len } => {
+                    for &a in self.antecedents_of(start, len) {
                         if !seen[a.index()] {
                             seen[a.index()] = true;
                             stack.push(a);
@@ -118,8 +140,8 @@ mod tests {
         let a = t.add_original(ClauseId(0));
         let b = t.add_original(ClauseId(1));
         let c = t.add_original(ClauseId(2));
-        let l1 = t.add_learned(vec![a, b]);
-        let l2 = t.add_learned(vec![l1, c]);
+        let l1 = t.add_learned(&[a, b]);
+        let l2 = t.add_learned(&[l1, c]);
         assert_eq!(
             t.expand_to_original(&[l2]),
             vec![ClauseId(0), ClauseId(1), ClauseId(2)]
@@ -130,8 +152,8 @@ mod tests {
     fn shared_antecedents_deduplicated() {
         let mut t = Trace::new();
         let a = t.add_original(ClauseId(5));
-        let l1 = t.add_learned(vec![a, a]);
-        let l2 = t.add_learned(vec![l1, a]);
+        let l1 = t.add_learned(&[a, a]);
+        let l2 = t.add_learned(&[l1, a]);
         assert_eq!(t.expand_to_original(&[l2, l1]), vec![ClauseId(5)]);
         assert_eq!(t.len(), 3);
     }
@@ -149,5 +171,12 @@ mod tests {
         let mut t = Trace::new();
         t.add_original(ClauseId(0));
         assert!(t.expand_to_original(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_antecedent_list_allowed() {
+        let mut t = Trace::new();
+        let l = t.add_learned(&[]);
+        assert!(t.expand_to_original(&[l]).is_empty());
     }
 }

@@ -3,7 +3,7 @@
 //! when heuristics are handicapped.
 
 use coremax_cnf::{CnfFormula, Lit, Var};
-use coremax_sat::{dpll_is_satisfiable, SolveOutcome, Solver, SolverConfig};
+use coremax_sat::{dpll_is_satisfiable, RestartMode, SolveOutcome, Solver, SolverConfig};
 
 fn random_cnf(seed: &mut u64, num_vars: usize, num_clauses: usize) -> CnfFormula {
     let mut next = move || {
@@ -64,6 +64,24 @@ fn configs() -> Vec<(&'static str, SolverConfig)> {
             "positive-phase",
             SolverConfig {
                 default_phase: true,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "glucose-restarts",
+            SolverConfig {
+                restart_mode: RestartMode::Glucose,
+                glucose_lbd_window: 8,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "gc-every-reduce",
+            SolverConfig {
+                learntsize_factor: 0.01,
+                learntsize_inc: 1.01,
+                min_learnts: 3.0,
+                gc_frac: 0.0,
                 ..SolverConfig::default()
             },
         ),

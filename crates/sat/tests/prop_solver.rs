@@ -3,8 +3,24 @@
 //! cores are themselves unsatisfiable.
 
 use coremax_cnf::{CnfFormula, Lit};
-use coremax_sat::{dpll_is_satisfiable, SolveOutcome, Solver};
+use coremax_sat::{dpll_is_satisfiable, RestartMode, SolveOutcome, Solver, SolverConfig};
 use proptest::prelude::*;
+
+/// A configuration that stresses every new hot-path mechanism at once:
+/// a tiny learned-clause cap forces database reductions, `gc_frac: 0.0`
+/// forces an arena collection after every reduction, and glucose-mode
+/// restarts exercise the adaptive schedule.
+fn stress_config() -> SolverConfig {
+    SolverConfig {
+        learntsize_factor: 0.01,
+        learntsize_inc: 1.01,
+        min_learnts: 3.0,
+        gc_frac: 0.0,
+        restart_mode: RestartMode::Glucose,
+        glucose_lbd_window: 5,
+        ..SolverConfig::default()
+    }
+}
 
 /// Strategy: random CNF over `max_vars` variables with clauses of length
 /// 1..=4. Produces a mix of SAT and UNSAT formulas.
@@ -85,6 +101,47 @@ proptest! {
             SolveOutcome::Sat => prop_assert!(expected),
             SolveOutcome::Unsat => prop_assert!(!expected),
             SolveOutcome::Unknown => unreachable!("no budget set"),
+        }
+    }
+
+    #[test]
+    fn stressed_cdcl_agrees_with_dpll(f in arb_cnf(8, 35)) {
+        // The optimized engine (binary watches, LBD reduction, forced
+        // arena GC, glucose restarts) must agree with the reference DPLL
+        // and keep its models valid.
+        let expected = dpll_is_satisfiable(&f);
+        let mut s = Solver::with_config(stress_config());
+        s.add_formula(&f);
+        match s.solve() {
+            SolveOutcome::Sat => {
+                prop_assert!(expected);
+                let m = s.model().expect("model after SAT");
+                for c in f.iter() {
+                    prop_assert!(c.is_satisfied_by(m), "violated clause {c}");
+                }
+            }
+            SolveOutcome::Unsat => prop_assert!(!expected),
+            SolveOutcome::Unknown => unreachable!("no budget set"),
+        }
+    }
+
+    #[test]
+    fn cores_survive_arena_gc(f in arb_cnf(7, 30)) {
+        // Cores extracted after (possibly many) arena compactions must
+        // still be genuinely unsatisfiable subsets of the input.
+        let mut s = Solver::with_config(stress_config());
+        let ids = s.add_formula(&f);
+        if s.solve() == SolveOutcome::Unsat {
+            let core = s.unsat_core().expect("core after UNSAT").to_vec();
+            prop_assert!(!core.is_empty());
+            for id in &core {
+                prop_assert!(ids.contains(id));
+            }
+            let mut sub = CnfFormula::with_vars(f.num_vars());
+            for id in &core {
+                sub.add_clause(f.clause(id.index()).lits().iter().copied());
+            }
+            prop_assert!(!dpll_is_satisfiable(&sub), "core was satisfiable after GC");
         }
     }
 
