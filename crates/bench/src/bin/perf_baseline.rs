@@ -14,21 +14,28 @@
 //!    a conflict cap, yielding propagations/sec and conflicts/sec on
 //!    propagation-bound families.
 //!
+//! Every MaxSAT measurement is taken twice — preprocessing off and on
+//! (the `coremax_simp` pipeline wrapped around the solver) — so the
+//! trajectory always contains both curves, and every solution
+//! (reconstructed or not) is verified against the original instance.
+//!
 //! Usage:
 //! `perf_baseline [--out FILE] [--scale N] [--seed S] [--budget-ms MS]
 //!                [--solvers a,b] [--families f1,f2] [--sat-conflicts N]
 //!                [--fail-on-abort]`
 //!
-//! `--fail-on-abort` exits with status 1 if any selected MaxSAT solver
-//! aborts (status UNKNOWN) on any instance of the selected suite — used
-//! by CI to guarantee the engine never regresses below the seed on the
-//! reduced suite.
+//! Any solution failing verification exits with status 1
+//! unconditionally (a lying model is a soundness bug, never a tuning
+//! matter). `--fail-on-abort` additionally exits 1 if any selected
+//! MaxSAT solver aborts (status UNKNOWN) on any instance of the
+//! selected suite — used by CI to guarantee the engine never regresses
+//! below the seed on the reduced suite.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use coremax::MaxSatStatus;
-use coremax_bench::{run_solver_over, RunRecord};
+use coremax_bench::{run_solver_over_opts, RunRecord};
 use coremax_instances::{full_suite, Instance, SuiteConfig};
 use coremax_sat::{Budget, SolveOutcome, Solver};
 
@@ -46,7 +53,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
-            out: "BENCH_pr2.json".into(),
+            out: "BENCH_pr3.json".into(),
             scale: 1,
             seed: 42,
             budget_ms: 2_000,
@@ -197,43 +204,69 @@ fn main() {
     let _ = writeln!(out, "  \"budget_ms\": {},", args.budget_ms);
     let _ = writeln!(out, "  \"sat_conflict_cap\": {},", args.sat_conflicts);
 
-    // ---- MaxSAT layer ----
+    // ---- MaxSAT layer: every solver, preprocessing off and on ----
     let mut aborted_total = 0usize;
+    let mut verify_failures = 0usize;
     out.push_str("  \"maxsat_runs\": [\n");
     let mut first = true;
     let mut geo: Vec<(String, f64)> = Vec::new();
+    // Per-instance preprocessing counters, captured from the first
+    // solver's preprocessed runs (they are a property of the instance,
+    // not of the solver — no extra simplifier pass needed).
+    let mut simp_records: Vec<RunRecord> = Vec::new();
     for solver_name in &args.solvers {
-        eprintln!("maxsat layer: {solver_name} over {} instances", suite.len());
-        let records: Vec<RunRecord> =
-            run_solver_over(solver_name, &suite, Duration::from_millis(args.budget_ms));
-        geo.push((
-            solver_name.clone(),
-            geomean(records.iter().map(|r| r.time.as_secs_f64() * 1e3)),
-        ));
-        for r in &records {
-            if r.aborted() {
-                aborted_total += 1;
-                eprintln!("  ABORT: {solver_name} on {} ({})", r.instance, r.family);
-            }
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "    {{\"solver\": \"{}\", \"instance\": \"{}\", \"family\": \"{}\", \
-                 \"status\": \"{}\", \"cost\": {}, \"time_ms\": {:.3}, \
-                 \"propagations\": {}, \"conflicts\": {}, \"props_per_sec\": {:.0}}}",
-                json_escape(r.solver),
-                json_escape(&r.instance),
-                r.family,
-                status_name(r.status),
-                r.cost.map_or("null".into(), |c| c.to_string()),
-                r.time.as_secs_f64() * 1e3,
-                r.sat_propagations,
-                r.sat_conflicts,
-                r.sat_propagations as f64 / r.time.as_secs_f64().max(1e-9),
+        for preprocess in [false, true] {
+            let label = if preprocess {
+                format!("{solver_name}+simp")
+            } else {
+                solver_name.clone()
+            };
+            eprintln!("maxsat layer: {label} over {} instances", suite.len());
+            let records: Vec<RunRecord> = run_solver_over_opts(
+                solver_name,
+                &suite,
+                Duration::from_millis(args.budget_ms),
+                preprocess,
             );
+            geo.push((
+                label.clone(),
+                geomean(records.iter().map(|r| r.time.as_secs_f64() * 1e3)),
+            ));
+            if preprocess && simp_records.is_empty() {
+                simp_records = records.clone();
+            }
+            for r in &records {
+                if r.aborted() {
+                    aborted_total += 1;
+                    eprintln!("  ABORT: {label} on {} ({})", r.instance, r.family);
+                }
+                if !r.verified {
+                    verify_failures += 1;
+                    eprintln!("  VERIFY FAIL: {label} on {} ({})", r.instance, r.family);
+                }
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "    {{\"solver\": \"{}\", \"preprocess\": {}, \"instance\": \"{}\", \
+                     \"family\": \"{}\", \"status\": \"{}\", \"cost\": {}, \"verified\": {}, \
+                     \"time_ms\": {:.3}, \"propagations\": {}, \"conflicts\": {}, \
+                     \"props_per_sec\": {:.0}}}",
+                    json_escape(r.solver),
+                    r.preprocess,
+                    json_escape(&r.instance),
+                    r.family,
+                    status_name(r.status),
+                    r.cost.map_or("null".into(), |c| c.to_string()),
+                    r.verified,
+                    r.time.as_secs_f64() * 1e3,
+                    r.sat_propagations,
+                    r.sat_conflicts,
+                    r.sat_propagations as f64 / r.time.as_secs_f64().max(1e-9),
+                );
+            }
         }
     }
     out.push_str("\n  ],\n");
@@ -245,6 +278,38 @@ fn main() {
         let _ = write!(out, "\"{}\": {:.3}", json_escape(name), g);
     }
     out.push_str("},\n");
+
+    // ---- Preprocessing layer: per-instance reduction summary ----
+    // Sourced from the first solver's preprocessed runs above.
+    out.push_str("  \"simp_instances\": [\n");
+    for (i, r) in simp_records.iter().enumerate() {
+        let st = &r.simp;
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"instance\": \"{}\", \"family\": \"{}\", \"infeasible\": {}, \
+             \"vars\": [{}, {}], \"hard\": [{}, {}], \"soft\": [{}, {}], \
+             \"facts\": {}, \"eliminated\": {}, \"subsumed\": {}, \"strengthened\": {}, \
+             \"soft_falsified\": {}}}",
+            json_escape(&r.instance),
+            r.family,
+            r.status == MaxSatStatus::Infeasible,
+            st.vars_in,
+            st.vars_out,
+            st.hard_in,
+            st.hard_out,
+            st.soft_in,
+            st.soft_out,
+            st.facts,
+            st.eliminated_vars,
+            st.subsumed,
+            st.strengthened,
+            st.soft_falsified,
+        );
+    }
+    out.push_str("\n  ],\n");
 
     // ---- SAT layer ----
     eprintln!(
@@ -308,7 +373,8 @@ fn main() {
         );
     }
     out.push_str("},\n");
-    let _ = writeln!(out, "  \"maxsat_aborted\": {aborted_total}");
+    let _ = writeln!(out, "  \"maxsat_aborted\": {aborted_total},");
+    let _ = writeln!(out, "  \"verify_failures\": {verify_failures}");
     out.push_str("}\n");
 
     std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -317,6 +383,10 @@ fn main() {
     }
     println!("wrote {}", args.out);
 
+    if verify_failures > 0 {
+        eprintln!("FAIL: {verify_failures} solutions failed verification");
+        std::process::exit(1);
+    }
     if args.fail_on_abort && aborted_total > 0 {
         eprintln!(
             "FAIL: {aborted_total} aborted runs (budget {} ms)",

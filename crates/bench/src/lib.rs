@@ -11,11 +11,12 @@
 use std::time::Duration;
 
 use coremax::{
-    BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus, Msu1, Msu2, Msu3,
-    Msu4, PboBaseline,
+    verify_solution, BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus,
+    Msu1, Msu2, Msu3, Msu4, PboBaseline, Preprocessed,
 };
 use coremax_instances::Instance;
 use coremax_sat::Budget;
+use coremax_simp::SimpStats;
 
 /// One solver run on one instance.
 #[derive(Debug, Clone)]
@@ -26,6 +27,8 @@ pub struct RunRecord {
     pub family: &'static str,
     /// Solver name.
     pub solver: &'static str,
+    /// Whether the run went through the preprocessing pipeline.
+    pub preprocess: bool,
     /// Outcome.
     pub status: MaxSatStatus,
     /// Proven (or best-known) cost.
@@ -36,6 +39,11 @@ pub struct RunRecord {
     pub sat_propagations: u64,
     /// CDCL conflicts aggregated over the run's SAT calls.
     pub sat_conflicts: u64,
+    /// Preprocessing counters (zeros when `preprocess` is false).
+    pub simp: SimpStats,
+    /// `verify_solution` verdict against the *original* instance —
+    /// reconstructed models must check out exactly like direct ones.
+    pub verified: bool,
 }
 
 impl RunRecord {
@@ -73,14 +81,34 @@ pub fn solver_by_name(name: &str) -> Box<dyn MaxSatSolver> {
 /// The paper's Table 1 / Table 2 solver line-up.
 pub const PAPER_SOLVERS: [&str; 4] = ["maxsatz", "pbo", "msu4v1", "msu4v2"];
 
-/// Runs `solver_name` over `instances` with `budget` per instance.
+/// Runs `solver_name` over `instances` with `budget` per instance
+/// (no preprocessing).
 #[must_use]
 pub fn run_solver_over(
     solver_name: &str,
     instances: &[Instance],
     budget: Duration,
 ) -> Vec<RunRecord> {
-    let mut solver = solver_by_name(solver_name);
+    run_solver_over_opts(solver_name, instances, budget, false)
+}
+
+/// Runs `solver_name` over `instances` with `budget` per instance,
+/// optionally wrapping the solver in the [`Preprocessed`] pipeline.
+/// Every solution — reconstructed or not — is verified against the
+/// original instance and the verdict recorded.
+#[must_use]
+pub fn run_solver_over_opts(
+    solver_name: &str,
+    instances: &[Instance],
+    budget: Duration,
+    preprocess: bool,
+) -> Vec<RunRecord> {
+    let inner = solver_by_name(solver_name);
+    let mut solver: Box<dyn MaxSatSolver> = if preprocess {
+        Box::new(Preprocessed::new(inner))
+    } else {
+        inner
+    };
     // Tables are keyed by the experiment alias, not the solver's own
     // `name()` (e.g. `msu4v2` instead of `msu4-v2`).
     let static_name: &'static str = experiment_alias(solver_name);
@@ -89,15 +117,19 @@ pub fn run_solver_over(
         .map(|instance| {
             solver.set_budget(Budget::new().with_timeout(budget));
             let solution = solver.solve(&instance.wcnf);
+            let verified = verify_solution(&instance.wcnf, &solution);
             RunRecord {
                 instance: instance.name.clone(),
                 family: instance.family.name(),
                 solver: static_name,
+                preprocess,
                 status: solution.status,
                 cost: solution.cost,
                 time: solution.stats.wall_time,
                 sat_propagations: solution.stats.sat.propagations,
                 sat_conflicts: solution.stats.sat.conflicts,
+                simp: solution.stats.simp,
+                verified,
             }
         })
         .collect()
@@ -185,6 +217,30 @@ mod tests {
         let counts = aborted_counts(&records, &["msu4v2"]);
         assert_eq!(counts[0].0, "msu4v2");
         assert!(counts[0].1 <= 3);
+        assert!(records.iter().all(|r| !r.preprocess));
+        assert!(records.iter().all(|r| r.verified));
+    }
+
+    #[test]
+    fn preprocessed_runs_agree_and_verify() {
+        let suite = full_suite(&SuiteConfig::default());
+        // The debug family is partial MaxSAT: the simplifier has hard
+        // clauses to chew on there.
+        let small: Vec<_> = suite
+            .into_iter()
+            .filter(|i| i.family.name() == "debug")
+            .take(2)
+            .collect();
+        assert!(!small.is_empty());
+        let plain = run_solver_over_opts("msu4v2", &small, Duration::from_secs(20), false);
+        let pre = run_solver_over_opts("msu4v2", &small, Duration::from_secs(20), true);
+        for (a, b) in plain.iter().zip(&pre) {
+            assert_eq!(a.instance, b.instance);
+            assert!(b.preprocess);
+            assert_eq!(a.cost, b.cost, "preprocessing changed the optimum");
+            assert!(b.verified, "reconstructed model failed verification");
+            assert!(b.simp.vars_in > 0, "simp counters populated");
+        }
     }
 
     #[test]
@@ -193,11 +249,14 @@ mod tests {
             instance: "x".into(),
             family: "php",
             solver: "a",
+            preprocess: false,
             status: MaxSatStatus::Optimal,
             cost: Some(1),
             time: Duration::ZERO,
             sat_propagations: 0,
             sat_conflicts: 0,
+            simp: SimpStats::default(),
+            verified: true,
         };
         let mut b = a.clone();
         b.solver = "b";

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use coremax::{
     BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, Msu1, Msu2, Msu3,
-    Msu4, Msu4Incremental, PboBaseline,
+    Msu4, Msu4Incremental, PboBaseline, Preprocessed,
 };
 use coremax_cnf::{dimacs, WcnfFormula};
 use coremax_instances::{debug_suite, full_suite, InstanceStats, SuiteConfig};
@@ -26,6 +26,11 @@ pub struct Options {
     pub timeout_ms: Option<u64>,
     /// Re-check the solution before reporting.
     pub verify: bool,
+    /// Run the `coremax_simp` preprocessing pipeline before solving
+    /// (default on; `--no-preprocess` disables it).
+    pub preprocess: bool,
+    /// Print preprocessing statistics.
+    pub simp_stats: bool,
     /// Print solver statistics.
     pub stats: bool,
     /// Print the model (`v` line).
@@ -49,6 +54,8 @@ impl Default for Options {
             algorithm: "msu4-v2".into(),
             timeout_ms: None,
             verify: false,
+            preprocess: true,
+            simp_stats: false,
             stats: false,
             print_model: false,
             input: "-".into(),
@@ -108,6 +115,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 options.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
             }
             "--verify" => options.verify = true,
+            "--preprocess" => options.preprocess = true,
+            "--no-preprocess" => options.preprocess = false,
+            "--simp-stats" => options.simp_stats = true,
             "--stats" => options.stats = true,
             "-m" | "--model" => options.print_model = true,
             "-h" | "--help" => return Err(usage()),
@@ -133,13 +143,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The usage string shown by `--help` and on argument errors.
 #[must_use]
 pub fn usage() -> String {
-    "usage: coremax-solve [-a ALGO] [-t MS] [--verify] [--stats] [-m] FILE\n\
+    "usage: coremax-solve [-a ALGO] [-t MS] [--verify] [--stats] [-m]\n\
+     \x20                    [--no-preprocess] [--simp-stats] FILE\n\
      \x20      coremax-solve --generate DIR [--family NAME] [--scale N] [--seed S]\n\
      \n\
      ALGO: msu4-v2 (default), msu4-v1, msu4-inc, msu1, msu2, msu3, pbo,\n\
      \x20      maxsatz-bb, linear-sat, binary-sat\n\
-     FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf;\n\
-     \x20     `-` reads stdin (format sniffed from the header)\n\
+     FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf (classic\n\
+     \x20     `p wcnf` or the post-2022 `h`-prefixed format);\n\
+     \x20     `-` reads stdin (format sniffed)\n\
+     --no-preprocess skips the simplifier (BVE/subsumption/probing);\n\
+     --simp-stats prints its reduction counters\n\
      --generate writes the benchmark suite as .wcnf files into DIR\n\
      (families: bmc equiv atpg php xor rand3 debug; `debug29` for the\n\
      Table-2 suite)"
@@ -167,32 +181,49 @@ pub fn make_solver(name: &str) -> Result<Box<dyn MaxSatSolver>, String> {
     })
 }
 
-/// Parses problem text as WCNF or CNF (sniffing the header) into a
+/// Parses problem text as WCNF or CNF (sniffing the format) into a
 /// MaxSAT instance.
+///
+/// A `p cnf` header selects CNF (treated as unweighted MaxSAT); a
+/// `p wcnf` header selects classic WCNF; anything else — including the
+/// headerless post-2022 MaxSAT-Evaluation format with `h`-prefixed hard
+/// clauses — is handed to the WCNF parser, which auto-detects the
+/// dialect.
 ///
 /// # Errors
 ///
 /// Propagates DIMACS parse failures as display strings.
 pub fn parse_problem(text: &str) -> Result<WcnfFormula, String> {
-    let is_wcnf = text
+    let header = text
         .lines()
-        .find(|l| l.trim_start().starts_with("p "))
-        .is_some_and(|l| l.contains("wcnf"));
-    if is_wcnf {
-        dimacs::parse_wcnf(text).map_err(|e| e.to_string())
-    } else {
+        .map(str::trim_start)
+        .find(|l| l.starts_with("p ") || *l == "p");
+    let is_cnf = header.is_some_and(|l| !l.contains("wcnf"));
+    if is_cnf {
         let cnf = dimacs::parse_cnf(text).map_err(|e| e.to_string())?;
         Ok(WcnfFormula::from_cnf_all_soft(&cnf))
+    } else {
+        dimacs::parse_wcnf(text).map_err(|e| e.to_string())
     }
 }
 
 /// Runs `options.algorithm` on `wcnf` and returns the solution.
 ///
+/// Unless `options.preprocess` is off, the solver is wrapped in
+/// [`Preprocessed`]: the formula is simplified once (soft variables
+/// frozen), the residual instance solved, and the model reconstructed —
+/// so the returned solution always refers to `wcnf` itself.
+///
 /// # Errors
 ///
 /// Returns an error for unknown algorithm names.
 pub fn run(options: &Options, wcnf: &WcnfFormula) -> Result<MaxSatSolution, String> {
-    let mut solver = make_solver(&options.algorithm)?;
+    let inner = make_solver(&options.algorithm)?;
+    let mut solver: Box<dyn MaxSatSolver> = if options.preprocess {
+        Box::new(Preprocessed::new(inner))
+    } else {
+        inner
+    };
     if let Some(ms) = options.timeout_ms {
         solver.set_budget(Budget::new().with_timeout(Duration::from_millis(ms)));
     }
@@ -294,7 +325,16 @@ mod tests {
     fn parse_all_flags() {
         let o = parse_args(
             [
-                "-a", "msu1", "-t", "500", "--verify", "--stats", "-m", "x.wcnf",
+                "-a",
+                "msu1",
+                "-t",
+                "500",
+                "--verify",
+                "--stats",
+                "--no-preprocess",
+                "--simp-stats",
+                "-m",
+                "x.wcnf",
             ]
             .into_iter()
             .map(String::from),
@@ -302,8 +342,17 @@ mod tests {
         .unwrap();
         assert_eq!(o.algorithm, "msu1");
         assert_eq!(o.timeout_ms, Some(500));
-        assert!(o.verify && o.stats && o.print_model);
+        assert!(o.verify && o.stats && o.print_model && o.simp_stats);
+        assert!(!o.preprocess);
         assert_eq!(o.input, "x.wcnf");
+    }
+
+    #[test]
+    fn preprocess_defaults_on_and_can_be_forced() {
+        let o = parse_args(["f.cnf".to_string()]).unwrap();
+        assert!(o.preprocess);
+        let o = parse_args(["--preprocess".to_string(), "f.cnf".to_string()]).unwrap();
+        assert!(o.preprocess);
     }
 
     #[test]
@@ -348,6 +397,33 @@ mod tests {
         assert_eq!(cnf.num_soft(), 2);
         let wcnf = parse_problem("p wcnf 1 2 5\n5 1 0\n1 -1 0\n").unwrap();
         assert_eq!(wcnf.num_hard(), 1);
+        // Headerless post-2022 WCNF is sniffed as WCNF too.
+        let modern = parse_problem("c no header\nh 1 0\n3 -1 0\n").unwrap();
+        assert_eq!(modern.num_hard(), 1);
+        assert_eq!(modern.num_soft(), 1);
+        assert_eq!(modern.soft_clauses()[0].weight, 3);
+    }
+
+    #[test]
+    fn preprocessing_preserves_answers_end_to_end() {
+        // Partial MaxSAT where the simplifier has real work: a hard
+        // implication chain with soft endpoints.
+        let wcnf =
+            parse_problem("p wcnf 4 5 9\n9 -1 2 0\n9 -2 3 0\n9 -3 4 0\n1 -4 0\n1 1 0\n").unwrap();
+        let on = run(&Options::default(), &wcnf).unwrap();
+        let off = run(
+            &Options {
+                preprocess: false,
+                ..Options::default()
+            },
+            &wcnf,
+        )
+        .unwrap();
+        assert_eq!(on.status, off.status);
+        assert_eq!(on.cost, off.cost);
+        assert!(coremax::verify_solution(&wcnf, &on));
+        assert!(on.stats.simp.vars_in > 0, "simp counters populated");
+        assert_eq!(off.stats.simp, coremax_simp::SimpStats::default());
     }
 
     #[test]

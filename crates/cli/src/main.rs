@@ -75,6 +75,9 @@ fn main() -> ExitCode {
         eprintln!("INTERNAL ERROR: solution failed verification");
         return ExitCode::from(3);
     }
+    if options.simp_stats {
+        println!("c simp-stats: {}", solution.stats.simp);
+    }
     if options.stats {
         println!("c stats: {}", solution.stats);
         println!("c sat-stats: {}", solution.stats.sat);

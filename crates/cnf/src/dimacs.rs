@@ -7,6 +7,10 @@
 //! - **WCNF**: `p wcnf <vars> <clauses> [top]` where each clause starts
 //!   with a weight; weight = `top` marks a hard clause. Without `top`
 //!   every clause is soft (plain weighted MaxSAT).
+//! - **New-format WCNF** (MaxSAT Evaluation 2022+): no `p` header line;
+//!   hard clauses start with the token `h`, soft clauses with their
+//!   (positive integer) weight. [`parse_wcnf`] auto-detects the two
+//!   WCNF dialects from the presence of the `p` line.
 //!
 //! Comments (`c …`) are ignored. Clauses may span lines; a clause ends at
 //! the literal `0`.
@@ -62,13 +66,34 @@ pub fn parse_cnf(text: &str) -> Result<CnfFormula, ParseDimacsError> {
 
 /// Parses DIMACS WCNF text into a [`WcnfFormula`].
 ///
-/// If the header carries a `top` weight, clauses with exactly that weight
-/// are hard; all others are soft. Without `top`, all clauses are soft.
+/// Accepts both WCNF dialects, auto-detected by the presence of a `p`
+/// header line:
+///
+/// - **classic**: `p wcnf <vars> <clauses> [top]`; if the header carries
+///   a `top` weight, clauses with exactly that weight are hard; all
+///   others are soft. Without `top`, all clauses are soft.
+/// - **new format** (MaxSAT Evaluation 2022+): no header; each clause
+///   starts with `h` (hard) or its weight (soft), and variables grow on
+///   demand.
 ///
 /// # Errors
 ///
 /// Returns [`ParseDimacsError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::dimacs;
+/// let classic = dimacs::parse_wcnf("p wcnf 2 2 9\n9 1 0\n4 -2 0\n")?;
+/// let modern = dimacs::parse_wcnf("c new format\nh 1 0\n4 -2 0\n")?;
+/// assert_eq!(classic.num_hard(), modern.num_hard());
+/// assert_eq!(classic.num_soft(), modern.num_soft());
+/// # Ok::<(), coremax_cnf::ParseDimacsError>(())
+/// ```
 pub fn parse_wcnf(text: &str) -> Result<WcnfFormula, ParseDimacsError> {
+    if first_meaningful_token(text) != Some("p") {
+        return parse_wcnf_new(text);
+    }
     let mut parser = Parser::new(text);
     let header = parser.read_header()?;
     if header.format != Format::Wcnf {
@@ -89,11 +114,81 @@ pub fn parse_wcnf(text: &str) -> Result<WcnfFormula, ParseDimacsError> {
         seen += 1;
         match clause.weight {
             Some(w) if Some(w) == header.top => formula.add_hard(clause.lits),
+            Some(w) if w == crate::HARD_WEIGHT => {
+                // The hard-weight sentinel cannot be stored as a soft
+                // weight; a classic file using it without declaring it
+                // as `top` is malformed.
+                return Err(ParseDimacsError::new(
+                    parser.line,
+                    ParseDimacsErrorKind::BadWeight(w.to_string()),
+                ));
+            }
             Some(w) => formula.add_soft(clause.lits, w),
             None => unreachable!("wcnf clauses always carry a weight"),
         }
     }
     Ok(formula)
+}
+
+/// First token of the first non-comment, non-blank line (used to sniff
+/// the WCNF dialect: the classic format always opens with `p`).
+fn first_meaningful_token(text: &str) -> Option<&str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('c') && !l.starts_with('%'))
+        .find_map(|l| l.split_ascii_whitespace().next())
+}
+
+/// Parses new-format (headerless) WCNF: `h <lits> 0` for hard clauses,
+/// `<weight> <lits> 0` for soft clauses.
+fn parse_wcnf_new(text: &str) -> Result<WcnfFormula, ParseDimacsError> {
+    let mut parser = Parser::new(text);
+    let mut formula = WcnfFormula::new();
+    // No declared variable count: literals are bounded only by the
+    // representable range, and the formula grows on demand.
+    let var_limit = crate::Var::MAX_INDEX as usize + 1;
+    loop {
+        let first = match parser.next_token() {
+            Some(t) => t,
+            None => return Ok(formula),
+        };
+        let weight: Option<Weight> = if first == "h" {
+            None
+        } else {
+            let w: Weight = first.parse().map_err(|_| {
+                ParseDimacsError::new(
+                    parser.line,
+                    ParseDimacsErrorKind::BadWeight(first.to_string()),
+                )
+            })?;
+            if w == 0 || w == crate::HARD_WEIGHT {
+                return Err(ParseDimacsError::new(
+                    parser.line,
+                    ParseDimacsErrorKind::BadWeight(first.to_string()),
+                ));
+            }
+            Some(w)
+        };
+        let mut lits = Vec::new();
+        loop {
+            let tok = match parser.next_token() {
+                Some(t) => t,
+                None => {
+                    return Err(ParseDimacsError::new(
+                        parser.line,
+                        ParseDimacsErrorKind::UnterminatedClause,
+                    ))
+                }
+            };
+            if !parser.push_lit(tok, var_limit, &mut lits)? {
+                break;
+            }
+        }
+        match weight {
+            None => formula.add_hard(lits),
+            Some(w) => formula.add_soft(lits, w),
+        }
+    }
 }
 
 /// Serialises a [`CnfFormula`] to DIMACS CNF text.
@@ -513,6 +608,85 @@ mod tests {
         let f = parse_cnf("p cnf 4 1\r\n1 2\r\n3 -4\r\n0\r\n").unwrap();
         assert_eq!(f.num_clauses(), 1);
         assert_eq!(f.clause(0).len(), 4);
+    }
+
+    #[test]
+    fn new_format_basic() {
+        let w = parse_wcnf("c new format\nh 1 2 0\nh -1 0\n3 2 0\n1 -2 0\n").unwrap();
+        assert_eq!(w.num_hard(), 2);
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.num_vars(), 2);
+        assert_eq!(w.soft_clauses()[0].weight, 3);
+        assert_eq!(w.soft_clauses()[1].weight, 1);
+        assert_eq!(w.hard_clauses()[0].lits()[1].to_dimacs(), 2);
+    }
+
+    #[test]
+    fn new_format_vars_grow_on_demand() {
+        let w = parse_wcnf("h 7 0\n2 -9 0\n").unwrap();
+        assert_eq!(w.num_vars(), 9);
+    }
+
+    #[test]
+    fn new_format_multiline_and_crlf() {
+        let w = parse_wcnf("h 1 2\r\n3 0\r\n5 -1\r\n-2 0\r\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert_eq!(w.hard_clauses()[0].len(), 3);
+        assert_eq!(w.num_soft(), 1);
+        assert_eq!(w.soft_clauses()[0].clause.len(), 2);
+    }
+
+    #[test]
+    fn new_format_empty_clauses() {
+        let w = parse_wcnf("h 0\n4 0\n").unwrap();
+        assert_eq!(w.num_hard(), 1);
+        assert!(w.hard_clauses()[0].is_empty());
+        assert_eq!(w.num_soft(), 1);
+        assert!(w.soft_clauses()[0].clause.is_empty());
+        assert_eq!(w.soft_clauses()[0].weight, 4);
+    }
+
+    #[test]
+    fn new_format_rejects_bad_weight_token() {
+        let e = parse_wcnf("x 1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
+        let e = parse_wcnf("0 1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
+    }
+
+    #[test]
+    fn new_format_rejects_unterminated_clause() {
+        let e = parse_wcnf("h 1 2").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+        let e = parse_wcnf("3 1\n").unwrap_err();
+        assert_eq!(e.kind, ParseDimacsErrorKind::UnterminatedClause);
+    }
+
+    #[test]
+    fn new_format_agrees_with_classic() {
+        let classic = parse_wcnf("p wcnf 3 3 10\n10 1 2 0\n5 -1 0\n1 3 0\n").unwrap();
+        let modern = parse_wcnf("h 1 2 0\n5 -1 0\n1 3 0\n").unwrap();
+        assert_eq!(classic.hard_clauses(), modern.hard_clauses());
+        assert_eq!(classic.soft_clauses(), modern.soft_clauses());
+    }
+
+    #[test]
+    fn classic_roundtrip_of_new_format_input() {
+        // New-format input serialises through the classic writer and
+        // parses back to the same formula.
+        let w = parse_wcnf("h 1 -2 0\n7 2 0\n").unwrap();
+        let again = parse_wcnf(&write_wcnf(&w)).unwrap();
+        assert_eq!(w, again);
+    }
+
+    #[test]
+    fn hard_weight_sentinel_rejected_as_soft() {
+        let text = format!("p wcnf 1 1\n{} 1 0\n", u64::MAX);
+        let e = parse_wcnf(&text).unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
+        let text = format!("{} 1 0\n", u64::MAX);
+        let e = parse_wcnf(&text).unwrap_err();
+        assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
     }
 
     #[test]

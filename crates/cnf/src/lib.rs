@@ -42,6 +42,7 @@ pub mod dimacs;
 mod error;
 mod formula;
 mod lit;
+pub mod simp;
 mod wcnf;
 
 pub use assignment::Assignment;

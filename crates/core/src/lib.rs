@@ -25,6 +25,10 @@
 //!
 //! All solvers implement [`MaxSatSolver`] and accept weighted partial
 //! WCNF input where the algorithm supports it (see each type's docs).
+//! Any of them can be wrapped in [`Preprocessed`] to run the
+//! `coremax_simp` simplification pipeline (bounded variable
+//! elimination, subsumption, probing) once per solve, with models
+//! reconstructed back to the original variable space.
 //!
 //! # Examples
 //!
@@ -56,6 +60,7 @@ mod msu1;
 mod msu4;
 mod msu4_inc;
 mod pbo_baseline;
+mod preprocess;
 mod sat_search;
 mod types;
 mod verify;
@@ -69,6 +74,7 @@ pub use msu1::Msu1;
 pub use msu4::{Msu4, Msu4Config};
 pub use msu4_inc::Msu4Incremental;
 pub use pbo_baseline::PboBaseline;
+pub use preprocess::Preprocessed;
 pub use sat_search::{BinarySearchSat, LinearSearchSat};
 pub use types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub use verify::verify_solution;

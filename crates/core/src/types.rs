@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use coremax_cnf::{Assignment, WcnfFormula, Weight};
 use coremax_sat::{Budget, SolverStats};
+use coremax_simp::SimpStats;
 
 /// Verdict of a MaxSAT run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,9 @@ pub struct MaxSatStats {
     /// Aggregated CDCL-engine counters across every SAT solver this run
     /// created (propagations, conflicts, LBD histogram, GC activity, …).
     pub sat: SolverStats,
+    /// Preprocessing counters (all zero unless the solve went through
+    /// [`crate::Preprocessed`]).
+    pub simp: SimpStats,
 }
 
 impl MaxSatStats {
@@ -143,6 +147,20 @@ pub trait MaxSatSolver {
 
     /// Solves the given weighted partial MaxSAT instance.
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution;
+}
+
+impl MaxSatSolver for Box<dyn MaxSatSolver> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        (**self).set_budget(budget);
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        (**self).solve(wcnf)
+    }
 }
 
 #[cfg(test)]

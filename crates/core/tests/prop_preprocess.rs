@@ -1,0 +1,111 @@
+//! Property tests for the preprocessing wrapper: `simplify → solve →
+//! reconstruct` returns the same status and the same MaxSAT optimum as
+//! solving directly, on random weighted and unweighted partial
+//! instances, and every reconstructed model passes verification against
+//! the untouched input.
+
+use coremax::{BranchBound, MaxSatSolver, MaxSatStatus, Msu1, Msu3, Msu4, Preprocessed};
+use coremax_cnf::{Lit, WcnfFormula};
+use coremax_simp::SimpConfig;
+use proptest::prelude::*;
+
+/// Random *unweighted* partial MaxSAT instance.
+fn arb_unweighted(max_vars: i32) -> impl Strategy<Value = WcnfFormula> {
+    let lit = (1..=max_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..=3);
+    (
+        prop::collection::vec(clause.clone(), 0..8),
+        prop::collection::vec(clause, 1..10),
+    )
+        .prop_map(move |(hard, soft)| {
+            let mut w = WcnfFormula::with_vars(max_vars as usize);
+            for c in hard {
+                w.add_hard(c.into_iter().map(|d| Lit::from_dimacs(d).unwrap()));
+            }
+            for c in soft {
+                w.add_soft(c.into_iter().map(|d| Lit::from_dimacs(d).unwrap()), 1);
+            }
+            w
+        })
+}
+
+/// Random *weighted* partial MaxSAT instance.
+fn arb_weighted(max_vars: i32) -> impl Strategy<Value = WcnfFormula> {
+    let lit = (1..=max_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..=3);
+    let weighted = (clause.clone(), 1u64..=6);
+    (
+        prop::collection::vec(clause, 0..8),
+        prop::collection::vec(weighted, 1..8),
+    )
+        .prop_map(move |(hard, soft)| {
+            let mut w = WcnfFormula::with_vars(max_vars as usize);
+            for c in hard {
+                w.add_hard(c.into_iter().map(|d| Lit::from_dimacs(d).unwrap()));
+            }
+            for (c, weight) in soft {
+                w.add_soft(c.into_iter().map(|d| Lit::from_dimacs(d).unwrap()), weight);
+            }
+            w
+        })
+}
+
+fn check_pair(
+    w: &WcnfFormula,
+    direct: &coremax::MaxSatSolution,
+    pre: &coremax::MaxSatSolution,
+    label: &str,
+) {
+    prop_assert_eq!(pre.status, direct.status, "{} status differs", label);
+    prop_assert_eq!(pre.cost, direct.cost, "{} cost differs", label);
+    prop_assert!(
+        coremax::verify_solution(w, pre),
+        "{} reconstructed solution failed verification",
+        label
+    );
+    if pre.status == MaxSatStatus::Optimal {
+        let model = pre.model.as_ref().expect("optimal has model");
+        prop_assert_eq!(w.cost(model), pre.cost, "{} model lies about cost", label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn unweighted_solvers_unchanged_by_preprocessing(w in arb_unweighted(6)) {
+        let direct = Msu4::v2().solve(&w);
+        let with_pre = Preprocessed::new(Msu4::v2()).solve(&w);
+        check_pair(&w, &direct, &with_pre, "msu4-v2");
+
+        let direct = Msu1::new().solve(&w);
+        let with_pre = Preprocessed::new(Msu1::new()).solve(&w);
+        check_pair(&w, &direct, &with_pre, "msu1");
+
+        let direct = Msu3::new().solve(&w);
+        let with_pre = Preprocessed::new(Msu3::new()).solve(&w);
+        check_pair(&w, &direct, &with_pre, "msu3");
+    }
+
+    #[test]
+    fn weighted_branch_bound_unchanged_by_preprocessing(w in arb_weighted(6)) {
+        let direct = BranchBound::new().solve(&w);
+        let with_pre = Preprocessed::new(BranchBound::new()).solve(&w);
+        check_pair(&w, &direct, &with_pre, "maxsatz-bb");
+    }
+
+    #[test]
+    fn aggressive_config_still_sound(w in arb_unweighted(6)) {
+        // Growth allowed, probing everywhere, many rounds: stresses the
+        // elimination stack harder than the defaults.
+        let config = SimpConfig {
+            grow_limit: 8,
+            probe_budget: 10_000,
+            max_rounds: 6,
+            ..SimpConfig::default()
+        };
+        let direct = Msu4::v2().solve(&w);
+        let with_pre = Preprocessed::with_config(Msu4::v2(), config).solve(&w);
+        check_pair(&w, &direct, &with_pre, "msu4-v2/aggressive");
+    }
+}

@@ -132,8 +132,21 @@ impl ClauseDb {
 
     /// Adds a clause; `len >= 1` expected (empty clauses are handled
     /// before reaching the arena).
+    ///
+    /// Arena invariant, uniform across the level-0 and learned load
+    /// paths: stored clauses never contain two literals of the same
+    /// variable. Problem clauses are sorted and deduplicated (and
+    /// tautologies discarded) by `Solver::add_clause` before they get
+    /// here; learned clauses satisfy it by construction of first-UIP
+    /// analysis.
     pub(crate) fn add(&mut self, lits: &[Lit], learned: bool, trace: TraceId) -> CRef {
         debug_assert!(!lits.is_empty());
+        debug_assert!(
+            lits.iter()
+                .enumerate()
+                .all(|(i, a)| lits[i + 1..].iter().all(|b| b.var() != a.var())),
+            "arena clauses must be duplicate- and tautology-free"
+        );
         let cref = CRef(self.arena.len() as u32);
         self.arena.push(Lit::from_code(lits.len() as u32));
         self.arena

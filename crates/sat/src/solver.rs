@@ -356,6 +356,12 @@ impl Solver {
     /// are created on demand. Adding a clause that is falsified by the
     /// current level-0 state makes the solver permanently UNSAT and the
     /// core becomes available immediately.
+    ///
+    /// Normalisation contract (uniform with the learned-clause path,
+    /// which satisfies it by construction): no clause stored in the
+    /// arena carries two literals of the same variable, and tautologies
+    /// still consume a [`ClauseId`] — id assignment is positional, so
+    /// core ids always index the caller's clause list unchanged.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> ClauseId {
         // Scratch buffers make clause loading allocation-free in steady
         // state — MaxSAT drivers rebuild solvers thousands of times, so
@@ -584,6 +590,66 @@ impl Solver {
     /// Returns `true` while the formula has not been refuted.
     #[must_use]
     pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Preprocessing hooks
+    //
+    // Small, stable entry points used by the `coremax_simp` subsystem:
+    // top-level probing rides on the solver's two-watched-literal
+    // propagation instead of re-implementing it, and the facts the
+    // solver accumulates at level 0 flow back to the simplifier.
+    // ------------------------------------------------------------------
+
+    /// The literals fixed at decision level 0 (facts), in trail order.
+    ///
+    /// Outside of a `solve` call the solver always sits at level 0, so
+    /// this is the whole trail: original units plus everything unit
+    /// propagation and probing derived from them.
+    #[must_use]
+    pub fn level0_literals(&self) -> &[Lit] {
+        let end = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        &self.trail[..end]
+    }
+
+    /// Failed-literal probe: assumes `lit` at a fresh decision level,
+    /// propagates to fixpoint, and backtracks to level 0 before
+    /// returning.
+    ///
+    /// Returns `None` when the probe is vacuous (the literal is already
+    /// assigned at level 0, or the solver is already UNSAT), otherwise
+    /// `Some(conflicted)`. A `Some(true)` result means `¬lit` is implied
+    /// by the clauses — callers typically follow up with
+    /// [`Solver::import_units`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (the solver must be at level 0).
+    pub fn probe_lit(&mut self, lit: Lit) -> Option<bool> {
+        assert_eq!(self.decision_level(), 0, "probe only at top level");
+        if !self.ok {
+            return None;
+        }
+        self.ensure_vars(lit.var().index() + 1);
+        if self.lit_value(lit).is_some() {
+            return None;
+        }
+        self.trail_lim.push(self.trail.len());
+        self.enqueue(lit, CRef::UNDEF);
+        let conflict = self.propagate().is_some();
+        self.cancel_until(0);
+        Some(conflict)
+    }
+
+    /// Imports unit facts as original clauses (the simplifier's unit
+    /// import hook). Each unit propagates immediately at level 0;
+    /// returns `false` if the solver became UNSAT along the way (the
+    /// remaining units are still added, so cores stay exact).
+    pub fn import_units<I: IntoIterator<Item = Lit>>(&mut self, units: I) -> bool {
+        for l in units {
+            self.add_clause([l]);
+        }
         self.ok
     }
 
@@ -1093,6 +1159,12 @@ impl Solver {
     /// Records the clause prepared by [`Solver::analyze`] (in
     /// `learnt_buf` / `antecedents_buf` / `pending_lbd`) into the
     /// database, watches it, and asserts its first literal.
+    ///
+    /// Learned clauses satisfy the same arena invariant as normalised
+    /// problem clauses — no duplicate literals, no tautologies — by
+    /// construction: `analyze` admits each variable at most once via
+    /// the `seen` marks, so no explicit normalisation pass is needed
+    /// here (the invariant is asserted in [`ClauseDb::add`]).
     fn record_learnt(&mut self) {
         self.stats.conflicts += 1;
         self.stats.learned_clauses += 1;
@@ -1713,6 +1785,92 @@ mod tests {
         s.add_clause([l(-2)]);
         assert_eq!(s.solve(), SolveOutcome::Unsat);
         assert!(s.unsat_core().is_some());
+    }
+
+    #[test]
+    fn tautology_never_in_core_and_ids_stay_positional() {
+        // Clause 0 is a tautology, clauses 1-2 the contradiction: the
+        // core must reference positions 1 and 2 — tautologies consume
+        // an id but can never be cited.
+        let mut s = Solver::new();
+        let t = s.add_clause([l(1), l(-1)]);
+        let a = s.add_clause([l(2)]);
+        let b = s.add_clause([l(-2)]);
+        assert_eq!((t.index(), a.index(), b.index()), (0, 1, 2));
+        assert_eq!(s.num_original_clauses(), 3);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let core = s.unsat_core().unwrap();
+        assert!(!core.contains(&t), "tautology cited in core");
+        assert_eq!(core, &[a, b]);
+    }
+
+    #[test]
+    fn duplicate_literals_uniform_across_lengths() {
+        // Dedup must apply whether the clause collapses to a unit, a
+        // binary, or stays long — all three load paths differ.
+        let mut s = Solver::new();
+        s.add_clause([l(1), l(1)]); // unit after dedup
+        s.add_clause([l(-1), l(2), l(2)]); // binary after dedup
+        s.add_clause([l(-2), l(3), l(3), l(4), l(4)]); // long after dedup
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.value(Var::new(0)), Some(true));
+        assert_eq!(m.value(Var::new(1)), Some(true));
+        // The deduped long clause is satisfied by the model.
+        assert!(m.satisfies(l(3)) || m.satisfies(l(4)) || m.satisfies(l(-2)));
+    }
+
+    #[test]
+    fn duplicated_contradiction_core_is_exact() {
+        // Duplicate literals inside core clauses must not distort the
+        // core: it still cites exactly the two contradicting units.
+        let mut s = Solver::new();
+        let a = s.add_clause([l(1), l(1)]);
+        let b = s.add_clause([l(-1), l(-1), l(-1)]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert_eq!(s.unsat_core().unwrap(), &[a, b]);
+    }
+
+    #[test]
+    fn probe_lit_detects_failed_literal() {
+        // x1 → x2, x1 → ¬x2: probing x1 conflicts, x2/¬x1 are facts.
+        let mut s = solver_with(&[&[-1, 2], &[-1, -2]]);
+        assert_eq!(s.probe_lit(l(1)), Some(true));
+        assert_eq!(s.probe_lit(l(2)), Some(false));
+        assert!(s.level0_literals().is_empty(), "probe must backtrack");
+        assert!(s.import_units([l(-1)]));
+        assert!(s.level0_literals().contains(&l(-1)));
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn probe_lit_vacuous_cases() {
+        let mut s = solver_with(&[&[1]]);
+        assert_eq!(s.probe_lit(l(1)), None, "already fixed at level 0");
+        assert_eq!(s.probe_lit(l(-1)), None);
+        s.add_clause([l(-1)]);
+        assert!(!s.is_ok());
+        assert_eq!(s.probe_lit(l(2)), None, "UNSAT solver never probes");
+    }
+
+    #[test]
+    fn import_units_reports_refutation() {
+        let mut s = solver_with(&[&[1, 2]]);
+        assert!(!s.import_units([l(-1), l(-2)]));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        assert!(s.unsat_core().is_some());
+    }
+
+    #[test]
+    fn level0_literals_accumulate_facts() {
+        // A unit cascading through an implication chain: all derived
+        // facts are visible to the preprocessing hook.
+        let mut s = solver_with(&[&[1], &[-1, 2], &[-2, 3]]);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let facts = s.level0_literals();
+        assert!(facts.contains(&l(1)));
+        assert!(facts.contains(&l(2)));
+        assert!(facts.contains(&l(3)));
     }
 
     #[test]
