@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use coremax::{
     verify_solution, BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus,
-    Msu1, Msu2, Msu3, Msu4, PboBaseline, Preprocessed,
+    Msu1, Msu2, Msu3, Msu4, PboBaseline, Preprocessed, Stratified, WeightedByReplication, Wmsu1,
 };
 use coremax_instances::Instance;
 use coremax_sat::Budget;
@@ -56,7 +56,8 @@ impl RunRecord {
 
 /// Builds a solver by experiment name. The set matches the paper's
 /// evaluation: `maxsatz`, `pbo`, `msu4v1`, `msu4v2`, plus the extended
-/// family (`msu1`, `msu2`, `msu3`, `linear`, `binary`).
+/// family (`msu1`, `msu2`, `msu3`, `linear`, `binary`) and the weighted
+/// line-up (`wmsu1`, `strat-msu3`, `strat-msu4`, `replication`).
 ///
 /// # Panics
 ///
@@ -74,12 +75,20 @@ pub fn solver_by_name(name: &str) -> Box<dyn MaxSatSolver> {
         "msu3" => Box::new(Msu3::new()),
         "linear" => Box::new(LinearSearchSat::new()),
         "binary" => Box::new(BinarySearchSat::new()),
+        "wmsu1" => Box::new(Wmsu1::new()),
+        "strat-msu3" => Box::new(Stratified::new(Msu3::new())),
+        "strat-msu4" => Box::new(Stratified::new(Msu4::v2())),
+        "replication" => Box::new(WeightedByReplication::new(Msu3::new())),
         other => panic!("unknown experiment solver `{other}`"),
     }
 }
 
 /// The paper's Table 1 / Table 2 solver line-up.
 pub const PAPER_SOLVERS: [&str; 4] = ["maxsatz", "pbo", "msu4v1", "msu4v2"];
+
+/// The weighted-evaluation line-up: the replication baseline against
+/// the native weight-aware paths.
+pub const WEIGHTED_SOLVERS: [&str; 4] = ["replication", "wmsu1", "strat-msu3", "strat-msu4"];
 
 /// Runs `solver_name` over `instances` with `budget` per instance
 /// (no preprocessing).
@@ -147,6 +156,10 @@ fn experiment_alias(name: &str) -> &'static str {
         "msu3" => "msu3",
         "linear" => "linear",
         "binary" => "binary",
+        "wmsu1" => "wmsu1",
+        "strat-msu3" => "strat-msu3",
+        "strat-msu4" => "strat-msu4",
+        "replication" => "replication",
         _ => "unknown",
     }
 }
@@ -200,6 +213,37 @@ mod tests {
             let s = solver_by_name(name);
             assert!(!s.name().is_empty());
         }
+        for name in WEIGHTED_SOLVERS {
+            let s = solver_by_name(name);
+            assert!(s.supports_weights(), "{name} must take weighted input");
+        }
+    }
+
+    #[test]
+    fn weighted_lineup_agrees_on_the_weighted_suite() {
+        use coremax_instances::weighted_suite;
+        let suite: Vec<_> = weighted_suite(&SuiteConfig::default())
+            .into_iter()
+            // Keep it quick: one instance per distribution, under the
+            // replication cap so all four solvers finish.
+            .filter(|i| i.wcnf.total_soft_weight() <= 100_000)
+            .take(3)
+            .collect();
+        assert!(!suite.is_empty());
+        let mut records = Vec::new();
+        for name in WEIGHTED_SOLVERS {
+            records.extend(run_solver_over_opts(
+                name,
+                &suite,
+                Duration::from_secs(20),
+                false,
+            ));
+        }
+        assert!(records.iter().all(|r| r.verified), "all runs verified");
+        assert!(
+            consistency_violations(&records).is_empty(),
+            "weighted solvers disagree"
+        );
     }
 
     #[test]

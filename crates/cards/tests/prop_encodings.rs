@@ -80,6 +80,39 @@ proptest! {
         prop_assert_eq!(outcome, expected, "{} n={} k={}", encoding, n, k);
     }
 
+    // The stratified-freeze shape: relaxation selectors are forced true
+    // exactly for the "falsified" clauses (selector ← clause direction
+    // free), and the bound must admit precisely the assignments whose
+    // falsified count stays at the stage optimum. Mirrors how
+    // `coremax::Stratified` seals a stratum and `coremax::Wmsu1` spends
+    // one blocking variable per core.
+    #[test]
+    fn selector_bound_freezes_falsified_count(
+        encoding in encodings(),
+        n in 1usize..7,
+        k in 0usize..7,
+        falsified_bits in any::<u8>(),
+    ) {
+        let selectors: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect();
+        let mut sink = CnfSink::new(n);
+        encode_at_most(&selectors, k, encoding, &mut sink);
+        let mut solver = Solver::new();
+        solver.ensure_vars(sink.num_vars());
+        for c in sink.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        // Only the falsified clauses *force* their selector; satisfied
+        // clauses leave theirs free — so assume positives only.
+        let assumptions: Vec<Lit> = (0..n)
+            .filter(|i| falsified_bits >> i & 1 == 1)
+            .map(|i| Lit::positive(Var::new(i as u32)))
+            .collect();
+        let falsified = assumptions.len();
+        let outcome = solver.solve_with_assumptions(&assumptions);
+        let expected = if falsified <= k { SolveOutcome::Sat } else { SolveOutcome::Unsat };
+        prop_assert_eq!(outcome, expected, "{} n={} k={} forced={}", encoding, n, k, falsified);
+    }
+
     #[test]
     fn encodings_agree_pairwise(
         n in 2usize..6,

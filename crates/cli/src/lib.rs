@@ -11,10 +11,10 @@ use std::time::Duration;
 
 use coremax::{
     BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, Msu1, Msu2, Msu3,
-    Msu4, Msu4Incremental, PboBaseline, Preprocessed,
+    Msu4, Msu4Incremental, PboBaseline, Preprocessed, Stratified, WeightedByReplication, Wmsu1,
 };
 use coremax_cnf::{dimacs, WcnfFormula};
-use coremax_instances::{debug_suite, full_suite, InstanceStats, SuiteConfig};
+use coremax_instances::{debug_suite, full_suite, weighted_suite, InstanceStats, SuiteConfig};
 use coremax_sat::Budget;
 
 /// Parsed command-line options.
@@ -148,15 +148,19 @@ pub fn usage() -> String {
      \x20      coremax-solve --generate DIR [--family NAME] [--scale N] [--seed S]\n\
      \n\
      ALGO: msu4-v2 (default), msu4-v1, msu4-inc, msu1, msu2, msu3, pbo,\n\
-     \x20      maxsatz-bb, linear-sat, binary-sat\n\
+     \x20      maxsatz-bb, linear-sat, binary-sat,\n\
+     \x20      wmsu1, strat-msu3 (alias: stratified), strat-msu4,\n\
+     \x20      strat-wmsu1, replication\n\
+     \x20      Weighted input is solved natively: unweighted-only\n\
+     \x20      algorithms are stratified automatically (never replicated).\n\
      FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf (classic\n\
      \x20     `p wcnf` or the post-2022 `h`-prefixed format);\n\
      \x20     `-` reads stdin (format sniffed)\n\
      --no-preprocess skips the simplifier (BVE/subsumption/probing);\n\
      --simp-stats prints its reduction counters\n\
      --generate writes the benchmark suite as .wcnf files into DIR\n\
-     (families: bmc equiv atpg php xor rand3 debug; `debug29` for the\n\
-     Table-2 suite)"
+     (families: bmc equiv atpg php xor rand3 debug weighted; `debug29`\n\
+     for the Table-2 suite)"
         .to_string()
 }
 
@@ -173,6 +177,11 @@ pub fn make_solver(name: &str) -> Result<Box<dyn MaxSatSolver>, String> {
         "msu1" => Box::new(Msu1::new()),
         "msu2" => Box::new(Msu2::new()),
         "msu3" => Box::new(Msu3::new()),
+        "wmsu1" => Box::new(Wmsu1::new()),
+        "stratified" | "strat-msu3" => Box::new(Stratified::new(Msu3::new())),
+        "strat-msu4" => Box::new(Stratified::new(Msu4::v2())),
+        "strat-wmsu1" => Box::new(Stratified::new(Wmsu1::new())),
+        "replication" => Box::new(WeightedByReplication::new(Msu3::new())),
         "pbo" => Box::new(PboBaseline::new()),
         "maxsatz" | "maxsatz-bb" | "bb" => Box::new(BranchBound::new()),
         "linear-sat" | "linear" => Box::new(LinearSearchSat::new()),
@@ -209,6 +218,13 @@ pub fn parse_problem(text: &str) -> Result<WcnfFormula, String> {
 
 /// Runs `options.algorithm` on `wcnf` and returns the solution.
 ///
+/// Weighted input is never routed through clause replication any more:
+/// when the selected algorithm only handles unweighted soft clauses
+/// (`!supports_weights()`), it is wrapped in [`Stratified`], which
+/// delegates unweighted strata to it and keeps the run exact on
+/// arbitrary weights. Pick `replication` explicitly to get the old
+/// baseline behaviour.
+///
 /// Unless `options.preprocess` is off, the solver is wrapped in
 /// [`Preprocessed`]: the formula is simplified once (soft variables
 /// frozen), the residual instance solved, and the model reconstructed —
@@ -219,6 +235,11 @@ pub fn parse_problem(text: &str) -> Result<WcnfFormula, String> {
 /// Returns an error for unknown algorithm names.
 pub fn run(options: &Options, wcnf: &WcnfFormula) -> Result<MaxSatSolution, String> {
     let inner = make_solver(&options.algorithm)?;
+    let inner: Box<dyn MaxSatSolver> = if !wcnf.is_unweighted() && !inner.supports_weights() {
+        Box::new(Stratified::new(inner))
+    } else {
+        inner
+    };
     let mut solver: Box<dyn MaxSatSolver> = if options.preprocess {
         Box::new(Preprocessed::new(inner))
     } else {
@@ -243,11 +264,16 @@ pub fn generate_suite(options: &Options, dir: &str) -> Result<Vec<String>, Strin
     };
     let instances = match options.family.as_deref() {
         Some("debug29") => debug_suite(&config),
+        Some("weighted") => weighted_suite(&config),
         Some(name) => full_suite(&config)
             .into_iter()
             .filter(|i| i.family.name() == name)
             .collect(),
-        None => full_suite(&config),
+        None => {
+            let mut all = full_suite(&config);
+            all.extend(weighted_suite(&config));
+            all
+        }
     };
     if instances.is_empty() {
         return Err(format!(
@@ -380,6 +406,12 @@ mod tests {
             "msu1",
             "msu2",
             "msu3",
+            "wmsu1",
+            "stratified",
+            "strat-msu3",
+            "strat-msu4",
+            "strat-wmsu1",
+            "replication",
             "pbo",
             "maxsatz-bb",
             "linear-sat",
@@ -388,6 +420,82 @@ mod tests {
             assert!(make_solver(name).is_ok(), "{name}");
         }
         assert!(make_solver("nope").is_err());
+    }
+
+    #[test]
+    fn weighted_capability_flags() {
+        for (name, expected) in [
+            ("msu4-v2", false),
+            ("msu1", false),
+            ("wmsu1", true),
+            ("stratified", true),
+            ("strat-msu4", true),
+            ("replication", true),
+            ("maxsatz-bb", true),
+            ("pbo", true),
+        ] {
+            assert_eq!(
+                make_solver(name).unwrap().supports_weights(),
+                expected,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_input_is_stratified_not_replicated_or_panicking() {
+        // msu4-v2 (the default) alone panics on weighted soft clauses;
+        // the run() router must stratify it transparently, with and
+        // without preprocessing.
+        let wcnf = parse_problem("p wcnf 2 3 99\n99 1 2 0\n100 -1 0\n3 -2 0\n").unwrap();
+        for preprocess in [true, false] {
+            let options = Options {
+                preprocess,
+                ..Options::default()
+            };
+            let s = run(&options, &wcnf).unwrap();
+            assert_eq!(s.status, coremax::MaxSatStatus::Optimal);
+            assert_eq!(s.cost, Some(3));
+            assert!(coremax::verify_solution(&wcnf, &s));
+            assert!(s.stats.strata >= 1, "stratified router engaged");
+        }
+    }
+
+    #[test]
+    fn weighted_solvers_run_unwrapped() {
+        let wcnf = parse_problem("p wcnf 1 2\n4 1 0\n9 -1 0\n").unwrap();
+        for algo in ["wmsu1", "strat-msu3", "maxsatz-bb", "replication"] {
+            let options = Options {
+                algorithm: algo.into(),
+                ..Options::default()
+            };
+            let s = run(&options, &wcnf).unwrap();
+            assert_eq!(s.cost, Some(4), "{algo}");
+            assert!(coremax::verify_solution(&wcnf, &s), "{algo}");
+        }
+    }
+
+    #[test]
+    fn weighted_roundtrip_preserves_optimum_across_dialects() {
+        // parse → solve → serialize → reparse → solve, classic and
+        // post-2022 dialects, through the CLI entry points.
+        let classic = "p wcnf 3 5 99\n99 -1 2 0\n10 1 0\n9 -1 0\n1 -2 0\n2 3 0\n";
+        let wcnf = parse_problem(classic).unwrap();
+        let options = Options {
+            algorithm: "wmsu1".into(),
+            ..Options::default()
+        };
+        let first = run(&options, &wcnf).unwrap();
+        assert_eq!(first.status, coremax::MaxSatStatus::Optimal);
+        for text in [dimacs::write_wcnf(&wcnf), dimacs::write_wcnf_new(&wcnf)] {
+            let reparsed = parse_problem(&text).unwrap();
+            assert_eq!(reparsed.num_hard(), wcnf.num_hard());
+            let again = run(&options, &reparsed).unwrap();
+            assert_eq!(again.cost, first.cost);
+            assert!(coremax::verify_solution(&reparsed, &again));
+            let formatted = format_solution(&reparsed, &again, false);
+            assert!(formatted.contains("s OPTIMUM FOUND"));
+        }
     }
 
     #[test]

@@ -240,6 +240,42 @@ pub fn write_wcnf(formula: &WcnfFormula) -> String {
     out
 }
 
+/// Serialises a [`WcnfFormula`] to the post-2022 MaxSAT-Evaluation WCNF
+/// dialect: no `p` header, hard clauses prefixed `h`, soft clauses
+/// prefixed with their weight. [`parse_wcnf`] reads this format back.
+///
+/// # Examples
+///
+/// ```
+/// use coremax_cnf::{dimacs, Lit, WcnfFormula};
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_hard([Lit::positive(x)]);
+/// w.add_soft([Lit::negative(x)], 4);
+/// let text = dimacs::write_wcnf_new(&w);
+/// assert_eq!(text, "h 1 0\n4 -1 0\n");
+/// assert_eq!(dimacs::parse_wcnf(&text).unwrap(), w);
+/// ```
+#[must_use]
+pub fn write_wcnf_new(formula: &WcnfFormula) -> String {
+    let mut out = String::new();
+    for clause in formula.hard_clauses() {
+        out.push('h');
+        for &lit in clause.lits() {
+            let _ = write!(out, " {}", lit.to_dimacs());
+        }
+        out.push_str(" 0\n");
+    }
+    for soft in formula.soft_clauses() {
+        let _ = write!(out, "{}", soft.weight);
+        for &lit in soft.clause.lits() {
+            let _ = write!(out, " {}", lit.to_dimacs());
+        }
+        out.push_str(" 0\n");
+    }
+    out
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
     Cnf,
@@ -687,6 +723,53 @@ mod tests {
         let text = format!("{} 1 0\n", u64::MAX);
         let e = parse_wcnf(&text).unwrap_err();
         assert!(matches!(e.kind, ParseDimacsErrorKind::BadWeight(_)));
+    }
+
+    #[test]
+    fn new_format_roundtrip() {
+        let mut w = WcnfFormula::new();
+        w.add_hard([Lit::from_dimacs(1).unwrap(), Lit::from_dimacs(-2).unwrap()]);
+        w.add_soft([Lit::from_dimacs(-1).unwrap()], 5);
+        w.add_soft([Lit::from_dimacs(2).unwrap()], 1);
+        let text = write_wcnf_new(&w);
+        assert_eq!(text, "h 1 -2 0\n5 -1 0\n1 2 0\n");
+        let again = parse_wcnf(&text).unwrap();
+        assert_eq!(w, again);
+    }
+
+    #[test]
+    fn both_writers_agree_on_the_parsed_formula() {
+        // classic text → formula → each writer → parse → same formula.
+        let w = parse_wcnf("p wcnf 3 4 9\n9 1 2 0\n9 -3 0\n4 -1 0\n2 3 0\n").unwrap();
+        let via_classic = parse_wcnf(&write_wcnf(&w)).unwrap();
+        let via_new = parse_wcnf(&write_wcnf_new(&w)).unwrap();
+        assert_eq!(w, via_classic);
+        assert_eq!(w, via_new);
+    }
+
+    #[test]
+    fn new_format_writer_handles_empty_clauses() {
+        let mut w = WcnfFormula::new();
+        w.add_hard(std::iter::empty::<Lit>());
+        w.add_soft(std::iter::empty::<Lit>(), 3);
+        let text = write_wcnf_new(&w);
+        assert_eq!(text, "h 0\n3 0\n");
+        assert_eq!(parse_wcnf(&text).unwrap(), w);
+    }
+
+    #[test]
+    fn near_sentinel_weight_roundtrips_in_both_dialects() {
+        // HARD_WEIGHT - 1 is the largest legal soft weight; both
+        // writers must carry it through a parse cycle unchanged.
+        let mut w = WcnfFormula::new();
+        w.add_soft([Lit::from_dimacs(1).unwrap()], crate::HARD_WEIGHT - 1);
+        let via_new = parse_wcnf(&write_wcnf_new(&w)).unwrap();
+        assert_eq!(via_new.soft_clauses()[0].weight, crate::HARD_WEIGHT - 1);
+        // The classic writer saturates its top at u64::MAX, which still
+        // exceeds no soft weight ambiguity: weight != top stays soft.
+        let via_classic = parse_wcnf(&write_wcnf(&w)).unwrap();
+        assert_eq!(via_classic.soft_clauses()[0].weight, crate::HARD_WEIGHT - 1);
+        assert_eq!(via_classic.num_hard(), 0);
     }
 
     #[test]

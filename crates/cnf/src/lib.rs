@@ -50,4 +50,4 @@ pub use clause::Clause;
 pub use error::{ParseDimacsError, ParseDimacsErrorKind};
 pub use formula::CnfFormula;
 pub use lit::{Lit, Var};
-pub use wcnf::{SoftClause, WcnfFormula, Weight, HARD_WEIGHT};
+pub use wcnf::{SoftClause, WcnfFormula, Weight, WeightStratum, HARD_WEIGHT};

@@ -19,6 +19,25 @@ pub struct SoftClause {
     pub weight: Weight,
 }
 
+/// One weight stratum of a [`WcnfFormula`]: the weight shared by a
+/// group of soft clauses together with their indices into
+/// [`WcnfFormula::soft_clauses`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightStratum {
+    /// The weight every clause of the stratum carries.
+    pub weight: Weight,
+    /// Indices of the stratum's clauses, in input order.
+    pub indices: Vec<usize>,
+}
+
+impl WeightStratum {
+    /// Total weight of the stratum (`weight × |indices|`), saturating.
+    #[must_use]
+    pub fn total_weight(&self) -> Weight {
+        self.weight.saturating_mul(self.indices.len() as Weight)
+    }
+}
+
 /// A weighted partial CNF formula: hard clauses that must be satisfied
 /// plus soft clauses with falsification costs.
 ///
@@ -153,10 +172,87 @@ impl WcnfFormula {
         &self.soft
     }
 
-    /// Sum of all soft weights (the cost of falsifying everything).
+    /// Sum of all soft weights (the cost of falsifying everything),
+    /// saturating at [`Weight::MAX`] rather than wrapping: weighted
+    /// instances near the representable limit must degrade to a
+    /// conservative bound, never to a silently smaller total.
     #[must_use]
     pub fn total_soft_weight(&self) -> Weight {
-        self.soft.iter().map(|s| s.weight).sum()
+        self.soft
+            .iter()
+            .fold(0, |acc: Weight, s| acc.saturating_add(s.weight))
+    }
+
+    /// Sum of all soft weights, or `None` if the total overflows
+    /// [`Weight`]. The checked twin of
+    /// [`WcnfFormula::total_soft_weight`] for callers (replication,
+    /// stratification) that must *reject* rather than cap.
+    #[must_use]
+    pub fn checked_total_soft_weight(&self) -> Option<Weight> {
+        self.soft
+            .iter()
+            .try_fold(0, |acc: Weight, s| acc.checked_add(s.weight))
+    }
+
+    /// The distinct soft-clause weights in strictly decreasing order —
+    /// the stratum boundaries weight-aware solvers iterate over.
+    #[must_use]
+    pub fn distinct_soft_weights(&self) -> Vec<Weight> {
+        let mut weights: Vec<Weight> = self.soft.iter().map(|s| s.weight).collect();
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        weights.dedup();
+        weights
+    }
+
+    /// The largest soft weight, or `None` when there are no soft
+    /// clauses.
+    #[must_use]
+    pub fn max_soft_weight(&self) -> Option<Weight> {
+        self.soft.iter().map(|s| s.weight).max()
+    }
+
+    /// Partitions the soft clauses into weight strata, heaviest first.
+    /// Each stratum carries its weight and the indices (into
+    /// [`WcnfFormula::soft_clauses`]) of the clauses at that weight.
+    /// Concatenating the strata yields every soft index exactly once.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use coremax_cnf::{Lit, Var, WcnfFormula};
+    /// let mut w = WcnfFormula::new();
+    /// let x = w.new_var();
+    /// w.add_soft([Lit::positive(x)], 5);
+    /// w.add_soft([Lit::negative(x)], 1);
+    /// w.add_soft([Lit::positive(x)], 5);
+    /// let strata = w.weight_strata();
+    /// assert_eq!(strata.len(), 2);
+    /// assert_eq!(strata[0].weight, 5);
+    /// assert_eq!(strata[0].indices, vec![0, 2]);
+    /// assert_eq!(strata[1].weight, 1);
+    /// ```
+    #[must_use]
+    pub fn weight_strata(&self) -> Vec<WeightStratum> {
+        // Single sort + adjacent grouping: weight_strata runs on every
+        // stratified solve, so avoid a per-distinct-weight scan.
+        let mut by_weight: Vec<(Weight, usize)> = self
+            .soft
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.weight, i))
+            .collect();
+        by_weight.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut strata: Vec<WeightStratum> = Vec::new();
+        for (weight, index) in by_weight {
+            match strata.last_mut() {
+                Some(stratum) if stratum.weight == weight => stratum.indices.push(index),
+                _ => strata.push(WeightStratum {
+                    weight,
+                    indices: vec![index],
+                }),
+            }
+        }
+        strata
     }
 
     /// Returns `true` if all soft clauses have weight 1.
@@ -308,6 +404,68 @@ mod tests {
         let f = w.to_cnf();
         assert_eq!(f.num_clauses(), 2);
         assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn strata_cover_every_soft_clause_once() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], 4);
+        w.add_soft([lit(-1)], 1);
+        w.add_soft([lit(2)], 4);
+        w.add_soft([lit(-2)], 9);
+        let strata = w.weight_strata();
+        assert_eq!(strata.len(), 3);
+        assert_eq!(
+            strata.iter().map(|s| s.weight).collect::<Vec<_>>(),
+            vec![9, 4, 1]
+        );
+        let mut all: Vec<usize> = strata.iter().flat_map(|s| s.indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(strata[1].total_weight(), 8);
+        assert_eq!(w.distinct_soft_weights(), vec![9, 4, 1]);
+        assert_eq!(w.max_soft_weight(), Some(9));
+    }
+
+    #[test]
+    fn strata_of_empty_formula() {
+        let w = WcnfFormula::new();
+        assert!(w.weight_strata().is_empty());
+        assert!(w.distinct_soft_weights().is_empty());
+        assert_eq!(w.max_soft_weight(), None);
+    }
+
+    #[test]
+    fn weight_adjacent_to_hard_sentinel_accepted() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], HARD_WEIGHT - 1);
+        assert_eq!(w.total_soft_weight(), HARD_WEIGHT - 1);
+        assert_eq!(w.checked_total_soft_weight(), Some(HARD_WEIGHT - 1));
+    }
+
+    #[test]
+    fn total_soft_weight_saturates_instead_of_wrapping() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], HARD_WEIGHT - 1);
+        w.add_soft([lit(-1)], HARD_WEIGHT - 1);
+        // A wrapping sum would report ~u64::MAX - 2 wrapped around to a
+        // tiny value; the saturating contract pins it at the ceiling.
+        assert_eq!(w.total_soft_weight(), Weight::MAX);
+        assert_eq!(w.checked_total_soft_weight(), None);
+        assert_eq!(w.weight_strata()[0].total_weight(), Weight::MAX);
+    }
+
+    #[test]
+    fn duplicate_soft_clauses_with_different_weights_kept_separate() {
+        let mut w = WcnfFormula::new();
+        w.add_soft([lit(1)], 3);
+        w.add_soft([lit(1)], 5);
+        assert_eq!(w.num_soft(), 2);
+        assert_eq!(w.total_soft_weight(), 8);
+        // Falsifying the shared literal costs the *sum* of both copies.
+        let a = Assignment::from_bools(&[false]);
+        assert_eq!(w.cost(&a), Some(8));
+        assert_eq!(w.weight_strata().len(), 2);
     }
 
     #[test]

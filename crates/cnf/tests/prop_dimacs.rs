@@ -58,7 +58,30 @@ proptest! {
     }
 
     #[test]
-    fn parser_never_panics_on_noise(text in "[ \\t\\r\\np0-9cw%-]{0,120}") {
+    fn wcnf_new_format_roundtrip(
+        hard in prop::collection::vec(arb_lits(10), 0..10),
+        soft in prop::collection::vec((arb_lits(10), 1u64..100), 0..15),
+    ) {
+        let mut w = WcnfFormula::new();
+        for c in hard {
+            w.add_hard(c);
+        }
+        for (c, weight) in soft {
+            w.add_soft(c, weight);
+        }
+        let text = dimacs::write_wcnf_new(&w);
+        let parsed = dimacs::parse_wcnf(&text).expect("own output must parse");
+        prop_assert_eq!(w.hard_clauses(), parsed.hard_clauses());
+        prop_assert_eq!(w.soft_clauses(), parsed.soft_clauses());
+        // Cross-dialect agreement: both writers describe one formula.
+        let via_classic = dimacs::parse_wcnf(&dimacs::write_wcnf(&w)).expect("classic");
+        prop_assert_eq!(via_classic.hard_clauses(), parsed.hard_clauses());
+        prop_assert_eq!(via_classic.soft_clauses(), parsed.soft_clauses());
+        prop_assert_eq!(via_classic.total_soft_weight(), parsed.total_soft_weight());
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(text in "[ \\t\\r\\nhp0-9cw%-]{0,120}") {
         // Arbitrary junk: parsing may fail but must not panic.
         let _ = dimacs::parse_cnf(&text);
         let _ = dimacs::parse_wcnf(&text);

@@ -77,6 +77,10 @@ impl MaxSatSolver for BranchBound {
         self.budget = budget;
     }
 
+    fn supports_weights(&self) -> bool {
+        true
+    }
+
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
         let deadline = self.budget.effective_deadline(start);

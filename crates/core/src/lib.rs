@@ -23,12 +23,20 @@
 //! | [`LinearSearchSat`], [`BinarySearchSat`] | "MaxSAT as iterated SAT" baselines |
 //! | [`Msu4Incremental`] | §5's "alternative SAT technology": assumption-based incremental msu4 |
 //!
+//! Beyond the paper, the crate carries the weighted successor line:
+//! [`Wmsu1`] (Fu–Malik with weight splitting, WPM1-style) solves
+//! weighted partial MaxSAT natively, and [`Stratified`] turns *any*
+//! solver — including the unweighted msu3/msu4 — into an exact weighted
+//! solver by solving weight strata heaviest-first and freezing each
+//! stratum's optimum. [`WeightedByReplication`] remains as the
+//! historical baseline they subsume.
+//!
 //! All solvers implement [`MaxSatSolver`] and accept weighted partial
-//! WCNF input where the algorithm supports it (see each type's docs).
-//! Any of them can be wrapped in [`Preprocessed`] to run the
-//! `coremax_simp` simplification pipeline (bounded variable
-//! elimination, subsumption, probing) once per solve, with models
-//! reconstructed back to the original variable space.
+//! WCNF input where the algorithm supports it (see each type's docs and
+//! [`MaxSatSolver::supports_weights`]). Any of them can be wrapped in
+//! [`Preprocessed`] to run the `coremax_simp` simplification pipeline
+//! (bounded variable elimination, subsumption, probing) once per solve,
+//! with models reconstructed back to the original variable space.
 //!
 //! # Examples
 //!
@@ -62,9 +70,11 @@ mod msu4_inc;
 mod pbo_baseline;
 mod preprocess;
 mod sat_search;
+mod stratify;
 mod types;
 mod verify;
 mod weighted;
+mod wmsu1;
 
 pub use bounds::{blocking_upper_bound, disjoint_core_analysis, DisjointCoreReport};
 pub use branch_bound::BranchBound;
@@ -76,6 +86,8 @@ pub use msu4_inc::Msu4Incremental;
 pub use pbo_baseline::PboBaseline;
 pub use preprocess::Preprocessed;
 pub use sat_search::{BinarySearchSat, LinearSearchSat};
+pub use stratify::Stratified;
 pub use types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub use verify::verify_solution;
 pub use weighted::{replicate_weights, worst_case_cost, WeightedByReplication};
+pub use wmsu1::Wmsu1;

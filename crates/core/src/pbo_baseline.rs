@@ -50,6 +50,10 @@ impl MaxSatSolver for PboBaseline {
         self.budget = budget;
     }
 
+    fn supports_weights(&self) -> bool {
+        true
+    }
+
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
         let mut pbo = maxsat_as_pbo(wcnf);

@@ -85,6 +85,10 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
         self.budget = budget;
     }
 
+    fn supports_weights(&self) -> bool {
+        self.inner.supports_weights()
+    }
+
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
         // Anchor the wall-clock budget *before* preprocessing, so

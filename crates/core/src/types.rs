@@ -47,6 +47,16 @@ pub struct MaxSatStats {
     pub cardinality_clauses: u64,
     /// Branch-and-bound nodes explored (B&B solvers only).
     pub nodes: u64,
+    /// Soft-clause copies created by WMSU1-style weight splitting: a
+    /// core clause of weight `w > w_min` is cloned at `w − w_min`
+    /// before its `w_min` share is relaxed.
+    pub weight_splits: u64,
+    /// Weight strata solved by [`crate::Stratified`] (1 for unweighted
+    /// pass-through, 0 for solvers that do not stratify).
+    pub strata: u64,
+    /// Soft clauses promoted to hard ones by stratification (a stratum
+    /// solved at cost 0 is frozen by hardening instead of cardinality).
+    pub hardened: u64,
     /// Total wall-clock time.
     pub wall_time: Duration,
     /// Aggregated CDCL-engine counters across every SAT solver this run
@@ -65,13 +75,31 @@ impl MaxSatStats {
     pub fn absorb_sat(&mut self, stats: &SolverStats) {
         self.sat.absorb(stats);
     }
+
+    /// Folds the counters of a sub-solve (one stratum, one delegated
+    /// inner run) into this run's aggregate. Wall-clock time and
+    /// preprocessing counters are *not* merged: the caller owns the
+    /// clock, and `simp` describes a single pipeline pass.
+    pub fn absorb(&mut self, other: &MaxSatStats) {
+        self.sat_calls += other.sat_calls;
+        self.unsat_iterations += other.unsat_iterations;
+        self.sat_iterations += other.sat_iterations;
+        self.cores += other.cores;
+        self.blocking_vars += other.blocking_vars;
+        self.cardinality_clauses += other.cardinality_clauses;
+        self.nodes += other.nodes;
+        self.weight_splits += other.weight_splits;
+        self.strata += other.strata;
+        self.hardened += other.hardened;
+        self.sat.absorb(&other.sat);
+    }
 }
 
 impl fmt::Display for MaxSatStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sat_calls={} unsat_iters={} sat_iters={} cores={} blocking_vars={} card_clauses={} nodes={} time={:?}",
+            "sat_calls={} unsat_iters={} sat_iters={} cores={} blocking_vars={} card_clauses={} nodes={} weight_splits={} strata={} hardened={} time={:?}",
             self.sat_calls,
             self.unsat_iterations,
             self.sat_iterations,
@@ -79,6 +107,9 @@ impl fmt::Display for MaxSatStats {
             self.blocking_vars,
             self.cardinality_clauses,
             self.nodes,
+            self.weight_splits,
+            self.strata,
+            self.hardened,
             self.wall_time
         )
     }
@@ -145,6 +176,15 @@ pub trait MaxSatSolver {
     /// calls. Exceeding it yields [`MaxSatStatus::Unknown`].
     fn set_budget(&mut self, budget: Budget);
 
+    /// Returns `true` if [`MaxSatSolver::solve`] accepts soft clauses
+    /// with arbitrary weights. Solvers restricted to unweighted
+    /// (partial) MaxSAT keep the default `false`; routers such as
+    /// [`crate::Stratified`] and the CLI use this to decide whether an
+    /// instance can be handed over as-is.
+    fn supports_weights(&self) -> bool {
+        false
+    }
+
     /// Solves the given weighted partial MaxSAT instance.
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution;
 }
@@ -156,6 +196,10 @@ impl MaxSatSolver for Box<dyn MaxSatSolver> {
 
     fn set_budget(&mut self, budget: Budget) {
         (**self).set_budget(budget);
+    }
+
+    fn supports_weights(&self) -> bool {
+        (**self).supports_weights()
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
@@ -194,8 +238,38 @@ mod tests {
     fn stats_display_mentions_calls() {
         let st = MaxSatStats {
             sat_calls: 7,
+            weight_splits: 3,
+            strata: 2,
             ..MaxSatStats::default()
         };
         assert!(st.to_string().contains("sat_calls=7"));
+        assert!(st.to_string().contains("weight_splits=3"));
+        assert!(st.to_string().contains("strata=2"));
+    }
+
+    #[test]
+    fn absorb_sums_counters_but_not_wall_time() {
+        let mut a = MaxSatStats {
+            sat_calls: 2,
+            cores: 1,
+            strata: 1,
+            wall_time: Duration::from_secs(5),
+            ..MaxSatStats::default()
+        };
+        let b = MaxSatStats {
+            sat_calls: 3,
+            cores: 2,
+            weight_splits: 4,
+            hardened: 1,
+            wall_time: Duration::from_secs(7),
+            ..MaxSatStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.sat_calls, 5);
+        assert_eq!(a.cores, 3);
+        assert_eq!(a.weight_splits, 4);
+        assert_eq!(a.strata, 1);
+        assert_eq!(a.hardened, 1);
+        assert_eq!(a.wall_time, Duration::from_secs(5));
     }
 }

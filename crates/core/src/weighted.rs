@@ -15,7 +15,9 @@ use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStatus};
 /// Expands a weighted instance into an unweighted one by replicating
 /// every soft clause `weight` times. Returns `None` when the total
 /// replicated clause count would exceed `cap` (replication is only
-/// sensible for small weights).
+/// sensible for small weights). Totals are computed with saturating
+/// arithmetic, so near-overflow weight sums compare as "too large"
+/// instead of wrapping into a spuriously small count.
 ///
 /// # Examples
 ///
@@ -48,6 +50,12 @@ pub fn replicate_weights(wcnf: &WcnfFormula, cap: u64) -> Option<WcnfFormula> {
 
 /// Adapter giving any unweighted solver weighted support by clause
 /// replication.
+///
+/// This is the historical baseline, kept for comparison: the native
+/// weighted paths ([`crate::Wmsu1`], [`crate::Stratified`]) subsume it
+/// on every weighted family. When the total soft weight exceeds the
+/// cap, `solve` gives up with [`MaxSatStatus::Unknown`] — it does not
+/// panic, so benchmark harnesses can record the cap-out.
 ///
 /// # Examples
 ///
@@ -93,18 +101,29 @@ impl<S: MaxSatSolver> MaxSatSolver for WeightedByReplication<S> {
         self.inner.set_budget(budget);
     }
 
+    fn supports_weights(&self) -> bool {
+        true
+    }
+
     /// Solves weighted instances by replication; unweighted instances
-    /// pass through untouched.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the total soft weight exceeds the configured cap.
+    /// pass through untouched. Instances whose total soft weight
+    /// exceeds the cap come back as [`MaxSatStatus::Unknown`].
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         if wcnf.is_unweighted() {
             return self.inner.solve(wcnf);
         }
-        let replicated = replicate_weights(wcnf, self.cap)
-            .expect("total soft weight exceeds the replication cap");
+        let start = std::time::Instant::now();
+        let Some(replicated) = replicate_weights(wcnf, self.cap) else {
+            return MaxSatSolution {
+                status: MaxSatStatus::Unknown,
+                cost: None,
+                model: None,
+                stats: crate::types::MaxSatStats {
+                    wall_time: start.elapsed(),
+                    ..Default::default()
+                },
+            };
+        };
         let mut solution = self.inner.solve(&replicated);
         // Costs coincide; the model ranges over the same variables.
         if solution.status == MaxSatStatus::Optimal {
@@ -159,6 +178,52 @@ mod tests {
     fn replication_respects_cap() {
         let w = weighted_instance();
         assert!(replicate_weights(&w, 5).is_none());
+    }
+
+    #[test]
+    fn over_cap_solve_returns_unknown_not_panic() {
+        let w = weighted_instance(); // total weight 10
+        let mut wrapped = WeightedByReplication::with_cap(Msu4::v2(), 5);
+        let s = wrapped.solve(&w);
+        assert_eq!(s.status, crate::MaxSatStatus::Unknown);
+        assert!(s.cost.is_none() && s.model.is_none());
+        assert!(crate::verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn near_overflow_totals_never_wrap_into_the_cap() {
+        use coremax_cnf::HARD_WEIGHT;
+        // Two near-sentinel weights: a wrapping sum would come out tiny
+        // and sneak under the cap; the saturating contract must reject.
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], HARD_WEIGHT - 1);
+        w.add_soft([Lit::negative(x)], HARD_WEIGHT - 1);
+        assert_eq!(w.total_soft_weight(), HARD_WEIGHT);
+        assert_eq!(w.checked_total_soft_weight(), None);
+        assert_eq!(worst_case_cost(&w), HARD_WEIGHT);
+        assert!(replicate_weights(&w, 100_000).is_none());
+        assert!(replicate_weights(&w, u64::MAX - 1).is_none());
+        let mut wrapped = WeightedByReplication::new(Msu4::v2());
+        assert_eq!(wrapped.solve(&w).status, crate::MaxSatStatus::Unknown);
+    }
+
+    #[test]
+    fn duplicate_soft_clauses_with_different_weights_replicate_additively() {
+        // (x) at 2 and (x) at 3 behave exactly like (x) at 5.
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::negative(x)]);
+        w.add_soft([Lit::positive(x)], 2);
+        w.add_soft([Lit::positive(x)], 3);
+        let u = replicate_weights(&w, 100).unwrap();
+        assert_eq!(u.num_soft(), 5);
+        let oracle = BranchBound::new().solve(&w);
+        assert_eq!(oracle.cost, Some(5));
+        let mut wrapped = WeightedByReplication::new(Msu4::v2());
+        let s = wrapped.solve(&w);
+        assert_eq!(s.cost, Some(5));
+        assert!(crate::verify_solution(&w, &s));
     }
 
     #[test]

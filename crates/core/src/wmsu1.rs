@@ -1,0 +1,352 @@
+//! wmsu1 — weight-aware Fu & Malik with weight splitting (WMSU1/WPM1).
+//!
+//! The msu* algorithms of the DATE'08 paper are defined for unweighted
+//! (partial) MaxSAT; their canonical weighted successor keeps the core
+//! relaxation loop but *splits* weights instead of counting clauses:
+//! when an unsatisfiable core is found, the minimum weight `w_min` over
+//! its soft clauses is charged to the lower bound, every core clause of
+//! weight `w > w_min` is cloned into a residual copy at `w − w_min`,
+//! the `w_min` shares are relaxed with fresh blocking variables, and an
+//! exactly-one constraint over the fresh variables is added as hard
+//! clauses (Ansótegui–Bonet–Levy's WPM1 / Manquinho–Marques-Silva–
+//! Planes's WBO lineage). On unweighted input the algorithm degenerates
+//! to [`crate::Msu1`] exactly.
+
+use std::time::Instant;
+
+use coremax_cards::{encode_exactly, CardEncoding, CnfSink};
+use coremax_cnf::{Lit, Var, WcnfFormula, Weight};
+use coremax_sat::{Budget, SolveOutcome, Solver};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// Weight-aware Fu & Malik (WMSU1): per-core relaxation with weight
+/// splitting. Handles arbitrary weighted partial MaxSAT natively — no
+/// clause replication, no weight cap.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{MaxSatSolver, Wmsu1};
+/// use coremax_cnf::{Lit, WcnfFormula};
+///
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1_000_000);
+/// w.add_soft([Lit::negative(x)], 7);
+/// let s = Wmsu1::new().solve(&w);
+/// assert_eq!(s.cost, Some(7));
+/// assert!(coremax::verify_solution(&w, &s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wmsu1 {
+    encoding: CardEncoding,
+    budget: Budget,
+}
+
+impl Default for Wmsu1 {
+    fn default() -> Self {
+        Wmsu1::new()
+    }
+}
+
+impl Wmsu1 {
+    /// wmsu1 with the pairwise exactly-one encoding (Fu & Malik's
+    /// original choice; cores are usually small).
+    #[must_use]
+    pub fn new() -> Self {
+        Wmsu1 {
+            encoding: CardEncoding::Pairwise,
+            budget: Budget::new(),
+        }
+    }
+
+    /// wmsu1 with an alternative exactly-one encoding.
+    #[must_use]
+    pub fn with_encoding(encoding: CardEncoding) -> Self {
+        Wmsu1 {
+            encoding,
+            budget: Budget::new(),
+        }
+    }
+}
+
+/// One working soft clause: original literals plus accumulated blocking
+/// literals, at the weight share it currently carries.
+#[derive(Debug, Clone)]
+struct WorkingSoft {
+    lits: Vec<Lit>,
+    weight: Weight,
+}
+
+impl MaxSatSolver for Wmsu1 {
+    fn name(&self) -> &'static str {
+        "wmsu1"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn supports_weights(&self) -> bool {
+        true
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        let start = Instant::now();
+        let deadline = self.budget.effective_deadline(start);
+        let mut stats = MaxSatStats::default();
+
+        let hard: Vec<Vec<Lit>> = wcnf
+            .hard_clauses()
+            .iter()
+            .map(|c| c.lits().to_vec())
+            .collect();
+        // Soft clauses gain blocking literals and shed weight over time;
+        // splitting appends residual copies.
+        let mut soft: Vec<WorkingSoft> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| WorkingSoft {
+                lits: s.clause.lits().to_vec(),
+                weight: s.weight,
+            })
+            .collect();
+        let mut extra: Vec<Vec<Lit>> = Vec::new(); // exactly-one CNF (hard)
+        let mut num_vars = wcnf.num_vars();
+        let mut cost: Weight = 0;
+
+        let finish = |status: MaxSatStatus,
+                      cost: Option<Weight>,
+                      model: Option<coremax_cnf::Assignment>,
+                      mut stats: MaxSatStats| {
+            stats.wall_time = start.elapsed();
+            MaxSatSolution {
+                status,
+                cost,
+                model,
+                stats,
+            }
+        };
+
+        loop {
+            let mut solver = Solver::new();
+            solver.ensure_vars(num_vars);
+            if let Some(d) = deadline {
+                solver.set_budget(Budget::new().with_deadline(d));
+            }
+            for h in &hard {
+                solver.add_clause(h.iter().copied());
+            }
+            for s in &soft {
+                solver.add_clause(s.lits.iter().copied());
+            }
+            for c in &extra {
+                solver.add_clause(c.iter().copied());
+            }
+
+            stats.sat_calls += 1;
+            let outcome = solver.solve();
+            stats.absorb_sat(solver.stats());
+            match outcome {
+                SolveOutcome::Unknown => {
+                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                }
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let model = solver.model().expect("model after SAT").clone();
+                    return finish(MaxSatStatus::Optimal, Some(cost), Some(model), stats);
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    stats.cores += 1;
+                    let core = solver.unsat_core().expect("core after UNSAT").to_vec();
+                    let soft_range = hard.len()..hard.len() + soft.len();
+                    let mut in_core: Vec<usize> = core
+                        .iter()
+                        .map(|id| id.index())
+                        .filter(|i| soft_range.contains(i))
+                        .map(|i| i - hard.len())
+                        .collect();
+                    in_core.sort_unstable();
+                    in_core.dedup();
+                    if in_core.is_empty() {
+                        // Hard (plus exactly-one) skeleton contradictory:
+                        // the instance has no feasible assignment.
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
+                    let w_min = in_core
+                        .iter()
+                        .map(|&i| soft[i].weight)
+                        .min()
+                        .expect("non-empty core");
+                    // Relax the w_min share of every core clause with a
+                    // fresh blocking variable; clauses heavier than
+                    // w_min keep a residual un-relaxed copy.
+                    let mut fresh: Vec<Lit> = Vec::with_capacity(in_core.len());
+                    for &i in &in_core {
+                        if soft[i].weight > w_min {
+                            soft.push(WorkingSoft {
+                                lits: soft[i].lits.clone(),
+                                weight: soft[i].weight - w_min,
+                            });
+                            soft[i].weight = w_min;
+                            stats.weight_splits += 1;
+                        }
+                        let b = Lit::positive(Var::new(num_vars as u32));
+                        num_vars += 1;
+                        soft[i].lits.push(b);
+                        fresh.push(b);
+                        stats.blocking_vars += 1;
+                    }
+                    let mut sink = CnfSink::new(num_vars);
+                    encode_exactly(&fresh, 1, self.encoding, &mut sink);
+                    num_vars = sink.num_vars();
+                    let new_clauses = sink.into_clauses();
+                    stats.cardinality_clauses += new_clauses.len() as u64;
+                    extra.extend(new_clauses);
+                    cost = cost.saturating_add(w_min);
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_solution, BranchBound, Msu1};
+    use coremax_cnf::dimacs;
+
+    fn weighted(text: &str) -> WcnfFormula {
+        dimacs::parse_wcnf(text).unwrap()
+    }
+
+    #[test]
+    fn trivially_satisfiable_costs_zero() {
+        let w = weighted("p wcnf 2 2 9\n5 1 2 0\n3 -1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(0));
+        assert_eq!(s.stats.cores, 0);
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn picks_the_lighter_side_of_a_conflict() {
+        let w = weighted("p wcnf 1 2\n4 1 0\n9 -1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.cost, Some(4));
+        assert!(verify_solution(&w, &s));
+        // One core over both clauses, split at w_min = 4: the weight-9
+        // clause is cloned at weight 5.
+        assert_eq!(s.stats.cores, 1);
+        assert_eq!(s.stats.weight_splits, 1);
+    }
+
+    #[test]
+    fn repeated_cores_accumulate_weight() {
+        // Hard x, softs ¬x at 2 and ¬x at 3: cost must reach 5.
+        let w = weighted("p wcnf 1 3 9\n9 1 0\n2 -1 0\n3 -1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.cost, Some(5));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn degenerates_to_msu1_on_unweighted_input() {
+        let text = "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n";
+        let w = WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap());
+        let weighted_run = Wmsu1::new().solve(&w);
+        let unweighted_run = Msu1::new().solve(&w);
+        assert_eq!(weighted_run.cost, unweighted_run.cost);
+        assert_eq!(weighted_run.cost, Some(2));
+        assert_eq!(weighted_run.stats.weight_splits, 0);
+    }
+
+    #[test]
+    fn partial_infeasible() {
+        let w = weighted("p wcnf 1 3 9\n9 1 0\n9 -1 0\n5 1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Infeasible);
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn huge_weights_without_replication() {
+        // Total weight 3·10^12: far beyond any replication cap.
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        let y = w.new_var();
+        w.add_hard([Lit::negative(x), Lit::negative(y)]);
+        w.add_soft([Lit::positive(x)], 1_000_000_000_000);
+        w.add_soft([Lit::positive(y)], 2_000_000_000_000);
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.cost, Some(1_000_000_000_000));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn duplicate_soft_clauses_with_different_weights() {
+        // (x) at 3 and (x) at 5 against hard ¬x: both copies count.
+        let w = weighted("p wcnf 1 3 9\n9 -1 0\n3 1 0\n5 1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.cost, Some(8));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn agrees_with_branch_bound_on_random_weighted() {
+        let mut seed = 0x1357_9BDF_2468_ACE0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..15 {
+            let num_vars = 3 + (next() % 3) as usize;
+            let mut w = WcnfFormula::with_vars(num_vars);
+            for _ in 0..(4 + next() % 6) {
+                let len = 1 + (next() % 2) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var::new((next() % num_vars as u64) as u32), next() & 1 == 0))
+                    .collect();
+                w.add_soft(lits, 1 + next() % 9);
+            }
+            let oracle = BranchBound::new().solve(&w);
+            let s = Wmsu1::new().solve(&w);
+            assert_eq!(s.cost, oracle.cost, "wmsu1 wrong on round {round}");
+            assert!(verify_solution(&w, &s));
+        }
+    }
+
+    #[test]
+    fn alternative_encoding_agrees() {
+        let w = weighted("p wcnf 2 4 9\n9 1 2 0\n4 -1 0\n3 -2 0\n2 1 0\n");
+        let base = Wmsu1::new().solve(&w);
+        for encoding in [
+            CardEncoding::Totalizer,
+            CardEncoding::SequentialCounter,
+            CardEncoding::Bdd,
+        ] {
+            let s = Wmsu1::with_encoding(encoding).solve(&w);
+            assert_eq!(s.cost, base.cost, "{encoding}");
+            assert!(verify_solution(&w, &s));
+        }
+    }
+
+    #[test]
+    fn budget_abort() {
+        use std::time::Duration;
+        let w = weighted("p wcnf 2 4\n3 1 0\n4 -1 0\n2 2 0\n5 -2 0\n");
+        let mut solver = Wmsu1::new();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
+        assert_eq!(solver.solve(&w).status, MaxSatStatus::Unknown);
+    }
+}

@@ -15,10 +15,14 @@
 //! | `xor` | inconsistent XOR chains | parity/Tseitin-style hardness |
 //! | `rand3` | unsatisfiable random 3-CNF | the regime where B&B shines |
 //! | `debug` | fault-injected circuits vs golden reference | design debugging (Table 2) |
+//! | `weighted` | random weighted partial MaxSAT, three weight distributions | post-paper weighted evaluations |
 //!
-//! All families except `debug` are plain unweighted MaxSAT over an
-//! unsatisfiable CNF; `debug` is partial MaxSAT (hard I/O observations,
-//! soft gate clauses).
+//! All families except `debug` and `weighted` are plain unweighted
+//! MaxSAT over an unsatisfiable CNF; `debug` is partial MaxSAT (hard
+//! I/O observations, soft gate clauses); `weighted` (a separate
+//! [`weighted_suite`], not part of [`full_suite`]) carries uniform,
+//! power-of-two and skewed soft weights over planted-feasible hard
+//! clauses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,11 @@
 mod families;
 mod stats;
 mod suite;
+mod weighted;
 
 pub use families::{
     bmc_instance, equiv_instance, pigeonhole, random_unsat_3cnf, untestable_atpg, xor_chain,
 };
 pub use stats::InstanceStats;
 pub use suite::{debug_suite, full_suite, Family, Instance, SuiteConfig};
+pub use weighted::{random_weighted_wcnf, weighted_suite, WeightDist, WeightedConfig};

@@ -22,6 +22,8 @@ pub enum Family {
     Rand3,
     /// Design debugging (partial MaxSAT).
     Debug,
+    /// Random weighted partial MaxSAT (see [`crate::weighted_suite`]).
+    Weighted,
 }
 
 impl Family {
@@ -36,6 +38,7 @@ impl Family {
             Family::Xor => "xor",
             Family::Rand3 => "rand3",
             Family::Debug => "debug",
+            Family::Weighted => "weighted",
         }
     }
 }
