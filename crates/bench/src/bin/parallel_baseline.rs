@@ -1,0 +1,377 @@
+//! `parallel_baseline` — reproducible parallel-vs-sequential baseline
+//! over the mixed batch suite.
+//!
+//! Three measurements, all over the same instances and the same solver
+//! configuration, written as one JSON trajectory (`BENCH_pr5.json` at
+//! the repo root by convention):
+//!
+//! 1. **Sequential batch** — `solve_batch` with one worker: the
+//!    reference wall-clock and the reference answers.
+//! 2. **Parallel batch** — `solve_batch` with `--jobs` workers: the
+//!    speedup claim, plus a per-instance differential check (status and
+//!    cost must match the sequential run exactly — the determinism
+//!    guarantee, measured rather than assumed).
+//! 3. **Portfolio race** — every instance raced by the full portfolio:
+//!    the winner's answer must also agree, and the winner distribution
+//!    is recorded.
+//!
+//! Every solution is verified against its instance; any verification
+//! failure exits 1 unconditionally. `--fail-on-disagreement` exits 1 on
+//! any sequential/parallel/portfolio answer divergence,
+//! `--fail-on-abort` on any budget abort, and `--min-speedup X`
+//! enforces a batch speedup floor — skipped (with a note) on hosts with
+//! fewer than 4 cores, where there is no parallelism to measure.
+//!
+//! Usage:
+//! `parallel_baseline [--out FILE] [--scale N] [--seed S] [--budget-ms MS]
+//!                    [--jobs N] [--solver NAME] [--min-speedup X]
+//!                    [--fail-on-disagreement] [--fail-on-abort] [--skip-portfolio]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use coremax::{verify_solution, MaxSatSolver, MaxSatStatus, Stratified};
+use coremax_bench::solver_by_name_send;
+use coremax_instances::{batch_suite, Instance, SuiteConfig};
+use coremax_par::{solve_batch, BatchOptions, BatchReport, Portfolio};
+use coremax_sat::Budget;
+
+struct Args {
+    out: String,
+    scale: usize,
+    seed: u64,
+    budget_ms: u64,
+    jobs: usize,
+    solver: String,
+    min_speedup: f64,
+    fail_on_disagreement: bool,
+    fail_on_abort: bool,
+    skip_portfolio: bool,
+}
+
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_pr5.json".into(),
+            scale: 1,
+            seed: 42,
+            budget_ms: 8_000,
+            jobs: detected_cores(),
+            solver: "msu4v2".into(),
+            min_speedup: 0.0,
+            fail_on_disagreement: false,
+            fail_on_abort: false,
+            skip_portfolio: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--budget-ms" => args.budget_ms = value("--budget-ms").parse().expect("budget-ms"),
+            "--jobs" => args.jobs = value("--jobs").parse::<usize>().expect("jobs").max(1),
+            "--solver" => args.solver = value("--solver"),
+            "--min-speedup" => {
+                args.min_speedup = value("--min-speedup").parse().expect("min-speedup");
+            }
+            "--fail-on-disagreement" => args.fail_on_disagreement = true,
+            "--fail-on-abort" => args.fail_on_abort = true,
+            "--skip-portfolio" => args.skip_portfolio = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The batch factory: the named experiment solver behind the
+/// stratification router, so one configuration serves the mixed
+/// (unweighted + weighted) suite.
+fn make_solver(name: &str) -> Box<dyn MaxSatSolver + Send> {
+    let inner = solver_by_name_send(name);
+    if inner.supports_weights() {
+        inner
+    } else {
+        Box::new(Stratified::new(inner))
+    }
+}
+
+fn status_name(status: MaxSatStatus) -> &'static str {
+    match status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    }
+}
+
+fn is_exact(status: MaxSatStatus) -> bool {
+    matches!(status, MaxSatStatus::Optimal | MaxSatStatus::Infeasible)
+}
+
+/// Two answers disagree only when BOTH are exact and differ: an
+/// `Unknown` under budget pressure is an abort (gated separately by
+/// `--fail-on-abort`), and which run aborts first on a loaded host is
+/// timing noise, not a determinism violation.
+fn disagrees(a: &coremax::MaxSatSolution, b: &coremax::MaxSatSolution) -> bool {
+    is_exact(a.status) && is_exact(b.status) && (a.status != b.status || a.cost != b.cost)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run_batch(suite: &[Instance], solver: &str, jobs: usize, budget_ms: u64) -> BatchReport {
+    let items: Vec<(&str, &coremax_cnf::WcnfFormula)> =
+        suite.iter().map(|i| (i.name.as_str(), &i.wcnf)).collect();
+    solve_batch(
+        &items,
+        || make_solver(solver),
+        &BatchOptions {
+            jobs,
+            budget: Budget::new().with_timeout(Duration::from_millis(budget_ms)),
+        },
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = detected_cores();
+    let mut suite = batch_suite(&SuiteConfig {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    // Longest-processing-time-first order (clause count as the work
+    // proxy, name as the deterministic tie-break): the couple of heavy
+    // equiv instances dominate the suite, and handing them to workers
+    // at t=0 keeps the parallel makespan near max(instance) instead of
+    // wherever they happen to land in the queue. Sequential wall time
+    // is order-independent, and the differential zip below compares
+    // like with like because both runs share this order.
+    suite.sort_by(|a, b| {
+        b.wcnf
+            .num_clauses()
+            .cmp(&a.wcnf.num_clauses())
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    eprintln!(
+        "parallel_baseline: {} instances, solver {}, jobs {}, {} cores, {} ms budget",
+        suite.len(),
+        args.solver,
+        args.jobs,
+        cores,
+        args.budget_ms
+    );
+
+    // ---- 1. Sequential reference ----
+    eprintln!("sequential batch (jobs=1)...");
+    let seq = run_batch(&suite, &args.solver, 1, args.budget_ms);
+    // ---- 2. Parallel batch ----
+    eprintln!("parallel batch (jobs={})...", args.jobs);
+    let par = run_batch(&suite, &args.solver, args.jobs, args.budget_ms);
+
+    let mut aborts = 0usize;
+    let mut verify_failures = 0usize;
+    let mut disagreements: Vec<String> = Vec::new();
+    for (instance, (s, p)) in suite
+        .iter()
+        .zip(seq.outcomes.iter().zip(par.outcomes.iter()))
+    {
+        for (label, outcome) in [("seq", s), ("par", p)] {
+            if outcome.solution.status == MaxSatStatus::Unknown {
+                aborts += 1;
+                eprintln!("  ABORT ({label}): {}", instance.name);
+            }
+            if !verify_solution(&instance.wcnf, &outcome.solution) {
+                verify_failures += 1;
+                eprintln!("  VERIFY FAIL ({label}): {}", instance.name);
+            }
+        }
+        if disagrees(&s.solution, &p.solution) {
+            disagreements.push(instance.name.clone());
+            eprintln!(
+                "  DISAGREEMENT: {} seq=({}, {:?}) par=({}, {:?})",
+                instance.name,
+                status_name(s.solution.status),
+                s.solution.cost,
+                status_name(p.solution.status),
+                p.solution.cost
+            );
+        }
+    }
+
+    // ---- 3. Portfolio race per instance ----
+    let mut portfolio_rows = String::new();
+    let mut portfolio_disagreements = 0usize;
+    let mut portfolio_ms_total = 0.0f64;
+    if !args.skip_portfolio {
+        eprintln!("portfolio race (jobs={})...", args.jobs);
+        let mut portfolio = Portfolio::new(args.jobs);
+        portfolio.set_budget(Budget::new().with_timeout(Duration::from_millis(args.budget_ms)));
+        for (i, (instance, s)) in suite.iter().zip(seq.outcomes.iter()).enumerate() {
+            let t = Instant::now();
+            let outcome = portfolio.solve(&instance.wcnf);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            portfolio_ms_total += ms;
+            if outcome.solution.status == MaxSatStatus::Unknown {
+                aborts += 1;
+                eprintln!("  ABORT (portfolio): {}", instance.name);
+            }
+            if !verify_solution(&instance.wcnf, &outcome.solution) {
+                verify_failures += 1;
+                eprintln!("  VERIFY FAIL (portfolio): {}", instance.name);
+            }
+            let agrees = !disagrees(&outcome.solution, &s.solution);
+            if !agrees {
+                portfolio_disagreements += 1;
+                eprintln!("  PORTFOLIO DISAGREEMENT: {}", instance.name);
+            }
+            if i > 0 {
+                portfolio_rows.push_str(",\n");
+            }
+            let _ = write!(
+                portfolio_rows,
+                "    {{\"instance\": \"{}\", \"winner\": {}, \"status\": \"{}\", \
+                 \"cost\": {}, \"time_ms\": {:.3}, \"agrees\": {}}}",
+                json_escape(&instance.name),
+                outcome
+                    .winner
+                    .map_or("null".into(), |w| format!("\"{}\"", json_escape(w))),
+                status_name(outcome.solution.status),
+                outcome
+                    .solution
+                    .cost
+                    .map_or("null".into(), |c| c.to_string()),
+                ms,
+                agrees,
+            );
+        }
+    }
+
+    let seq_wall_ms = seq.wall_time.as_secs_f64() * 1e3;
+    let par_wall_ms = par.wall_time.as_secs_f64() * 1e3;
+    let speedup = seq_wall_ms / par_wall_ms.max(1e-9);
+
+    // ---- JSON trajectory ----
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"scale\": {}, \"seed\": {}, \"instances\": {}}},",
+        args.scale,
+        args.seed,
+        suite.len()
+    );
+    let _ = writeln!(out, "  \"solver\": \"{}\",", json_escape(&args.solver));
+    let _ = writeln!(out, "  \"budget_ms\": {},", args.budget_ms);
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"jobs\": {},", args.jobs);
+    out.push_str("  \"batch_runs\": [\n");
+    for (i, (instance, (s, p))) in suite
+        .iter()
+        .zip(seq.outcomes.iter().zip(par.outcomes.iter()))
+        .enumerate()
+    {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"instance\": \"{}\", \"family\": \"{}\", \
+             \"seq\": {{\"status\": \"{}\", \"cost\": {}, \"time_ms\": {:.3}}}, \
+             \"par\": {{\"status\": \"{}\", \"cost\": {}, \"time_ms\": {:.3}}}, \
+             \"agrees\": {}}}",
+            json_escape(&instance.name),
+            instance.family,
+            status_name(s.solution.status),
+            s.solution.cost.map_or("null".into(), |c| c.to_string()),
+            s.solution.stats.wall_time.as_secs_f64() * 1e3,
+            status_name(p.solution.status),
+            p.solution.cost.map_or("null".into(), |c| c.to_string()),
+            p.solution.stats.wall_time.as_secs_f64() * 1e3,
+            !disagrees(&s.solution, &p.solution),
+        );
+    }
+    out.push_str("\n  ],\n");
+    if !args.skip_portfolio {
+        out.push_str("  \"portfolio_runs\": [\n");
+        out.push_str(&portfolio_rows);
+        out.push_str("\n  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"portfolio\": {{\"total_ms\": {:.3}, \"disagreements\": {}}},",
+            portfolio_ms_total, portfolio_disagreements
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  \"batch\": {{\"sequential_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \
+         \"speedup\": {:.3}, \"optimal\": {}, \"infeasible\": {}, \"unknown\": {}}},",
+        seq_wall_ms, par_wall_ms, speedup, par.optimal, par.infeasible, par.unknown
+    );
+    let _ = writeln!(out, "  \"aborts\": {aborts},");
+    let _ = writeln!(out, "  \"verify_failures\": {verify_failures},");
+    let _ = writeln!(
+        out,
+        "  \"disagreements\": {}",
+        disagreements.len() + portfolio_disagreements
+    );
+    out.push_str("}\n");
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+
+    println!(
+        "batch: seq {seq_wall_ms:.1} ms, par {par_wall_ms:.1} ms (jobs={}, cores={cores}), \
+         speedup {speedup:.2}x",
+        args.jobs
+    );
+    println!(
+        "checks: {} disagreements, {aborts} aborts, {verify_failures} verify failures",
+        disagreements.len() + portfolio_disagreements
+    );
+    println!("wrote {}", args.out);
+
+    if verify_failures > 0 {
+        eprintln!("FAIL: {verify_failures} solutions failed verification");
+        std::process::exit(1);
+    }
+    if args.fail_on_disagreement && (!disagreements.is_empty() || portfolio_disagreements > 0) {
+        eprintln!(
+            "FAIL: {} sequential/parallel disagreements",
+            disagreements.len() + portfolio_disagreements
+        );
+        std::process::exit(1);
+    }
+    if args.fail_on_abort && aborts > 0 {
+        eprintln!("FAIL: {aborts} aborted runs (budget {} ms)", args.budget_ms);
+        std::process::exit(1);
+    }
+    if args.min_speedup > 0.0 {
+        if cores < 4 {
+            eprintln!(
+                "note: speedup floor {} not enforced on a {cores}-core host",
+                args.min_speedup
+            );
+        } else if speedup < args.min_speedup {
+            eprintln!(
+                "FAIL: batch speedup {speedup:.2}x below the {:.2}x floor",
+                args.min_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -64,6 +64,17 @@ impl RunRecord {
 /// Panics on an unknown name (experiment configs are static).
 #[must_use]
 pub fn solver_by_name(name: &str) -> Box<dyn MaxSatSolver> {
+    solver_by_name_send(name) as Box<dyn MaxSatSolver>
+}
+
+/// [`solver_by_name`] as a [`Send`] trait object — what the parallel
+/// baseline moves across batch workers.
+///
+/// # Panics
+///
+/// Panics on an unknown name (experiment configs are static).
+#[must_use]
+pub fn solver_by_name_send(name: &str) -> Box<dyn MaxSatSolver + Send> {
     match name {
         "maxsatz" => Box::new(BranchBound::new()),
         "pbo" => Box::new(PboBaseline::new()),

@@ -10,11 +10,13 @@
 use std::time::Duration;
 
 use coremax::{
-    BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, Msu1, Msu2, Msu3,
-    Msu4, Msu4Incremental, PboBaseline, Preprocessed, Stratified, WeightedByReplication, Wmsu1,
+    BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, MaxSatStatus,
+    Msu1, Msu2, Msu3, Msu4, Msu4Incremental, PboBaseline, Preprocessed, Stratified,
+    WeightedByReplication, Wmsu1,
 };
-use coremax_cnf::{dimacs, WcnfFormula};
+use coremax_cnf::{dimacs, WcnfFormula, Weight};
 use coremax_instances::{debug_suite, full_suite, weighted_suite, InstanceStats, SuiteConfig};
+use coremax_par::{solve_batch, BatchOptions, Portfolio};
 use coremax_sat::Budget;
 
 /// Parsed command-line options.
@@ -35,7 +37,13 @@ pub struct Options {
     pub stats: bool,
     /// Print the model (`v` line).
     pub print_model: bool,
-    /// Input path (`-` = stdin).
+    /// Worker threads for batch-directory input and `--portfolio`
+    /// racing (1 = sequential).
+    pub jobs: usize,
+    /// Race the full portfolio (all algorithms × preprocessing) instead
+    /// of a single algorithm; the winner is reported deterministically.
+    pub portfolio: bool,
+    /// Input path (`-` = stdin; a directory selects batch mode).
     pub input: String,
     /// When set, generate the benchmark suite into this directory
     /// instead of solving (`input` is unused).
@@ -58,6 +66,8 @@ impl Default for Options {
             simp_stats: false,
             stats: false,
             print_model: false,
+            jobs: 1,
+            portfolio: false,
             input: "-".into(),
             generate_dir: None,
             family: None,
@@ -76,6 +86,8 @@ impl Default for Options {
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut options = Options::default();
     let mut input: Option<String> = None;
+    let mut algorithm_set = false;
+    let mut no_preprocess_set = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -83,6 +95,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 options.algorithm = iter
                     .next()
                     .ok_or_else(|| "missing value for --algorithm".to_string())?;
+                algorithm_set = true;
             }
             "-t" | "--timeout-ms" => {
                 let v = iter
@@ -114,9 +127,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                     .ok_or_else(|| "missing value for --seed".to_string())?;
                 options.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
             }
+            "-j" | "--jobs" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "missing value for --jobs".to_string())?;
+                options.jobs = v.parse().map_err(|_| format!("invalid jobs `{v}`"))?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--portfolio" => options.portfolio = true,
             "--verify" => options.verify = true,
             "--preprocess" => options.preprocess = true,
-            "--no-preprocess" => options.preprocess = false,
+            "--no-preprocess" => {
+                options.preprocess = false;
+                no_preprocess_set = true;
+            }
             "--simp-stats" => options.simp_stats = true,
             "--stats" => options.stats = true,
             "-m" | "--model" => options.print_model = true,
@@ -132,6 +158,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             }
         }
     }
+    // The portfolio races its own fixed line-up (every algorithm, bare
+    // and preprocessed); silently ignoring an explicit -a or
+    // --no-preprocess would mislead, so the combination is an error.
+    if options.portfolio && (algorithm_set || no_preprocess_set) {
+        return Err("--portfolio races all algorithms (bare and preprocessed); \
+             it cannot be combined with -a/--algorithm or --no-preprocess"
+            .into());
+    }
     if options.generate_dir.is_some() {
         options.input = input.unwrap_or_else(|| "-".into());
     } else {
@@ -144,7 +178,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 #[must_use]
 pub fn usage() -> String {
     "usage: coremax-solve [-a ALGO] [-t MS] [--verify] [--stats] [-m]\n\
-     \x20                    [--no-preprocess] [--simp-stats] FILE\n\
+     \x20                    [--no-preprocess] [--simp-stats]\n\
+     \x20                    [-j N] [--portfolio] FILE|DIR\n\
      \x20      coremax-solve --generate DIR [--family NAME] [--scale N] [--seed S]\n\
      \n\
      ALGO: msu4-v2 (default), msu4-v1, msu4-inc, msu1, msu2, msu3, pbo,\n\
@@ -156,6 +191,12 @@ pub fn usage() -> String {
      FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf (classic\n\
      \x20     `p wcnf` or the post-2022 `h`-prefixed format);\n\
      \x20     `-` reads stdin (format sniffed)\n\
+     DIR:  batch mode — every .cnf/.wcnf file in the directory is solved\n\
+     \x20     across -j N workers; per-instance `r` summary lines match\n\
+     \x20     sequential runs of the same files exactly\n\
+     -j/--jobs N      worker threads (batch instances, portfolio race)\n\
+     --portfolio      race every algorithm (bare and preprocessed) and\n\
+     \x20                report the deterministic fixed-priority winner\n\
      --no-preprocess skips the simplifier (BVE/subsumption/probing);\n\
      --simp-stats prints its reduction counters\n\
      --generate writes the benchmark suite as .wcnf files into DIR\n\
@@ -170,6 +211,17 @@ pub fn usage() -> String {
 ///
 /// Returns an error message for unknown names.
 pub fn make_solver(name: &str) -> Result<Box<dyn MaxSatSolver>, String> {
+    make_solver_send(name).map(|s| s as Box<dyn MaxSatSolver>)
+}
+
+/// Instantiates a solver by name as a [`Send`] trait object (what the
+/// batch driver moves across worker threads). Every algorithm in the
+/// suite is `Send`; [`make_solver`] delegates here.
+///
+/// # Errors
+///
+/// Returns an error message for unknown names.
+pub fn make_solver_send(name: &str) -> Result<Box<dyn MaxSatSolver + Send>, String> {
     Ok(match name {
         "msu4" | "msu4-v2" => Box::new(Msu4::v2()),
         "msu4-v1" => Box::new(Msu4::v1()),
@@ -234,21 +286,200 @@ pub fn parse_problem(text: &str) -> Result<WcnfFormula, String> {
 ///
 /// Returns an error for unknown algorithm names.
 pub fn run(options: &Options, wcnf: &WcnfFormula) -> Result<MaxSatSolution, String> {
-    let inner = make_solver(&options.algorithm)?;
-    let inner: Box<dyn MaxSatSolver> = if !wcnf.is_unweighted() && !inner.supports_weights() {
-        Box::new(Stratified::new(inner))
-    } else {
-        inner
-    };
-    let mut solver: Box<dyn MaxSatSolver> = if options.preprocess {
-        Box::new(Preprocessed::new(inner))
-    } else {
-        inner
-    };
+    let mut solver = single_instance_solver(options)?;
     if let Some(ms) = options.timeout_ms {
         solver.set_budget(Budget::new().with_timeout(Duration::from_millis(ms)));
     }
     Ok(solver.solve(wcnf))
+}
+
+/// Builds the solver `run` uses for one instance: the selected
+/// algorithm behind the stratification/preprocessing routers, or the
+/// full [`Portfolio`] when `--portfolio` is set (the portfolio manages
+/// weighted wrapping and preprocessing variants itself, racing
+/// `options.jobs` threads).
+fn single_instance_solver(options: &Options) -> Result<Box<dyn MaxSatSolver + Send>, String> {
+    if options.portfolio {
+        return Ok(Box::new(Portfolio::new(options.jobs)));
+    }
+    let inner = make_solver_send(&options.algorithm)?;
+    let inner: Box<dyn MaxSatSolver + Send> = if !inner.supports_weights() {
+        // Router, not replication: on unweighted input the stratifier
+        // passes straight through, on weighted input it keeps the run
+        // exact — so it is safe to wrap unconditionally, which lets one
+        // factory serve every instance of a mixed batch.
+        Box::new(Stratified::new(inner))
+    } else {
+        inner
+    };
+    Ok(if options.preprocess {
+        Box::new(Preprocessed::new(inner))
+    } else {
+        inner
+    })
+}
+
+/// One file's outcome within a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchFileOutcome {
+    /// File name (relative to the batch directory).
+    pub file: String,
+    /// Solve status.
+    pub status: MaxSatStatus,
+    /// Proven (or best-known) cost.
+    pub cost: Option<Weight>,
+    /// Independent `verify_solution` verdict.
+    pub verified: bool,
+    /// Per-instance wall-clock milliseconds.
+    pub time_ms: f64,
+}
+
+/// Results of a batch-directory run (input files in sorted order).
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-file outcomes, sorted by file name — the order is stable
+    /// across worker counts.
+    pub outcomes: Vec<BatchFileOutcome>,
+    /// Wall-clock milliseconds for the whole batch.
+    pub wall_ms: f64,
+    /// Sum of per-instance solve times (sequential-equivalent cost).
+    pub cpu_ms: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchRun {
+    /// Number of instances that aborted (status `UNKNOWN`).
+    #[must_use]
+    pub fn unknown(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == MaxSatStatus::Unknown)
+            .count()
+    }
+}
+
+/// Solves every `.cnf`/`.wcnf` file in `dir` across `options.jobs`
+/// workers (work stealing, per-instance budgets). Each instance is
+/// solved by the same configuration regardless of worker count, so the
+/// per-file outcomes match sequential runs of the same files exactly.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures (with the offending file named)
+/// and unknown algorithm names as display strings.
+pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
+    // Batch output is the per-instance `r` summary; flags that promise
+    // extra per-run output would be silently ignored, so reject them
+    // (the same rule `--portfolio` applies to -a). `--verify` is fine:
+    // batch mode verifies every solution unconditionally.
+    if options.print_model || options.stats || options.simp_stats {
+        return Err(
+            "batch (directory) mode prints per-instance summaries only; \
+             -m/--model, --stats and --simp-stats do not apply"
+                .into(),
+        );
+    }
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.ends_with(".cnf") || name.ends_with(".wcnf")).then_some(name)
+        })
+        .collect();
+    files.sort_unstable();
+    if files.is_empty() {
+        return Err(format!("no .cnf/.wcnf files in {dir}"));
+    }
+
+    let mut formulas: Vec<(String, WcnfFormula)> = Vec::with_capacity(files.len());
+    for name in files {
+        let path = std::path::Path::new(dir).join(&name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let wcnf = parse_problem(&text).map_err(|e| format!("{name}: {e}"))?;
+        formulas.push((name, wcnf));
+    }
+
+    let items: Vec<(&str, &WcnfFormula)> = formulas
+        .iter()
+        .map(|(name, wcnf)| (name.as_str(), wcnf))
+        .collect();
+    let mut budget = Budget::new();
+    if let Some(ms) = options.timeout_ms {
+        budget = budget.with_timeout(Duration::from_millis(ms));
+    }
+    // Batch parallelism lives at the instance level: a `--portfolio`
+    // batch races members sequentially inside each worker, otherwise
+    // `--jobs` workers × `--jobs`-thread portfolios would oversubscribe
+    // the host jobs² ways.
+    let solver_options = Options {
+        jobs: 1,
+        ..options.clone()
+    };
+    // Validate the configuration once up front, so a bad algorithm name
+    // fails before any solving instead of panicking inside a worker.
+    let _ = single_instance_solver(&solver_options)?;
+    let report = solve_batch(
+        &items,
+        || single_instance_solver(&solver_options).expect("configuration validated above"),
+        &BatchOptions {
+            jobs: options.jobs,
+            budget,
+        },
+    );
+
+    let outcomes: Vec<BatchFileOutcome> = report
+        .outcomes
+        .iter()
+        .zip(&formulas)
+        .map(|(outcome, (_, wcnf))| BatchFileOutcome {
+            file: outcome.name.clone(),
+            status: outcome.solution.status,
+            cost: outcome.solution.cost,
+            verified: coremax::verify_solution(wcnf, &outcome.solution),
+            time_ms: outcome.solution.stats.wall_time.as_secs_f64() * 1e3,
+        })
+        .collect();
+    Ok(BatchRun {
+        outcomes,
+        wall_ms: report.wall_time.as_secs_f64() * 1e3,
+        cpu_ms: report.cpu_time().as_secs_f64() * 1e3,
+        jobs: options.jobs,
+    })
+}
+
+/// Formats a batch run: one `r FILE STATUS COST` line per instance
+/// (`-` for no cost) plus a `c batch:` summary.
+#[must_use]
+pub fn format_batch(run: &BatchRun) -> String {
+    let mut out = String::new();
+    let mut counts = [0usize; 3];
+    for o in &run.outcomes {
+        counts[match o.status {
+            MaxSatStatus::Optimal => 0,
+            MaxSatStatus::Infeasible => 1,
+            MaxSatStatus::Unknown => 2,
+        }] += 1;
+        out.push_str(&format!(
+            "r {} {} {}\n",
+            o.file,
+            o.status,
+            o.cost.map_or("-".to_string(), |c| c.to_string()),
+        ));
+    }
+    out.push_str(&format!(
+        "c batch: {} instances, {} optimal, {} infeasible, {} aborted, \
+         jobs={}, wall {:.1} ms, cpu {:.1} ms\n",
+        run.outcomes.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        run.jobs,
+        run.wall_ms,
+        run.cpu_ms,
+    ));
+    out
 }
 
 /// Writes the generated benchmark suite into `dir` as WCNF files.
@@ -379,6 +610,134 @@ mod tests {
         assert!(o.preprocess);
         let o = parse_args(["--preprocess".to_string(), "f.cnf".to_string()]).unwrap();
         assert!(o.preprocess);
+    }
+
+    #[test]
+    fn parse_jobs_and_portfolio() {
+        let o = parse_args(
+            ["-j", "4", "--portfolio", "x.wcnf"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(o.jobs, 4);
+        assert!(o.portfolio);
+        let o = parse_args(["--jobs", "2", "y.cnf"].into_iter().map(String::from)).unwrap();
+        assert_eq!(o.jobs, 2);
+        assert!(!o.portfolio);
+        assert!(parse_args(["--jobs", "0", "y.cnf"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["--jobs", "x", "y.cnf"].into_iter().map(String::from)).is_err());
+    }
+
+    #[test]
+    fn portfolio_rejects_contradictory_flags() {
+        // The portfolio races every algorithm, bare and preprocessed:
+        // an explicit -a or --no-preprocess would be silently ignored,
+        // so both combinations are errors.
+        for args in [
+            vec!["--portfolio", "-a", "msu1", "f.cnf"],
+            vec!["-a", "msu1", "--portfolio", "f.cnf"],
+            vec!["--portfolio", "--no-preprocess", "f.cnf"],
+        ] {
+            let parsed = parse_args(args.iter().map(|s| s.to_string()));
+            assert!(parsed.is_err(), "{args:?} must be rejected");
+        }
+        // --preprocess (the default, a no-op) and -t remain fine.
+        let o = parse_args(
+            ["--portfolio", "--preprocess", "-t", "100", "f.cnf"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(o.portfolio);
+    }
+
+    #[test]
+    fn portfolio_run_matches_single_solver() {
+        let wcnf =
+            parse_problem("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n")
+                .unwrap();
+        for jobs in [1, 4] {
+            let options = Options {
+                portfolio: true,
+                jobs,
+                ..Options::default()
+            };
+            let s = run(&options, &wcnf).unwrap();
+            assert_eq!(s.status, coremax::MaxSatStatus::Optimal, "jobs={jobs}");
+            assert_eq!(s.cost, Some(2), "jobs={jobs}");
+            assert!(coremax::verify_solution(&wcnf, &s));
+        }
+    }
+
+    #[test]
+    fn batch_dir_solves_generated_suite_and_is_job_invariant() {
+        let dir = std::env::temp_dir().join("coremax-batch-lib-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let gen = Options {
+            generate_dir: Some(dir.display().to_string()),
+            family: Some("php".into()),
+            ..Options::default()
+        };
+        let files = generate_suite(&gen, &dir.display().to_string()).unwrap();
+        assert!(files.len() >= 2);
+
+        let run_with = |jobs: usize| {
+            run_batch_dir(
+                &Options {
+                    jobs,
+                    ..Options::default()
+                },
+                &dir.display().to_string(),
+            )
+            .unwrap()
+        };
+        let seq = run_with(1);
+        assert_eq!(seq.outcomes.len(), files.len());
+        assert!(seq.outcomes.iter().all(|o| o.verified));
+        assert_eq!(seq.unknown(), 0);
+        let par = run_with(4);
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.file, b.file, "sorted order is worker-invariant");
+            assert_eq!(a.status, b.status, "{}", a.file);
+            assert_eq!(a.cost, b.cost, "{}", a.file);
+        }
+        let text = format_batch(&par);
+        assert!(text.contains("c batch:"));
+        assert!(text.lines().filter(|l| l.starts_with("r ")).count() == files.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_dir_rejects_per_run_output_flags() {
+        for options in [
+            Options {
+                print_model: true,
+                ..Options::default()
+            },
+            Options {
+                stats: true,
+                ..Options::default()
+            },
+            Options {
+                simp_stats: true,
+                ..Options::default()
+            },
+        ] {
+            let err = run_batch_dir(&options, "/tmp").unwrap_err();
+            assert!(err.contains("do not apply"), "{err}");
+        }
+    }
+
+    #[test]
+    fn batch_dir_rejects_empty_and_missing_dirs() {
+        let dir = std::env::temp_dir().join("coremax-batch-empty-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = Options::default();
+        assert!(run_batch_dir(&options, &dir.display().to_string()).is_err());
+        assert!(run_batch_dir(&options, "/nonexistent/coremax").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

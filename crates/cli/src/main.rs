@@ -7,7 +7,9 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use coremax::verify_solution;
-use coremax_cli::{format_solution, generate_suite, parse_args, parse_problem, run};
+use coremax_cli::{
+    format_batch, format_solution, generate_suite, parse_args, parse_problem, run, run_batch_dir,
+};
 
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
@@ -23,6 +25,41 @@ fn main() -> ExitCode {
             Ok(files) => {
                 println!("c wrote {} instances to {dir}", files.len());
                 ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // A directory input selects batch mode: every .cnf/.wcnf inside is
+    // solved across --jobs workers.
+    if options.input != "-" && std::path::Path::new(&options.input).is_dir() {
+        return match run_batch_dir(&options, &options.input.clone()) {
+            Ok(batch) => {
+                // Print the summary even on verification failure: the
+                // per-file lines are what identifies the bad run.
+                print!("{}", format_batch(&batch));
+                let bad: Vec<&str> = batch
+                    .outcomes
+                    .iter()
+                    .filter(|o| !o.verified)
+                    .map(|o| o.file.as_str())
+                    .collect();
+                if !bad.is_empty() {
+                    eprintln!(
+                        "INTERNAL ERROR: {} solution(s) failed verification: {}",
+                        bad.len(),
+                        bad.join(", ")
+                    );
+                    return ExitCode::from(3);
+                }
+                if batch.unknown() > 0 {
+                    ExitCode::from(10)
+                } else {
+                    ExitCode::SUCCESS
+                }
             }
             Err(e) => {
                 eprintln!("{e}");

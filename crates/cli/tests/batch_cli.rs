@@ -1,0 +1,109 @@
+//! Batch-mode integration test: `--generate` a suite, solve the
+//! directory with `--jobs 4`, and assert the per-instance `r` summary
+//! lines match sequential single-file runs of the same binary.
+
+use std::collections::HashMap;
+use std::process::Command;
+
+fn binary() -> &'static str {
+    env!("CARGO_BIN_EXE_coremax-solve")
+}
+
+/// Parses `o`/`s` lines of a single-instance run into (status, cost).
+fn parse_single(stdout: &str) -> (String, Option<u64>) {
+    let mut cost = None;
+    let mut status = String::new();
+    for line in stdout.lines() {
+        if let Some(c) = line.strip_prefix("o ") {
+            cost = Some(c.trim().parse().expect("numeric o line"));
+        }
+        if let Some(s) = line.strip_prefix("s ") {
+            status = match s.trim() {
+                "OPTIMUM FOUND" => "OPTIMAL".to_string(),
+                "UNSATISFIABLE" => "INFEASIBLE".to_string(),
+                other => other.to_string(),
+            };
+        }
+    }
+    (status, cost)
+}
+
+#[test]
+fn batch_jobs4_matches_sequential_single_file_runs() {
+    let dir = std::env::temp_dir().join("coremax-batch-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    // Generate a small suite (pigeonhole: a handful of quick UNSAT
+    // instances with known structure).
+    let generate = Command::new(binary())
+        .args(["--generate", &dir_s, "--family", "php"])
+        .output()
+        .expect("run generator");
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+
+    // Batch-solve the directory with 4 workers.
+    let batch = Command::new(binary())
+        .args(["--jobs", "4", &dir_s])
+        .output()
+        .expect("run batch");
+    assert!(batch.status.success(), "batch failed: {batch:?}");
+    let stdout = String::from_utf8(batch.stdout).expect("utf8 stdout");
+
+    // Collect the per-instance summaries: `r FILE STATUS COST`.
+    let mut batch_results: HashMap<String, (String, Option<u64>)> = HashMap::new();
+    for line in stdout.lines().filter(|l| l.starts_with("r ")) {
+        let mut parts = line.split_whitespace();
+        let _r = parts.next();
+        let file = parts.next().expect("file column").to_string();
+        let status = parts.next().expect("status column").to_string();
+        let cost = match parts.next().expect("cost column") {
+            "-" => None,
+            c => Some(c.parse().expect("numeric cost")),
+        };
+        batch_results.insert(file, (status, cost));
+    }
+    assert!(
+        batch_results.len() >= 2,
+        "expected several instances, got: {stdout}"
+    );
+    assert!(stdout.contains("c batch:"), "summary line present");
+
+    // Every file solved sequentially (fresh process, no --jobs) must
+    // report the same status and cost.
+    for (file, (batch_status, batch_cost)) in &batch_results {
+        let path = dir.join(file).display().to_string();
+        let single = Command::new(binary())
+            .args(["--verify", &path])
+            .output()
+            .expect("run single");
+        let (status, cost) = parse_single(&String::from_utf8(single.stdout).expect("utf8"));
+        assert_eq!(&status, batch_status, "{file}: status diverged");
+        assert_eq!(&cost, batch_cost, "{file}: cost diverged");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn portfolio_flag_solves_single_instance() {
+    let dir = std::env::temp_dir().join("coremax-portfolio-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("example2.cnf");
+    std::fs::write(
+        &path,
+        "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+    )
+    .unwrap();
+    let output = Command::new(binary())
+        .args(["--portfolio", "--jobs", "2", "--verify"])
+        .arg(path.display().to_string())
+        .output()
+        .expect("run portfolio");
+    assert!(output.status.success(), "portfolio run failed: {output:?}");
+    let (status, cost) = parse_single(&String::from_utf8(output.stdout).expect("utf8"));
+    assert_eq!(status, "OPTIMAL");
+    assert_eq!(cost, Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,7 +42,7 @@ pub struct DisjointCoreReport {
 #[must_use]
 pub fn disjoint_core_analysis(formula: &CnfFormula, budget: &Budget) -> DisjointCoreReport {
     let start = std::time::Instant::now();
-    let deadline = budget.effective_deadline(start);
+    let child_budget = budget.child(start);
     let mut removed = vec![false; formula.num_clauses()];
     let mut cores: Vec<Vec<usize>> = Vec::new();
     let mut complete = false;
@@ -50,9 +50,7 @@ pub fn disjoint_core_analysis(formula: &CnfFormula, budget: &Budget) -> Disjoint
     loop {
         let mut solver = Solver::new();
         solver.ensure_vars(formula.num_vars());
-        if let Some(d) = deadline {
-            solver.set_budget(Budget::new().with_deadline(d));
-        }
+        solver.set_budget(child_budget.clone());
         // Map solver clause ids back to original indices.
         let mut id_to_index = Vec::new();
         for (i, c) in formula.iter().enumerate() {

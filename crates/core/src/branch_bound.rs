@@ -53,7 +53,9 @@ struct SearchCtx {
     best_cost: Weight,
     best_model: Option<Assignment>,
     nodes: u64,
-    deadline: Option<Instant>,
+    // Child budget with the deadline resolved and stop flags attached;
+    // polled every 256 nodes.
+    budget: Budget,
     aborted: bool,
     /// Scratch: per-clause state recomputed against the current partial
     /// assignment during bound computation.
@@ -83,7 +85,7 @@ impl MaxSatSolver for BranchBound {
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
         let mut clauses: Vec<BbClause> = Vec::with_capacity(wcnf.num_clauses());
@@ -114,7 +116,7 @@ impl MaxSatSolver for BranchBound {
             best_cost: total.saturating_add(1), // sentinel: nothing found yet
             best_model: None,
             nodes: 0,
-            deadline,
+            budget: child_budget,
             aborted: false,
             occurrences,
         };
@@ -211,13 +213,9 @@ impl SearchCtx {
             return;
         }
         self.nodes += 1;
-        if self.nodes.is_multiple_of(256) {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.aborted = true;
-                    return;
-                }
-            }
+        if self.nodes.is_multiple_of(256) && self.budget.interrupted() {
+            self.aborted = true;
+            return;
         }
 
         let cost = match self.current_cost(assignment) {

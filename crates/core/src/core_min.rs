@@ -34,21 +34,17 @@ use coremax_sat::{Budget, SolveOutcome, Solver};
 #[must_use]
 pub fn minimize_core(formula: &CnfFormula, core: &[usize], budget: &Budget) -> Vec<usize> {
     let start = std::time::Instant::now();
-    let deadline = budget.effective_deadline(start);
+    let child_budget = budget.child(start);
     let mut kept: Vec<usize> = core.to_vec();
     let mut probe = 0usize;
     while probe < kept.len() {
-        if let Some(d) = deadline {
-            if std::time::Instant::now() >= d {
-                break;
-            }
+        if child_budget.interrupted() {
+            break;
         }
         // Try dropping kept[probe].
         let mut solver = Solver::new();
         solver.ensure_vars(formula.num_vars());
-        if let Some(d) = deadline {
-            solver.set_budget(Budget::new().with_deadline(d));
-        }
+        solver.set_budget(child_budget.clone());
         for (i, &idx) in kept.iter().enumerate() {
             if i != probe {
                 solver.add_clause(formula.clause(idx).lits().iter().copied());

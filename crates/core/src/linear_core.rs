@@ -40,7 +40,7 @@ impl LinearCore {
             "msu2/msu3 handle unweighted (partial) MaxSAT; got weighted soft clauses"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
 
         let hard: Vec<Vec<Lit>> = wcnf
             .hard_clauses()
@@ -77,9 +77,7 @@ impl LinearCore {
             // φW = hard ∪ soft(blocked) ∪ ge1 ∪ CNF(Σ_vb b ≤ k).
             let mut solver = Solver::new();
             solver.ensure_vars(num_vars_base);
-            if let Some(d) = deadline {
-                solver.set_budget(Budget::new().with_deadline(d));
-            }
+            solver.set_budget(child_budget.clone());
             for h in &hard {
                 solver.add_clause(h.iter().copied());
             }
@@ -179,10 +177,8 @@ impl LinearCore {
                     // bound, so the loop terminates in ≤ 2·|soft| rounds.
                 }
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
-                }
+            if child_budget.interrupted() {
+                return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
     }

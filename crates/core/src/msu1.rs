@@ -84,7 +84,7 @@ impl MaxSatSolver for Msu1 {
             "msu1 handles unweighted (partial) MaxSAT; got weighted soft clauses"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
         let hard: Vec<Vec<Lit>> = wcnf
@@ -118,9 +118,7 @@ impl MaxSatSolver for Msu1 {
         loop {
             let mut solver = Solver::new();
             solver.ensure_vars(num_vars);
-            if let Some(d) = deadline {
-                solver.set_budget(Budget::new().with_deadline(d));
-            }
+            solver.set_budget(child_budget.clone());
             for h in &hard {
                 solver.add_clause(h.iter().copied());
             }
@@ -179,10 +177,8 @@ impl MaxSatSolver for Msu1 {
                     cost += 1;
                 }
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
-                }
+            if child_budget.interrupted() {
+                return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
     }

@@ -141,7 +141,7 @@ impl MaxSatSolver for Msu4 {
             "msu4 handles unweighted (partial) MaxSAT; got weighted soft clauses"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
         let num_soft = wcnf.num_soft();
@@ -202,9 +202,7 @@ impl MaxSatSolver for Msu4 {
         if !hard.is_empty() {
             let mut solver = Solver::new();
             solver.ensure_vars(wcnf.num_vars());
-            if let Some(d) = deadline {
-                solver.set_budget(Budget::new().with_deadline(d));
-            }
+            solver.set_budget(child_budget.clone());
             for h in &hard {
                 solver.add_clause(h.iter().copied());
             }
@@ -225,9 +223,7 @@ impl MaxSatSolver for Msu4 {
             // their blocking literal), all cardinality CNF so far.
             let mut solver = Solver::new();
             solver.ensure_vars(num_vars);
-            if let Some(d) = deadline {
-                solver.set_budget(Budget::new().with_deadline(d));
-            }
+            solver.set_budget(child_budget.clone());
             // Clause-id layout: [0, hard) hard, [hard, hard+soft) soft,
             // then ge1 clauses, then the current bound encoding. When
             // core minimisation is on, keep the materialised working
@@ -291,11 +287,7 @@ impl MaxSatSolver for Msu4 {
                         for c in &built {
                             formula.add_clause(c.iter().copied());
                         }
-                        let mut budget = Budget::new();
-                        if let Some(d) = deadline {
-                            budget = budget.with_deadline(d);
-                        }
-                        crate::minimize_core(&formula, &raw_core, &budget)
+                        crate::minimize_core(&formula, &raw_core, &child_budget)
                     } else {
                         raw_core
                     };
@@ -389,15 +381,13 @@ impl MaxSatSolver for Msu4 {
                 let model = best_model.or_else(|| hard_model.clone());
                 return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(
-                        MaxSatStatus::Unknown,
-                        best_model.is_some().then_some(ub),
-                        best_model,
-                        stats,
-                    );
-                }
+            if child_budget.interrupted() {
+                return finish(
+                    MaxSatStatus::Unknown,
+                    best_model.is_some().then_some(ub),
+                    best_model,
+                    stats,
+                );
             }
         }
     }

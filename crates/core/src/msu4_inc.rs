@@ -94,7 +94,7 @@ impl MaxSatSolver for Msu4Incremental {
             "msu4-inc handles unweighted (partial) MaxSAT; got weighted soft clauses"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
         let num_soft = wcnf.num_soft();
 
@@ -114,9 +114,7 @@ impl MaxSatSolver for Msu4Incremental {
         // One solver for the whole run.
         let mut solver = Solver::new();
         solver.ensure_vars(wcnf.num_vars());
-        if let Some(d) = deadline {
-            solver.set_budget(Budget::new().with_deadline(d));
-        }
+        solver.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
             solver.add_clause(h.lits().iter().copied());
         }
@@ -134,6 +132,11 @@ impl MaxSatSolver for Msu4Incremental {
         let mut lb = 0usize;
         let mut ub = num_soft;
         let mut best_model: Option<coremax_cnf::Assignment> = None;
+        // Whether any cardinality-bound clauses were materialised: a
+        // clause-level refutation *before* that can only involve the
+        // hard clauses (relaxed softs are unrefutable — their selectors
+        // are free), i.e. the instance is infeasible.
+        let mut bounds_added = false;
 
         loop {
             let assumptions: Vec<Lit> = selectors
@@ -159,8 +162,12 @@ impl MaxSatSolver for Msu4Incremental {
                         // Refuted independently of the assumptions: either
                         // the hard clauses are inconsistent (infeasible) or
                         // the accumulated bounds are (current ub optimal —
-                        // Algorithm 1's line 21/22 case).
-                        if vb.is_empty() {
+                        // Algorithm 1's line 21/22 case). Bound clauses
+                        // only exist after a SAT iteration, so an
+                        // `Optimal` here always carries that iteration's
+                        // model; before any bound the refutation can only
+                        // cite hard clauses, however late CDCL finds it.
+                        if !bounds_added {
                             stats.absorb_sat(solver.stats());
                             return finish(MaxSatStatus::Infeasible, None, None, stats);
                         }
@@ -216,25 +223,47 @@ impl MaxSatSolver for Msu4Incremental {
                     solver.ensure_vars(sink.num_vars());
                     let clauses = sink.into_clauses();
                     stats.cardinality_clauses += clauses.len() as u64;
+                    bounds_added |= !clauses.is_empty();
                     for c in clauses {
                         solver.add_clause(c);
                     }
                 }
             }
             if lb >= ub {
+                if best_model.is_none() {
+                    // The lower bound met the worst case before any SAT
+                    // iteration (every soft clause is blocked, so the
+                    // assumption set is empty): one relaxed call
+                    // materialises a model attaining `ub` — an Optimal
+                    // verdict must never be model-free — or exposes the
+                    // hard clauses as infeasible.
+                    stats.sat_calls += 1;
+                    match solver.solve() {
+                        SolveOutcome::Sat => {
+                            stats.sat_iterations += 1;
+                            best_model = solver.model().cloned();
+                        }
+                        SolveOutcome::Unsat => {
+                            stats.absorb_sat(solver.stats());
+                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        }
+                        SolveOutcome::Unknown => {
+                            stats.absorb_sat(solver.stats());
+                            return finish(MaxSatStatus::Unknown, None, None, stats);
+                        }
+                    }
+                }
                 stats.absorb_sat(solver.stats());
                 return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    stats.absorb_sat(solver.stats());
-                    return finish(
-                        MaxSatStatus::Unknown,
-                        best_model.is_some().then_some(ub),
-                        best_model,
-                        stats,
-                    );
-                }
+            if child_budget.interrupted() {
+                stats.absorb_sat(solver.stats());
+                return finish(
+                    MaxSatStatus::Unknown,
+                    best_model.is_some().then_some(ub),
+                    best_model,
+                    stats,
+                );
             }
         }
     }
@@ -346,6 +375,49 @@ mod tests {
         let mut solver = Msu4Incremental::new();
         solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
         assert_eq!(solver.solve(&w).status, MaxSatStatus::Unknown);
+    }
+
+    #[test]
+    fn optimal_verdict_always_carries_a_model() {
+        // Hard (x1 ∨ x2) ∧ ¬x1 with a single soft ¬x2: the first
+        // iteration is assumption-UNSAT, so lb meets ub = num_soft
+        // before any SAT iteration ran. The fix materialises a model
+        // with one relaxed call — an Optimal verdict must never be
+        // model-free (Stratified and the parallel portfolio both rely
+        // on it).
+        use coremax_cnf::Lit;
+        let mut w = WcnfFormula::new();
+        let x1 = w.new_var();
+        let x2 = w.new_var();
+        w.add_hard([Lit::positive(x1), Lit::positive(x2)]);
+        w.add_hard([Lit::negative(x1)]);
+        w.add_soft([Lit::negative(x2)], 1);
+        let s = Msu4Incremental::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(1));
+        let model = s.model.as_ref().expect("optimal must carry a model");
+        assert_eq!(w.cost(model), Some(1));
+        assert!(crate::verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn late_hard_infeasibility_is_never_reported_optimal() {
+        // Infeasible hard chain plus softs: whether CDCL refutes the
+        // hard clauses on the first call or only after assumption
+        // iterations blocked every soft, the verdict must be
+        // Infeasible — not "Optimal at worst case".
+        use coremax_cnf::Lit;
+        let mut w = WcnfFormula::new();
+        let x1 = w.new_var();
+        let x2 = w.new_var();
+        w.add_hard([Lit::positive(x1)]);
+        w.add_hard([Lit::negative(x1), Lit::positive(x2)]);
+        w.add_hard([Lit::negative(x2)]);
+        w.add_soft([Lit::positive(x1)], 1);
+        w.add_soft([Lit::positive(x2)], 1);
+        let s = Msu4Incremental::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Infeasible);
+        assert!(s.model.is_none());
     }
 
     #[test]

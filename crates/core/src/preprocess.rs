@@ -100,10 +100,31 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
         if let Some(deadline) = self.budget.effective_deadline(start) {
             inner_budget = inner_budget.with_deadline(deadline);
         }
-        self.inner.set_budget(inner_budget);
+        self.inner.set_budget(inner_budget.clone());
+        // The simplifier itself takes no budget, so honour cancellation
+        // at its boundaries: a raised stop flag (or an already-expired
+        // deadline) skips the pipeline entirely, and a stop raised
+        // *during* simplification is observed before the inner solve —
+        // the simplifier pass is the one uninterruptible window left.
+        let abort = |simp_stats, start: Instant| MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost: None,
+            model: None,
+            stats: MaxSatStats {
+                simp: simp_stats,
+                wall_time: start.elapsed(),
+                ..MaxSatStats::default()
+            },
+        };
+        if inner_budget.interrupted() {
+            return abort(coremax_simp::SimpStats::default(), start);
+        }
         let mut simplifier = Simplifier::with_config(self.config.clone());
         let simp = simplifier.simplify(wcnf);
         let simp_stats = *simplifier.stats();
+        if inner_budget.interrupted() {
+            return abort(simp_stats, start);
+        }
         if simp.infeasible {
             let mut stats = MaxSatStats {
                 simp: simp_stats,

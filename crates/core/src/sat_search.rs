@@ -52,14 +52,12 @@ fn solve_with_bound(
     relaxed: &Relaxed,
     bound: Option<usize>,
     encoding: CardEncoding,
-    deadline: Option<Instant>,
+    budget: &Budget,
     stats: &mut MaxSatStats,
 ) -> (SolveOutcome, Option<Assignment>) {
     let mut solver = Solver::new();
     solver.ensure_vars(relaxed.num_vars);
-    if let Some(d) = deadline {
-        solver.set_budget(Budget::new().with_deadline(d));
-    }
+    solver.set_budget(budget.clone());
     for c in &relaxed.clauses {
         solver.add_clause(c.iter().copied());
     }
@@ -154,7 +152,7 @@ impl MaxSatSolver for LinearSearchSat {
             "linear-sat handles unweighted (partial) MaxSAT"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
         let relaxed = relax(wcnf);
 
@@ -162,7 +160,7 @@ impl MaxSatSolver for LinearSearchSat {
         let mut bound: Option<usize> = None;
         loop {
             let (outcome, model) =
-                solve_with_bound(&relaxed, bound, self.encoding, deadline, &mut stats);
+                solve_with_bound(&relaxed, bound, self.encoding, &child_budget, &mut stats);
             match outcome {
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
@@ -254,13 +252,13 @@ impl MaxSatSolver for BinarySearchSat {
             "binary-sat handles unweighted (partial) MaxSAT"
         );
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
         let relaxed = relax(wcnf);
 
         // Feasibility first (bound = |soft| is no bound at all).
         let (outcome, model) =
-            solve_with_bound(&relaxed, None, self.encoding, deadline, &mut stats);
+            solve_with_bound(&relaxed, None, self.encoding, &child_budget, &mut stats);
         let mut best = match outcome {
             SolveOutcome::Unsat => {
                 stats.wall_time = start.elapsed();
@@ -287,8 +285,13 @@ impl MaxSatSolver for BinarySearchSat {
         let mut hi = best.1; // best.1 is attainable
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let (outcome, model) =
-                solve_with_bound(&relaxed, Some(mid), self.encoding, deadline, &mut stats);
+            let (outcome, model) = solve_with_bound(
+                &relaxed,
+                Some(mid),
+                self.encoding,
+                &child_budget,
+                &mut stats,
+            );
             match outcome {
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;

@@ -176,7 +176,15 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        // Stage budgets share one clock and the caller's stop flags;
+        // per-call conflict/propagation caps apply to each stage.
+        let mut stage_budget = self.budget.child(start);
+        if let Some(c) = self.budget.max_conflicts() {
+            stage_budget = stage_budget.with_max_conflicts(c);
+        }
+        if let Some(p) = self.budget.max_propagations() {
+            stage_budget = stage_budget.with_max_propagations(p);
+        }
         let mut stats = MaxSatStats::default();
 
         let groups = partition(wcnf);
@@ -244,16 +252,12 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
             // Delegate. A weight-incapable inner solver only ever sees
             // unweighted sub-instances; mixed groups it cannot take go
             // to the internal weight-native fallback.
-            let mut budget = self.budget.clone();
-            if let Some(d) = deadline {
-                budget = budget.with_deadline(d);
-            }
             let solution = if sub.is_unweighted() || self.inner.supports_weights() {
-                self.inner.set_budget(budget);
+                self.inner.set_budget(stage_budget.clone());
                 self.inner.solve(&sub)
             } else {
                 let mut fallback = Wmsu1::new();
-                fallback.set_budget(budget);
+                fallback.set_budget(stage_budget.clone());
                 fallback.solve(&sub)
             };
             stats.absorb(&solution.stats);
@@ -313,10 +317,8 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
                 stats.cardinality_clauses += freeze.len() as u64;
                 hard.extend(freeze);
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
-                }
+            if stage_budget.interrupted() {
+                return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
 

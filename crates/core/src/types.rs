@@ -207,6 +207,26 @@ impl MaxSatSolver for Box<dyn MaxSatSolver> {
     }
 }
 
+/// `Send`-able trait objects: what the parallel portfolio and batch
+/// drivers in `coremax_par` move across worker threads.
+impl MaxSatSolver for Box<dyn MaxSatSolver + Send> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        (**self).set_budget(budget);
+    }
+
+    fn supports_weights(&self) -> bool {
+        (**self).supports_weights()
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        (**self).solve(wcnf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +265,45 @@ mod tests {
         assert!(st.to_string().contains("sat_calls=7"));
         assert!(st.to_string().contains("weight_splits=3"));
         assert!(st.to_string().contains("strata=2"));
+    }
+
+    /// The `Send` audit behind `coremax_par`: every solver a portfolio
+    /// member can be built from — and the wrappers around them — must
+    /// cross thread boundaries, and the shared inputs must be `Sync`.
+    /// Compile-time only; if a solver ever grows an `Rc`/`RefCell`
+    /// this stops building.
+    #[test]
+    fn solver_stack_is_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<coremax_sat::Solver>();
+        assert_send::<Budget>();
+        assert_sync::<Budget>();
+        assert_sync::<WcnfFormula>();
+        assert_send::<crate::Msu1>();
+        assert_send::<crate::Msu3>();
+        assert_send::<crate::Msu4>();
+        assert_send::<crate::Msu4Incremental>();
+        assert_send::<crate::Wmsu1>();
+        assert_send::<crate::BranchBound>();
+        assert_send::<crate::Stratified<crate::Msu3>>();
+        assert_send::<crate::Preprocessed<crate::Msu4>>();
+        assert_send::<Box<dyn MaxSatSolver + Send>>();
+        assert_send::<crate::Preprocessed<Box<dyn MaxSatSolver + Send>>>();
+        assert_send::<crate::Stratified<Box<dyn MaxSatSolver + Send>>>();
+    }
+
+    #[test]
+    fn boxed_send_solver_dispatches() {
+        let mut solver: Box<dyn MaxSatSolver + Send> = Box::new(crate::Msu4::v2());
+        assert_eq!(solver.name(), "msu4-v2");
+        assert!(!solver.supports_weights());
+        solver.set_budget(Budget::new());
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([coremax_cnf::Lit::positive(x)], 1);
+        w.add_soft([coremax_cnf::Lit::negative(x)], 1);
+        assert_eq!(solver.solve(&w).cost, Some(1));
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl MaxSatSolver for Wmsu1 {
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
         let start = Instant::now();
-        let deadline = self.budget.effective_deadline(start);
+        let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
         let hard: Vec<Vec<Lit>> = wcnf
@@ -132,9 +132,7 @@ impl MaxSatSolver for Wmsu1 {
         loop {
             let mut solver = Solver::new();
             solver.ensure_vars(num_vars);
-            if let Some(d) = deadline {
-                solver.set_budget(Budget::new().with_deadline(d));
-            }
+            solver.set_budget(child_budget.clone());
             for h in &hard {
                 solver.add_clause(h.iter().copied());
             }
@@ -208,10 +206,8 @@ impl MaxSatSolver for Wmsu1 {
                     cost = cost.saturating_add(w_min);
                 }
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
-                }
+            if child_budget.interrupted() {
+                return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
     }

@@ -36,5 +36,5 @@ pub use families::{
     bmc_instance, equiv_instance, pigeonhole, random_unsat_3cnf, untestable_atpg, xor_chain,
 };
 pub use stats::InstanceStats;
-pub use suite::{debug_suite, full_suite, Family, Instance, SuiteConfig};
+pub use suite::{batch_suite, debug_suite, full_suite, Family, Instance, SuiteConfig};
 pub use weighted::{random_weighted_wcnf, weighted_suite, WeightDist, WeightedConfig};

@@ -196,6 +196,17 @@ pub fn full_suite(config: &SuiteConfig) -> Vec<Instance> {
     out
 }
 
+/// The mixed multi-family batch used by parallel throughput baselines:
+/// the full unweighted suite plus the weighted suite — what a batch
+/// driver should chew through when fed "everything". Deterministic in
+/// the configuration, like its constituents.
+#[must_use]
+pub fn batch_suite(config: &SuiteConfig) -> Vec<Instance> {
+    let mut all = full_suite(config);
+    all.extend(crate::weighted_suite(config));
+    all
+}
+
 /// Generates the design-debugging suite used for Table 2 (the paper's
 /// 29 instances become `count` fault-injected circuits here).
 #[must_use]
@@ -271,6 +282,21 @@ mod tests {
             );
         }
         assert!(suite.len() >= 30, "suite too small: {}", suite.len());
+    }
+
+    #[test]
+    fn batch_suite_mixes_weighted_in() {
+        let cfg = SuiteConfig::default();
+        let batch = batch_suite(&cfg);
+        let full = full_suite(&cfg);
+        assert!(batch.len() > full.len());
+        assert!(batch.iter().any(|i| i.family == Family::Weighted));
+        // Deterministic, like its constituents.
+        let again = batch_suite(&cfg);
+        assert_eq!(batch.len(), again.len());
+        for (a, b) in batch.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+        }
     }
 
     #[test]

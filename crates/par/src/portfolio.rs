@@ -1,0 +1,448 @@
+//! Portfolio racing: K solver configurations, one instance, first exact
+//! answer wins under a deterministic tie-break.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use coremax::{
+    MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus, Msu3, Msu4, Msu4Incremental,
+    Preprocessed, Stratified, Wmsu1,
+};
+use coremax_cnf::{WcnfFormula, Weight};
+use coremax_sat::Budget;
+
+/// Which base algorithm a portfolio member runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaseAlgo {
+    Msu4V2,
+    Msu4V1,
+    Msu4Inc,
+    Msu3,
+    Wmsu1,
+    StratMsu4,
+}
+
+/// One racing configuration: a base algorithm, optionally behind the
+/// `coremax_simp` preprocessing pipeline.
+///
+/// Members whose base algorithm is weight-restricted are transparently
+/// wrapped in [`Stratified`] when the instance is weighted, so every
+/// member is exact on every instance it receives.
+#[derive(Debug, Clone)]
+pub struct PortfolioMember {
+    name: &'static str,
+    base: BaseAlgo,
+    preprocess: bool,
+}
+
+impl PortfolioMember {
+    /// The member's stable display name (e.g. `msu4-v2+simp`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Builds a fresh solver for this member. `weighted` selects the
+    /// stratification wrapper for weight-restricted base algorithms.
+    fn build(&self, weighted: bool) -> Box<dyn MaxSatSolver + Send> {
+        let mut solver: Box<dyn MaxSatSolver + Send> = match self.base {
+            BaseAlgo::Msu4V2 => Box::new(Msu4::v2()),
+            BaseAlgo::Msu4V1 => Box::new(Msu4::v1()),
+            BaseAlgo::Msu4Inc => Box::new(Msu4Incremental::new()),
+            BaseAlgo::Msu3 => Box::new(Msu3::new()),
+            BaseAlgo::Wmsu1 => Box::new(Wmsu1::new()),
+            BaseAlgo::StratMsu4 => Box::new(Stratified::new(Msu4::v2())),
+        };
+        if weighted && !solver.supports_weights() {
+            solver = Box::new(Stratified::new(solver));
+        }
+        if self.preprocess {
+            solver = Box::new(Preprocessed::new(solver));
+        }
+        solver
+    }
+}
+
+/// Summary of one member's run within a race.
+#[derive(Debug, Clone)]
+pub struct MemberRun {
+    /// Member name.
+    pub name: &'static str,
+    /// Outcome status; `None` when the member never produced a result
+    /// (the race ended before a worker picked it up).
+    pub status: Option<MaxSatStatus>,
+    /// The member's reported cost, when it produced one.
+    pub cost: Option<Weight>,
+}
+
+/// Result of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Winning member name (`None` when no member finished exactly).
+    pub winner: Option<&'static str>,
+    /// Winning member index (the deterministic priority tie-break:
+    /// lowest index among exact finishers).
+    pub winner_index: Option<usize>,
+    /// The reported solution: the winner's, or — when nothing finished
+    /// exactly within budget — the best-bound `Unknown` among the
+    /// members that produced a result. The thread-count-invariance
+    /// guarantee covers *exact* outcomes only; which members reach a
+    /// bound before a wall-clock deadline is inherently
+    /// timing-dependent, exactly as sequential timeouts already are.
+    pub solution: MaxSatSolution,
+    /// Per-member run summaries, in member-priority order. Which losers
+    /// carry a (cancelled) result is timing-dependent; the *winning*
+    /// answer is not.
+    pub runs: Vec<MemberRun>,
+    /// Work counters aggregated over every member that produced a
+    /// result — the whole race's effort, unlike `solution.stats`
+    /// (the winner's own counters, which stay thread-count-invariant
+    /// in what they describe).
+    pub total_stats: MaxSatStats,
+}
+
+/// Races K solver configurations on one instance across worker threads.
+///
+/// See the [crate docs](crate) for the determinism guarantee. The
+/// portfolio also implements [`MaxSatSolver`], reporting the winner's
+/// solution, so it can slot into any existing driver (CLI, batch,
+/// verification harnesses).
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    members: Vec<PortfolioMember>,
+    jobs: usize,
+    budget: Budget,
+}
+
+impl Portfolio {
+    /// A portfolio over [`Portfolio::default_members`] using `jobs`
+    /// worker threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Portfolio {
+            members: Portfolio::default_members(),
+            jobs: jobs.max(1),
+            budget: Budget::new(),
+        }
+    }
+
+    /// A portfolio over an explicit member list. Order is priority:
+    /// on ties the lowest-index exact finisher is reported.
+    #[must_use]
+    pub fn with_members(jobs: usize, members: Vec<PortfolioMember>) -> Self {
+        Portfolio {
+            members,
+            jobs: jobs.max(1),
+            budget: Budget::new(),
+        }
+    }
+
+    /// The default racing line-up: the paper's strongest variants first,
+    /// each bare and behind the `coremax_simp` pipeline.
+    #[must_use]
+    pub fn default_members() -> Vec<PortfolioMember> {
+        let bases: [(&'static str, &'static str, BaseAlgo); 6] = [
+            ("msu4-v2", "msu4-v2+simp", BaseAlgo::Msu4V2),
+            ("msu4-inc", "msu4-inc+simp", BaseAlgo::Msu4Inc),
+            ("msu4-v1", "msu4-v1+simp", BaseAlgo::Msu4V1),
+            ("msu3", "msu3+simp", BaseAlgo::Msu3),
+            ("wmsu1", "wmsu1+simp", BaseAlgo::Wmsu1),
+            ("strat-msu4", "strat-msu4+simp", BaseAlgo::StratMsu4),
+        ];
+        let mut members = Vec::with_capacity(bases.len() * 2);
+        for (bare, simp, base) in bases {
+            members.push(PortfolioMember {
+                name: bare,
+                base,
+                preprocess: false,
+            });
+            members.push(PortfolioMember {
+                name: simp,
+                base,
+                preprocess: true,
+            });
+        }
+        members
+    }
+
+    /// The member list, in priority order.
+    #[must_use]
+    pub fn members(&self) -> &[PortfolioMember] {
+        &self.members
+    }
+
+    /// Sets the per-race budget (shared by every member).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Races all members on `wcnf` and returns the deterministic
+    /// winner.
+    ///
+    /// The first member to finish with an exact verdict (`Optimal` or
+    /// `Infeasible`) raises a shared stop flag; running members are
+    /// interrupted within a bounded number of propagations and members
+    /// not yet started are skipped. The *reported* winner is then the
+    /// lowest-priority-index exact finisher — never the wall-clock
+    /// first — so whenever a race produces an exact verdict,
+    /// `(status, cost, model cost)` is identical for any `jobs` value.
+    /// (All-`Unknown` races under a wall-clock budget report a
+    /// best-effort bound; see [`PortfolioOutcome::solution`].)
+    #[must_use]
+    pub fn solve(&self, wcnf: &WcnfFormula) -> PortfolioOutcome {
+        let start = Instant::now();
+        let weighted = !wcnf.is_unweighted();
+        let members = &self.members;
+        let race_stop = Arc::new(AtomicBool::new(false));
+        // Resolve the caller's wall-clock limits ONCE, at race start: a
+        // relative timeout handed out unresolved would restart its clock
+        // in every member, letting a K-member race run up to K× the
+        // requested bound. Conflict/propagation caps are re-attached so
+        // members see the caller's budget unchanged; each member
+        // interprets them exactly as it would sequentially (the
+        // core-guided drivers currently meter wall-clock and stop flags
+        // only — see the crate docs).
+        let mut member_budget = self.budget.child(start).with_stop_flag(race_stop.clone());
+        if let Some(c) = self.budget.max_conflicts() {
+            member_budget = member_budget.with_max_conflicts(c);
+        }
+        if let Some(p) = self.budget.max_propagations() {
+            member_budget = member_budget.with_max_propagations(p);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<MaxSatSolution>>> =
+            members.iter().map(|_| Mutex::new(None)).collect();
+
+        let workers = self.jobs.min(members.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= members.len() {
+                        break;
+                    }
+                    if race_stop.load(Ordering::Relaxed) {
+                        break; // a winner committed: skip unstarted members
+                    }
+                    let mut solver = members[i].build(weighted);
+                    solver.set_budget(member_budget.clone());
+                    let solution = solver.solve(wcnf);
+                    let exact = matches!(
+                        solution.status,
+                        MaxSatStatus::Optimal | MaxSatStatus::Infeasible
+                    );
+                    *slots[i].lock().expect("no poisoned slot") = Some(solution);
+                    if exact {
+                        race_stop.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        let results: Vec<Option<MaxSatSolution>> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("no poisoned slot"))
+            .collect();
+
+        let mut total_stats = MaxSatStats::default();
+        for s in results.iter().flatten() {
+            total_stats.absorb(&s.stats);
+        }
+
+        let runs: Vec<MemberRun> = members
+            .iter()
+            .zip(&results)
+            .map(|(m, r)| MemberRun {
+                name: m.name,
+                status: r.as_ref().map(|s| s.status),
+                cost: r.as_ref().and_then(|s| s.cost),
+            })
+            .collect();
+
+        // Deterministic tie-break: lowest member index with an exact
+        // verdict. All exact members agree on (status, cost), so the
+        // reported answer does not depend on which subset finished.
+        let winner_index = results.iter().position(|r| {
+            r.as_ref().is_some_and(|s| {
+                matches!(s.status, MaxSatStatus::Optimal | MaxSatStatus::Infeasible)
+            })
+        });
+
+        let mut solution = match winner_index {
+            Some(i) => results[i].clone().expect("winner slot is filled"),
+            None => {
+                // Everything aborted: report Unknown with the best
+                // (lowest) upper bound any member reached.
+                let best = results
+                    .iter()
+                    .flatten()
+                    .filter(|s| s.cost.is_some())
+                    .min_by_key(|s| s.cost);
+                match best {
+                    Some(s) => s.clone(),
+                    None => MaxSatSolution {
+                        status: MaxSatStatus::Unknown,
+                        cost: None,
+                        model: None,
+                        stats: MaxSatStats::default(),
+                    },
+                }
+            }
+        };
+        solution.stats.wall_time = start.elapsed();
+        total_stats.wall_time = solution.stats.wall_time;
+
+        PortfolioOutcome {
+            winner: winner_index.map(|i| members[i].name),
+            winner_index,
+            solution,
+            runs,
+            total_stats,
+        }
+    }
+}
+
+impl MaxSatSolver for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        Portfolio::set_budget(self, budget);
+    }
+
+    fn supports_weights(&self) -> bool {
+        true // weight-restricted members are stratified transparently
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        Portfolio::solve(self, wcnf).solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremax_cnf::{dimacs, Lit};
+
+    fn example2() -> WcnfFormula {
+        let cnf = dimacs::parse_cnf(
+            "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+        )
+        .unwrap();
+        WcnfFormula::from_cnf_all_soft(&cnf)
+    }
+
+    #[test]
+    fn default_members_cover_bare_and_simp() {
+        let members = Portfolio::default_members();
+        assert_eq!(members.len(), 12);
+        assert!(members.iter().any(|m| m.name() == "msu4-v2"));
+        assert!(members.iter().any(|m| m.name() == "msu4-v2+simp"));
+        let names: std::collections::HashSet<_> = members.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), members.len(), "member names unique");
+    }
+
+    #[test]
+    fn every_member_is_exact_on_weighted_input() {
+        // 99-weight sentinel-free weighted instance; the optimum is 3.
+        let w = dimacs::parse_wcnf("p wcnf 2 3 99\n99 1 2 0\n100 -1 0\n3 -2 0\n").unwrap();
+        for member in Portfolio::default_members() {
+            let mut solver = member.build(true);
+            let s = solver.solve(&w);
+            assert_eq!(s.status, MaxSatStatus::Optimal, "{}", member.name());
+            assert_eq!(s.cost, Some(3), "{}", member.name());
+            assert!(coremax::verify_solution(&w, &s), "{}", member.name());
+        }
+    }
+
+    #[test]
+    fn race_reports_example2_optimum_for_any_job_count() {
+        let w = example2();
+        for jobs in [1, 2, 4, 8, 64] {
+            let outcome = Portfolio::new(jobs).solve(&w);
+            assert_eq!(
+                outcome.solution.status,
+                MaxSatStatus::Optimal,
+                "jobs={jobs}"
+            );
+            assert_eq!(outcome.solution.cost, Some(2), "jobs={jobs}");
+            let model = outcome.solution.model.as_ref().expect("optimal model");
+            assert_eq!(w.cost(model), Some(2), "jobs={jobs}");
+            assert!(outcome.winner.is_some());
+            assert_eq!(
+                outcome.winner_index.map(|i| outcome.runs[i].name),
+                outcome.winner
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_race_winner_is_the_first_member() {
+        // With one worker and no budget, member 0 always finishes
+        // exactly, stops the race, and later members never start.
+        let outcome = Portfolio::new(1).solve(&example2());
+        assert_eq!(outcome.winner_index, Some(0));
+        assert!(outcome.runs[1..].iter().all(|r| r.status.is_none()));
+    }
+
+    #[test]
+    fn infeasible_hard_clauses_reported_deterministically() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_hard([Lit::negative(x)]);
+        w.add_soft([Lit::positive(x)], 1);
+        for jobs in [1, 4] {
+            let outcome = Portfolio::new(jobs).solve(&w);
+            assert_eq!(outcome.solution.status, MaxSatStatus::Infeasible);
+            assert_eq!(outcome.solution.cost, None);
+        }
+    }
+
+    #[test]
+    fn raised_stop_flag_aborts_the_whole_race() {
+        let stop = Arc::new(AtomicBool::new(true));
+        let mut portfolio = Portfolio::new(4);
+        portfolio.set_budget(Budget::new().with_stop_flag(stop));
+        let outcome = portfolio.solve(&example2());
+        assert_eq!(outcome.solution.status, MaxSatStatus::Unknown);
+        assert!(outcome.winner.is_none());
+        assert!(outcome
+            .runs
+            .iter()
+            .all(|r| r.status.is_none() || r.status == Some(MaxSatStatus::Unknown)));
+    }
+
+    #[test]
+    fn race_members_share_one_timeout_clock() {
+        use std::time::Duration;
+        // A miter instance no member proves within 40 ms: with every
+        // member resolving the timeout from its own start, a 12-member
+        // sequential race would take ~12 × 40 ms; with the shared clock
+        // it ends in ~one timeout (members started after the deadline
+        // abort instantly).
+        let cnf = coremax_instances::equiv_instance(1, 8);
+        let w = WcnfFormula::from_cnf_all_soft(&cnf);
+        let mut portfolio = Portfolio::new(1);
+        portfolio.set_budget(Budget::new().with_timeout(Duration::from_millis(40)));
+        let t = std::time::Instant::now();
+        let outcome = portfolio.solve(&w);
+        let elapsed = t.elapsed();
+        assert_eq!(outcome.solution.status, MaxSatStatus::Unknown);
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "race ran {elapsed:?}, expected ~one 40 ms timeout, not twelve"
+        );
+    }
+
+    #[test]
+    fn portfolio_implements_maxsat_solver() {
+        let mut solver: Box<dyn MaxSatSolver + Send> = Box::new(Portfolio::new(2));
+        assert_eq!(solver.name(), "portfolio");
+        assert!(solver.supports_weights());
+        let s = solver.solve(&example2());
+        assert_eq!(s.cost, Some(2));
+    }
+}

@@ -143,12 +143,12 @@ impl PboSolver {
         // Pin the budget to an absolute deadline so the whole iterative
         // search shares one clock (a relative timeout would restart at
         // every strengthening round).
-        let mut budget = self.budget.clone();
-        if let Some(deadline) = self.budget.effective_deadline(std::time::Instant::now()) {
-            budget = Budget::new().with_deadline(deadline);
-            if let Some(c) = self.budget.max_conflicts() {
-                budget = budget.with_max_conflicts(c);
-            }
+        let mut budget = self.budget.child(std::time::Instant::now());
+        if let Some(c) = self.budget.max_conflicts() {
+            budget = budget.with_max_conflicts(c);
+        }
+        if let Some(p) = self.budget.max_propagations() {
+            budget = budget.with_max_propagations(p);
         }
         solver.set_budget(budget);
         for c in &self.clauses {

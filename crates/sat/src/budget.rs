@@ -1,5 +1,7 @@
 //! Resource budgets for bounded solving.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Limits on how much work a [`crate::Solver`] may perform before giving
@@ -8,6 +10,15 @@ use std::time::{Duration, Instant};
 /// A default budget is unlimited. Budgets make "aborted instances"
 /// (Table 1 / Table 2 of the paper) measurable and deterministic when
 /// expressed in conflicts rather than seconds.
+///
+/// Besides the passive caps, a budget may carry a **cooperative stop
+/// flag** ([`Budget::with_stop_flag`]): a shared [`AtomicBool`] that any
+/// thread can raise to interrupt the solve. The solver polls it inside
+/// the propagation loop (every
+/// [`crate::SolverConfig::propagation_check_interval`] propagations), so
+/// cancellation lands within a bounded amount of work even in the middle
+/// of a long implication chain — the mechanism the parallel portfolio
+/// uses to halt losing configurations the moment a winner commits.
 ///
 /// # Examples
 ///
@@ -19,12 +30,29 @@ use std::time::{Duration, Instant};
 ///     .with_timeout(Duration::from_secs(5));
 /// assert_eq!(b.max_conflicts(), Some(10_000));
 /// ```
+///
+/// Cooperative cancellation:
+///
+/// ```
+/// use coremax_sat::Budget;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+/// let stop = Arc::new(AtomicBool::new(false));
+/// let b = Budget::new().with_stop_flag(stop.clone());
+/// assert!(!b.stop_requested());
+/// stop.store(true, Ordering::Relaxed);
+/// assert!(b.stop_requested());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Budget {
     max_conflicts: Option<u64>,
     max_propagations: Option<u64>,
     timeout: Option<Duration>,
     deadline: Option<Instant>,
+    // Cooperative stop flags. More than one can accumulate when budgets
+    // are layered (a caller's flag plus the portfolio's race flag);
+    // `stop_requested` honours any of them.
+    stop: Vec<Arc<AtomicBool>>,
 }
 
 impl Budget {
@@ -63,6 +91,17 @@ impl Budget {
         self
     }
 
+    /// Attaches a cooperative stop flag: raising it (from any thread)
+    /// interrupts the solve with [`crate::SolveOutcome::Unknown`] within
+    /// a bounded number of propagations. Flags accumulate — a budget
+    /// layered by several owners (caller timeout + portfolio race)
+    /// honours every attached flag.
+    #[must_use]
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop.push(flag);
+        self
+    }
+
     /// The conflict cap, if any.
     #[must_use]
     pub fn max_conflicts(&self) -> Option<u64> {
@@ -87,13 +126,33 @@ impl Budget {
         self.deadline
     }
 
-    /// Returns `true` if no limit is set at all.
+    /// Returns `true` if any attached stop flag has been raised.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.iter().any(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Returns `true` if at least one stop flag is attached.
+    #[must_use]
+    pub fn has_stop_flag(&self) -> bool {
+        !self.stop.is_empty()
+    }
+
+    /// The attached stop flags (empty when none).
+    #[must_use]
+    pub fn stop_flags(&self) -> &[Arc<AtomicBool>] {
+        &self.stop
+    }
+
+    /// Returns `true` if no limit is set at all (and no stop flag is
+    /// attached).
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
         self.max_conflicts.is_none()
             && self.max_propagations.is_none()
             && self.timeout.is_none()
             && self.deadline.is_none()
+            && self.stop.is_empty()
     }
 
     /// Resolves the effective deadline given a solve start time: the
@@ -107,6 +166,38 @@ impl Budget {
             (None, None) => None,
         }
     }
+
+    /// Returns `true` when a stop flag has been raised or the absolute
+    /// deadline has passed — the between-SAT-calls poll MaxSAT drivers
+    /// use to abort a run without starting another sub-solve. Only the
+    /// *absolute* deadline is consulted (resolve a relative timeout
+    /// with [`Budget::child`] first); conflict and propagation caps are
+    /// metered by the solver itself.
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.stop_requested() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Derives the budget a sub-solver of one run should receive: the
+    /// wall-clock limits collapse to an absolute deadline anchored at
+    /// `start` (so every SAT call of a MaxSAT run shares one clock) and
+    /// the stop flags are carried over, while per-call conflict and
+    /// propagation caps are dropped (they meter a single `solve`, not
+    /// the whole run).
+    ///
+    /// This is the one way child budgets should be built — constructing
+    /// `Budget::new().with_deadline(..)` by hand silently severs the
+    /// cancellation chain.
+    #[must_use]
+    pub fn child(&self, start: Instant) -> Budget {
+        Budget {
+            max_conflicts: None,
+            max_propagations: None,
+            timeout: None,
+            deadline: self.effective_deadline(start),
+            stop: self.stop.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +208,8 @@ mod tests {
     fn default_is_unlimited() {
         assert!(Budget::new().is_unlimited());
         assert_eq!(Budget::new().max_conflicts(), None);
+        assert!(!Budget::new().stop_requested());
+        assert!(!Budget::new().has_stop_flag());
     }
 
     #[test]
@@ -147,5 +240,48 @@ mod tests {
         );
 
         assert_eq!(Budget::new().effective_deadline(start), None);
+    }
+
+    #[test]
+    fn stop_flag_is_shared_and_budget_not_unlimited() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let b = Budget::new().with_stop_flag(stop.clone());
+        assert!(!b.is_unlimited(), "a stop flag is a limit");
+        assert!(b.has_stop_flag());
+        let clone = b.clone();
+        stop.store(true, Ordering::Relaxed);
+        assert!(b.stop_requested());
+        assert!(clone.stop_requested(), "clones share the flag");
+    }
+
+    #[test]
+    fn multiple_stop_flags_accumulate() {
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+        let budget = Budget::new()
+            .with_stop_flag(a.clone())
+            .with_stop_flag(b.clone());
+        assert!(!budget.stop_requested());
+        b.store(true, Ordering::Relaxed);
+        assert!(budget.stop_requested(), "any raised flag interrupts");
+    }
+
+    #[test]
+    fn child_resolves_deadline_and_keeps_stop_flags() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let b = Budget::new()
+            .with_timeout(Duration::from_secs(3))
+            .with_max_conflicts(99)
+            .with_stop_flag(stop.clone());
+        let child = b.child(start);
+        assert_eq!(child.deadline(), Some(start + Duration::from_secs(3)));
+        assert_eq!(child.max_conflicts(), None, "per-call caps do not cascade");
+        assert_eq!(child.max_propagations(), None);
+        stop.store(true, Ordering::Relaxed);
+        assert!(child.stop_requested(), "child budgets share the flag");
+
+        let unlimited = Budget::new().child(start);
+        assert!(unlimited.is_unlimited());
     }
 }

@@ -80,6 +80,14 @@ pub struct SolverConfig {
     /// trades timeout precision for less `Instant::now` overhead in the
     /// decision loop.
     pub timeout_check_interval: u64,
+    /// The stop flag, deadline and propagation cap are additionally
+    /// polled once per this many propagations *inside* the propagation
+    /// loop, so cancellation lands within a bounded amount of work even
+    /// mid-way through a long implication chain (decision-based polling
+    /// alone can lag by an entire chain). Default 1024 — cheap enough
+    /// to be invisible at ~10M props/sec, tight enough for the parallel
+    /// portfolio to halt losers promptly.
+    pub propagation_check_interval: u64,
     /// Default polarity used before a variable has a saved phase.
     pub default_phase: bool,
 }
@@ -98,6 +106,7 @@ impl Default for SolverConfig {
             min_learnts: 1000.0,
             gc_frac: 0.25,
             timeout_check_interval: 64,
+            propagation_check_interval: 1024,
             default_phase: false,
         }
     }
@@ -205,6 +214,15 @@ pub struct Solver {
     budget: Budget,
     stats: SolverStats,
 
+    // Cooperative-interruption state, armed only for the duration of a
+    // `solve` call (propagation from `add_clause` / `probe_lit` is never
+    // interrupted, so level-0 queues cannot be silently truncated).
+    interrupt_armed: bool,
+    interrupted: bool,
+    active_deadline: Option<Instant>,
+    active_prop_cap: Option<u64>,
+    props_until_check: u64,
+
     // Scratch buffers reused across conflicts. Once their capacities
     // plateau, a conflict performs zero transient heap allocations
     // (`SolverStats::scratch_reallocs` counts the growth events).
@@ -272,6 +290,11 @@ impl Solver {
             next_clause_id: 0,
             budget: Budget::new(),
             stats: SolverStats::default(),
+            interrupt_armed: false,
+            interrupted: false,
+            active_deadline: None,
+            active_prop_cap: None,
+            props_until_check: 0,
             analyze_stack: Vec::new(),
             analyze_toclear: Vec::new(),
             learnt_buf: Vec::new(),
@@ -522,6 +545,18 @@ impl Solver {
             .max_propagations()
             .map(|p| self.stats.propagations + p);
 
+        // Arm the in-propagation interruption checks for this solve.
+        self.interrupted = false;
+        self.active_deadline = deadline;
+        self.active_prop_cap = propagation_cap;
+        self.interrupt_armed =
+            deadline.is_some() || propagation_cap.is_some() || self.budget.has_stop_flag();
+        self.props_until_check = self.config.propagation_check_interval.max(1);
+        if self.budget.stop_requested() {
+            self.interrupt_armed = false;
+            return SolveOutcome::Unknown;
+        }
+
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.db.num_clauses() as f64 * self.config.learntsize_factor)
                 .max(self.config.min_learnts);
@@ -559,6 +594,10 @@ impl Solver {
                 SearchResult::BudgetExhausted => break SolveOutcome::Unknown,
             }
         };
+        self.interrupt_armed = false;
+        self.interrupted = false;
+        self.active_deadline = None;
+        self.active_prop_cap = None;
         self.cancel_until(0);
         outcome
     }
@@ -720,8 +759,45 @@ impl Solver {
         }
     }
 
+    /// Interruption poll for the propagation loop: raised stop flag,
+    /// expired deadline or exhausted propagation cap set
+    /// `self.interrupted`. Out-of-line so the hot loop only pays a
+    /// decrement-and-branch per propagation.
+    #[cold]
+    fn poll_interrupt(&mut self) -> bool {
+        if self
+            .active_prop_cap
+            .is_some_and(|cap| self.stats.propagations >= cap)
+            || self.budget.stop_requested()
+            || self.active_deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.interrupted = true;
+            return true;
+        }
+        false
+    }
+
     fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
+            // Observe stop flag / deadline / propagation cap *inside*
+            // long implication chains (decision-loop polling alone can
+            // lag by a whole chain). The poll runs BEFORE the next trail
+            // literal is consumed: interrupting after the pop would skip
+            // that literal's watch traversal, and at level 0 — where
+            // `cancel_until(0)` is a no-op — the skip would be permanent
+            // for a reused solver. Returning `None` here looks like a
+            // fixpoint to `search`, which re-checks `self.interrupted`
+            // before trusting it; the unpropagated queue suffix stays on
+            // the trail, so a later resume picks up exactly here.
+            if self.interrupt_armed {
+                self.props_until_check -= 1;
+                if self.props_until_check == 0 {
+                    self.props_until_check = self.config.propagation_check_interval.max(1);
+                    if self.poll_interrupt() {
+                        return None;
+                    }
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -1320,8 +1396,11 @@ impl Solver {
         propagation_cap: Option<u64>,
     ) -> SearchResult {
         let mut conflicts_here: u64 = 0;
-        // One deadline poll per restart keeps long restarts honest even
-        // when the per-decision counter below rarely fires.
+        // One deadline/stop poll per restart keeps long restarts honest
+        // even when the per-decision counter below rarely fires.
+        if self.budget.stop_requested() {
+            return SearchResult::BudgetExhausted;
+        }
         if let Some(d) = deadline {
             if Instant::now() >= d {
                 return SearchResult::BudgetExhausted;
@@ -1346,6 +1425,12 @@ impl Solver {
                         return SearchResult::BudgetExhausted;
                     }
                 }
+                // Conflict-heavy search (short chains, constant
+                // conflicts) must observe cancellation too: one relaxed
+                // atomic load per conflict, free when no flag is set.
+                if self.budget.stop_requested() {
+                    return SearchResult::BudgetExhausted;
+                }
                 if conflicts_here >= conflicts_allowed
                     || (self.config.restart_mode == RestartMode::Glucose
                         && self.glucose_should_restart())
@@ -1354,6 +1439,13 @@ impl Solver {
                     return SearchResult::Restart;
                 }
                 continue;
+            }
+
+            // `propagate` returns `None` both at a true fixpoint and
+            // when it was interrupted mid-chain; only the former may
+            // proceed to the model check below.
+            if self.interrupted {
+                return SearchResult::BudgetExhausted;
             }
 
             // Propagation fixpoint reached: bookkeeping, then decide.
@@ -1618,6 +1710,112 @@ mod tests {
         // With the cap lifted it is solved.
         s.set_budget(Budget::new());
         assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    /// A solver whose only work is one huge binary implication chain,
+    /// triggered by the first *decision* (default phase true), so the
+    /// entire chain runs inside a single `propagate` call during search
+    /// — the exact scenario decision-based budget polling cannot see.
+    fn chain_solver(chain: i32) -> Solver {
+        let mut s = Solver::with_config(SolverConfig {
+            default_phase: true,
+            ..SolverConfig::default()
+        });
+        for i in 1..chain {
+            s.add_clause([l(-i), l(i + 1)]);
+        }
+        s
+    }
+
+    #[test]
+    fn propagation_cap_observed_mid_chain() {
+        // The cap must bind *inside* the implication chain: overshoot is
+        // bounded by one `propagation_check_interval`, not by the chain
+        // length (the pre-PR behaviour only re-checked at the next
+        // decision, i.e. ~50_000 propagations too late here).
+        let mut s = chain_solver(50_000);
+        s.set_budget(Budget::new().with_max_propagations(2_000));
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        let interval = SolverConfig::default().propagation_check_interval;
+        assert!(
+            s.stats().propagations <= 2_000 + interval,
+            "cap overshoot bounded by one check interval: {}",
+            s.stats().propagations
+        );
+        s.set_budget(Budget::new());
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+    }
+
+    #[test]
+    fn level0_interrupt_resumes_without_losing_implications() {
+        // A conflict at level 1 learns unit x1; the backjump to level 0
+        // then propagates the whole chain inside search. The cap
+        // interrupts mid-chain at level 0 — where `cancel_until(0)` is
+        // a no-op, so the queue suffix (including the literal the poll
+        // fired on) must survive for the next solve to finish exactly.
+        const CHAIN: i32 = 30_000;
+        let mut s = Solver::new();
+        for i in 1..CHAIN {
+            s.add_clause([l(-i), l(i + 1)]);
+        }
+        // Deciding ¬x1 (default phase false) conflicts immediately.
+        let aux = CHAIN;
+        s.add_clause([l(1), l(aux)]);
+        s.add_clause([l(1), l(-aux)]);
+        s.set_budget(Budget::new().with_max_propagations(2_000));
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        s.set_budget(Budget::new());
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        for v in 0..CHAIN as u32 {
+            assert_eq!(m.value(Var::new(v)), Some(true), "x{} lost", v + 1);
+        }
+    }
+
+    #[test]
+    fn stop_flag_cancels_and_solver_stays_usable() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut s = chain_solver(10_000);
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_budget(Budget::new().with_stop_flag(stop.clone()));
+        // A raised flag is observed before any search work begins.
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.stats().decisions, 0);
+        // Lowering the flag makes the same solver finish the instance:
+        // cancellation never corrupts the trail or the watch lists.
+        stop.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        assert_eq!(m.value(Var::new(9_999)), Some(true), "chain completed");
+    }
+
+    #[test]
+    fn stop_flag_raised_mid_chain_interrupts_within_one_interval() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // Raise the flag from a second thread while the solver is deep
+        // inside the chain. The outcome is either Unknown (flag seen
+        // mid-run) or Sat (solver finished first) — but never a hang,
+        // and an interrupted solver remains resumable.
+        let mut s = chain_solver(200_000);
+        let stop = Arc::new(AtomicBool::new(false));
+        s.set_budget(Budget::new().with_stop_flag(stop.clone()));
+        let outcome = std::thread::scope(|scope| {
+            let setter = scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                stop.store(true, Ordering::Relaxed);
+            });
+            let outcome = s.solve();
+            setter.join().unwrap();
+            outcome
+        });
+        assert_ne!(outcome, SolveOutcome::Unsat);
+        if outcome == SolveOutcome::Unknown {
+            stop.store(false, Ordering::Relaxed);
+            assert_eq!(s.solve(), SolveOutcome::Sat, "resumable after cancel");
+        }
+        assert!(s.model().is_some());
     }
 
     /// Pigeonhole principle clauses: n pigeons, m holes. p(i,j) = var i*m+j.
