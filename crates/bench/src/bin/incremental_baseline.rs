@@ -1,0 +1,344 @@
+//! `incremental_baseline` — persistent-engine vs rebuild-per-call
+//! baseline over the mixed batch suite.
+//!
+//! Every core-guided driver now runs on one long-lived incremental SAT
+//! engine ([`coremax_sat::IncrementalSolver`]); `EngineMode::Rebuild`
+//! reproduces the historic behaviour (a fresh solver per SAT call,
+//! identical answers) so the win is measurable rather than assumed.
+//! For each instance the same driver runs once per mode and the run
+//! records, per mode: status, cost, wall time, SAT calls, and the
+//! engine counters (`incremental_solves`, `clauses_retained`,
+//! `solver_rebuilds`). The headline numbers are **iterations per
+//! second** (SAT calls / wall time) in both modes and **rebuilds
+//! avoided** (the rebuild run's `solver_rebuilds` minus the persistent
+//! run's, which is 0 by construction).
+//!
+//! Output is one JSON trajectory (`BENCH_pr6.json` at the repo root by
+//! convention) with per-instance rows and per-family aggregates over
+//! the suite's families (bmc / equiv / atpg / php / xor / rand3 /
+//! debug / weighted — well beyond the required three).
+//!
+//! The two modes must agree exactly on every exact verdict; any
+//! disagreement or verification failure exits 1 unconditionally.
+//! `--fail-on-abort` exits 1 on any budget abort.
+//!
+//! Usage:
+//! `incremental_baseline [--out FILE] [--scale N] [--seed S]
+//!                       [--budget-ms MS] [--solver NAME] [--fail-on-abort]`
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use coremax::{
+    verify_solution, BinarySearchSat, LinearSearchSat, MaxSatSolution, MaxSatSolver, MaxSatStatus,
+    Msu1, Msu2, Msu3, Msu4, Msu4Incremental, Wmsu1,
+};
+use coremax_instances::{batch_suite, SuiteConfig};
+use coremax_sat::{Budget, EngineMode};
+
+struct Args {
+    out: String,
+    scale: usize,
+    seed: u64,
+    budget_ms: u64,
+    solver: String,
+    fail_on_abort: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_pr6.json".into(),
+            scale: 1,
+            seed: 42,
+            budget_ms: 8_000,
+            solver: "msu3".into(),
+            fail_on_abort: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--budget-ms" => args.budget_ms = value("--budget-ms").parse().expect("budget-ms"),
+            "--solver" => args.solver = value("--solver"),
+            "--fail-on-abort" => args.fail_on_abort = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The named unweighted driver in the requested engine mode. Weighted
+/// instances always go to wmsu1 (the weight-native driver) in the same
+/// mode, so every suite family is covered.
+fn unweighted_solver(name: &str, mode: EngineMode) -> Box<dyn MaxSatSolver> {
+    match name {
+        "msu1" => Box::new(Msu1::new().with_engine_mode(mode)),
+        "msu2" => Box::new(Msu2::new().with_engine_mode(mode)),
+        "msu3" => Box::new(Msu3::new().with_engine_mode(mode)),
+        "msu4v1" => Box::new(Msu4::v1().with_engine_mode(mode)),
+        "msu4v2" => Box::new(Msu4::v2().with_engine_mode(mode)),
+        "msu4inc" => Box::new(Msu4Incremental::new().with_engine_mode(mode)),
+        "linear-sat" => Box::new(LinearSearchSat::new().with_engine_mode(mode)),
+        "binary-sat" => Box::new(BinarySearchSat::new().with_engine_mode(mode)),
+        other => {
+            eprintln!(
+                "unknown solver {other} (expected msu1|msu2|msu3|msu4v1|msu4v2|msu4inc|linear-sat|binary-sat)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn status_name(status: MaxSatStatus) -> &'static str {
+    match status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    }
+}
+
+fn is_exact(status: MaxSatStatus) -> bool {
+    matches!(status, MaxSatStatus::Optimal | MaxSatStatus::Infeasible)
+}
+
+/// Two answers disagree only when BOTH are exact and differ: an
+/// `Unknown` under budget pressure is an abort, and which mode aborts
+/// first on a loaded host is timing noise, not an answer divergence.
+fn disagrees(a: &MaxSatSolution, b: &MaxSatSolution) -> bool {
+    is_exact(a.status) && is_exact(b.status) && (a.status != b.status || a.cost != b.cost)
+}
+
+#[derive(Default)]
+struct ModeTotals {
+    wall_s: f64,
+    sat_calls: u64,
+    incremental_solves: u64,
+    clauses_retained: u64,
+    solver_rebuilds: u64,
+}
+
+impl ModeTotals {
+    fn add(&mut self, s: &MaxSatSolution) {
+        self.wall_s += s.stats.wall_time.as_secs_f64();
+        self.sat_calls += s.stats.sat_calls;
+        self.incremental_solves += s.stats.sat.incremental_solves;
+        self.clauses_retained += s.stats.sat.clauses_retained;
+        self.solver_rebuilds += s.stats.sat.solver_rebuilds;
+    }
+
+    fn iters_per_sec(&self) -> f64 {
+        self.sat_calls as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let suite = batch_suite(&SuiteConfig {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    let budget = Budget::new().with_timeout(Duration::from_millis(args.budget_ms));
+    eprintln!(
+        "incremental_baseline: {} instances, solver {} (wmsu1 for weighted), {} ms budget",
+        suite.len(),
+        args.solver,
+        args.budget_ms
+    );
+
+    let mut rows = String::new();
+    let mut per_family: BTreeMap<&'static str, (ModeTotals, ModeTotals, usize)> = BTreeMap::new();
+    let mut aborts = 0usize;
+    let mut verify_failures = 0usize;
+    let mut disagreements = 0usize;
+
+    for (i, instance) in suite.iter().enumerate() {
+        let run = |mode: EngineMode| -> MaxSatSolution {
+            let mut solver: Box<dyn MaxSatSolver> = if instance.wcnf.is_unweighted() {
+                unweighted_solver(&args.solver, mode)
+            } else {
+                Box::new(Wmsu1::new().with_engine_mode(mode))
+            };
+            solver.set_budget(budget.clone());
+            solver.solve(&instance.wcnf)
+        };
+        let rebuild = run(EngineMode::Rebuild);
+        let persistent = run(EngineMode::Persistent);
+
+        for (label, s) in [("rebuild", &rebuild), ("persistent", &persistent)] {
+            if s.status == MaxSatStatus::Unknown {
+                aborts += 1;
+                eprintln!("  ABORT ({label}): {}", instance.name);
+            }
+            if !verify_solution(&instance.wcnf, s) {
+                verify_failures += 1;
+                eprintln!("  VERIFY FAIL ({label}): {}", instance.name);
+            }
+        }
+        if disagrees(&rebuild, &persistent) {
+            disagreements += 1;
+            eprintln!(
+                "  DISAGREEMENT: {} rebuild=({}, {:?}) persistent=({}, {:?})",
+                instance.name,
+                status_name(rebuild.status),
+                rebuild.cost,
+                status_name(persistent.status),
+                persistent.cost
+            );
+        }
+
+        let entry = per_family
+            .entry(instance.family.name())
+            .or_insert_with(|| (ModeTotals::default(), ModeTotals::default(), 0));
+        entry.0.add(&rebuild);
+        entry.1.add(&persistent);
+        entry.2 += 1;
+
+        let rebuilds_avoided = rebuild
+            .stats
+            .sat
+            .solver_rebuilds
+            .saturating_sub(persistent.stats.sat.solver_rebuilds);
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let mode_json = |s: &MaxSatSolution| {
+            let wall_s = s.stats.wall_time.as_secs_f64();
+            format!(
+                "{{\"status\": \"{}\", \"cost\": {}, \"time_ms\": {:.3}, \"sat_calls\": {}, \
+                 \"iters_per_sec\": {:.1}, \"incremental_solves\": {}, \
+                 \"clauses_retained\": {}, \"solver_rebuilds\": {}}}",
+                status_name(s.status),
+                s.cost.map_or("null".into(), |c| c.to_string()),
+                wall_s * 1e3,
+                s.stats.sat_calls,
+                s.stats.sat_calls as f64 / wall_s.max(1e-9),
+                s.stats.sat.incremental_solves,
+                s.stats.sat.clauses_retained,
+                s.stats.sat.solver_rebuilds,
+            )
+        };
+        let _ = write!(
+            rows,
+            "    {{\"instance\": \"{}\", \"family\": \"{}\", \"rebuild\": {}, \
+             \"persistent\": {}, \"rebuilds_avoided\": {}, \"agrees\": {}}}",
+            instance.name.replace('"', "\\\""),
+            instance.family,
+            mode_json(&rebuild),
+            mode_json(&persistent),
+            rebuilds_avoided,
+            !disagrees(&rebuild, &persistent),
+        );
+    }
+
+    let mut totals = (ModeTotals::default(), ModeTotals::default());
+    let mut family_rows = String::new();
+    for (fi, (family, (rebuild, persistent, count))) in per_family.iter().enumerate() {
+        if fi > 0 {
+            family_rows.push_str(",\n");
+        }
+        let _ = write!(
+            family_rows,
+            "    {{\"family\": \"{}\", \"instances\": {}, \
+             \"rebuild_iters_per_sec\": {:.1}, \"persistent_iters_per_sec\": {:.1}, \
+             \"iteration_speedup\": {:.3}, \"rebuilds_avoided\": {}, \
+             \"clauses_retained\": {}}}",
+            family,
+            count,
+            rebuild.iters_per_sec(),
+            persistent.iters_per_sec(),
+            persistent.iters_per_sec() / rebuild.iters_per_sec().max(1e-9),
+            rebuild.solver_rebuilds - persistent.solver_rebuilds,
+            persistent.clauses_retained,
+        );
+        totals.0.wall_s += rebuild.wall_s;
+        totals.0.sat_calls += rebuild.sat_calls;
+        totals.0.solver_rebuilds += rebuild.solver_rebuilds;
+        totals.1.wall_s += persistent.wall_s;
+        totals.1.sat_calls += persistent.sat_calls;
+        totals.1.solver_rebuilds += persistent.solver_rebuilds;
+        totals.1.incremental_solves += persistent.incremental_solves;
+        totals.1.clauses_retained += persistent.clauses_retained;
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"scale\": {}, \"seed\": {}, \"instances\": {}, \"families\": {}}},",
+        args.scale,
+        args.seed,
+        suite.len(),
+        per_family.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"solver\": \"{}\", \"weighted_solver\": \"wmsu1\",",
+        args.solver
+    );
+    let _ = writeln!(out, "  \"budget_ms\": {},", args.budget_ms);
+    out.push_str("  \"runs\": [\n");
+    out.push_str(&rows);
+    out.push_str("\n  ],\n");
+    out.push_str("  \"families\": [\n");
+    out.push_str(&family_rows);
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"rebuild_iters_per_sec\": {:.1}, \"persistent_iters_per_sec\": {:.1}, \
+         \"iteration_speedup\": {:.3}, \"rebuilds_avoided\": {}, \"incremental_solves\": {}, \
+         \"clauses_retained\": {}}},",
+        totals.0.iters_per_sec(),
+        totals.1.iters_per_sec(),
+        totals.1.iters_per_sec() / totals.0.iters_per_sec().max(1e-9),
+        totals.0.solver_rebuilds - totals.1.solver_rebuilds,
+        totals.1.incremental_solves,
+        totals.1.clauses_retained
+    );
+    let _ = writeln!(out, "  \"aborts\": {aborts},");
+    let _ = writeln!(out, "  \"verify_failures\": {verify_failures},");
+    let _ = writeln!(out, "  \"disagreements\": {disagreements}");
+    out.push_str("}\n");
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+
+    println!(
+        "iterations/sec: rebuild {:.1}, persistent {:.1} ({:.2}x); {} rebuilds avoided, {} learned clauses retained",
+        totals.0.iters_per_sec(),
+        totals.1.iters_per_sec(),
+        totals.1.iters_per_sec() / totals.0.iters_per_sec().max(1e-9),
+        totals.0.solver_rebuilds - totals.1.solver_rebuilds,
+        totals.1.clauses_retained
+    );
+    println!(
+        "checks: {disagreements} disagreements, {aborts} aborts, {verify_failures} verify failures"
+    );
+    println!("wrote {}", args.out);
+
+    if verify_failures > 0 {
+        eprintln!("FAIL: {verify_failures} solutions failed verification");
+        std::process::exit(1);
+    }
+    if disagreements > 0 {
+        eprintln!("FAIL: {disagreements} rebuild/persistent answer divergences");
+        std::process::exit(1);
+    }
+    if args.fail_on_abort && aborts > 0 {
+        eprintln!("FAIL: {aborts} aborted runs (budget {} ms)", args.budget_ms);
+        std::process::exit(1);
+    }
+}

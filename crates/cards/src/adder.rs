@@ -143,7 +143,7 @@ fn leq_constant(bits: &[Lit], constant: usize, sink: &mut CnfSink) {
 mod tests {
     use super::*;
     use coremax_cnf::Var;
-    use coremax_sat::{SolveOutcome, Solver};
+    use coremax_sat::SolveOutcome;
 
     fn input_lits(n: usize) -> Vec<Lit> {
         (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect()
@@ -156,14 +156,8 @@ mod tests {
             let mut sink = CnfSink::new(n);
             let bits = count_bits(&lits, &mut sink);
             for value in 0u32..(1 << n) {
-                let mut solver = Solver::new();
-                solver.ensure_vars(sink.num_vars());
-                for c in sink.clauses() {
-                    solver.add_clause(c.iter().copied());
-                }
-                let assumptions: Vec<Lit> = (0..n)
-                    .map(|i| Lit::new(Var::new(i as u32), value >> i & 1 == 1))
-                    .collect();
+                let mut solver = crate::test_support::solver_for_sink(&sink);
+                let assumptions = crate::test_support::bit_assumptions(n, value);
                 assert_eq!(
                     solver.solve_with_assumptions(&assumptions),
                     SolveOutcome::Sat
@@ -194,14 +188,8 @@ mod tests {
         );
         let (sum, carry) = full_adder(a, b, c, &mut sink);
         for bits in 0u32..8 {
-            let mut solver = Solver::new();
-            solver.ensure_vars(sink.num_vars());
-            for cl in sink.clauses() {
-                solver.add_clause(cl.iter().copied());
-            }
-            let assumptions: Vec<Lit> = (0..3)
-                .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                .collect();
+            let mut solver = crate::test_support::solver_for_sink(&sink);
+            let assumptions = crate::test_support::bit_assumptions(3, bits);
             assert_eq!(
                 solver.solve_with_assumptions(&assumptions),
                 SolveOutcome::Sat
@@ -221,14 +209,8 @@ mod tests {
         let mut sink = CnfSink::new(n);
         leq_constant(&bits, 5, &mut sink);
         for value in 0u32..8 {
-            let mut solver = Solver::new();
-            solver.ensure_vars(sink.num_vars());
-            for c in sink.clauses() {
-                solver.add_clause(c.iter().copied());
-            }
-            let assumptions: Vec<Lit> = (0..n)
-                .map(|i| Lit::new(Var::new(i as u32), value >> i & 1 == 1))
-                .collect();
+            let mut solver = crate::test_support::solver_for_sink(&sink);
+            let assumptions = crate::test_support::bit_assumptions(n, value);
             let sat = solver.solve_with_assumptions(&assumptions) == SolveOutcome::Sat;
             assert_eq!(sat, value <= 5, "value={value}");
         }

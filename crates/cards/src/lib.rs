@@ -44,6 +44,39 @@ mod totalizer;
 
 pub use sink::CnfSink;
 
+/// Shared scaffolding for the exhaustive encoding tests in this crate
+/// (unit and integration alike): every one of them builds the same
+/// preamble — a fresh solver loaded with a sink's clauses — and forces
+/// the input variables to a bit pattern via assumptions.
+#[doc(hidden)]
+pub mod test_support {
+    use coremax_cnf::{Lit, Var};
+    use coremax_sat::Solver;
+
+    use crate::CnfSink;
+
+    /// A fresh solver over the sink's variables, loaded with all of
+    /// its clauses.
+    #[must_use]
+    pub fn solver_for_sink(sink: &CnfSink) -> Solver {
+        let mut solver = Solver::new();
+        solver.ensure_vars(sink.num_vars());
+        for c in sink.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        solver
+    }
+
+    /// Assumptions forcing input variable `i` (for each `i < n`) to
+    /// bit `i` of `bits`.
+    #[must_use]
+    pub fn bit_assumptions(n: usize, bits: u32) -> Vec<Lit> {
+        (0..n)
+            .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
+            .collect()
+    }
+}
+
 use coremax_cnf::Lit;
 
 /// Selects the CNF translation used for a cardinality constraint.
@@ -161,19 +194,13 @@ mod tests {
     /// variables, the encoding extended by forcing that assignment must
     /// be satisfiable iff the constraint holds.
     fn check_exact_at_most(n: usize, k: usize, encoding: CardEncoding) {
-        use coremax_sat::{SolveOutcome, Solver};
+        use coremax_sat::SolveOutcome;
         let lits = input_lits(n);
         let mut sink = CnfSink::new(n);
         encode_at_most(&lits, k, encoding, &mut sink);
         for bits in 0u32..(1 << n) {
-            let mut solver = Solver::new();
-            solver.ensure_vars(sink.num_vars());
-            for c in sink.clauses() {
-                solver.add_clause(c.iter().copied());
-            }
-            let assumptions: Vec<Lit> = (0..n)
-                .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                .collect();
+            let mut solver = crate::test_support::solver_for_sink(&sink);
+            let assumptions = crate::test_support::bit_assumptions(n, bits);
             let outcome = solver.solve_with_assumptions(&assumptions);
             let popcount = bits.count_ones() as usize;
             let expected = if popcount <= k {
@@ -219,21 +246,15 @@ mod tests {
 
     #[test]
     fn at_least_semantics() {
-        use coremax_sat::{SolveOutcome, Solver};
+        use coremax_sat::SolveOutcome;
         for encoding in CardEncoding::ALL {
             let n = 4;
             let lits = input_lits(n);
             let mut sink = CnfSink::new(n);
             encode_at_least(&lits, 3, encoding, &mut sink);
             for bits in 0u32..(1 << n) {
-                let mut solver = Solver::new();
-                solver.ensure_vars(sink.num_vars());
-                for c in sink.clauses() {
-                    solver.add_clause(c.iter().copied());
-                }
-                let assumptions: Vec<Lit> = (0..n)
-                    .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                    .collect();
+                let mut solver = crate::test_support::solver_for_sink(&sink);
+                let assumptions = crate::test_support::bit_assumptions(n, bits);
                 let sat = solver.solve_with_assumptions(&assumptions) == SolveOutcome::Sat;
                 assert_eq!(sat, bits.count_ones() >= 3, "{encoding} ≥3 bits={bits:b}");
             }
@@ -242,7 +263,7 @@ mod tests {
 
     #[test]
     fn exactly_semantics() {
-        use coremax_sat::{SolveOutcome, Solver};
+        use coremax_sat::SolveOutcome;
         for encoding in CardEncoding::ALL {
             let n = 4;
             let k = 2;
@@ -250,14 +271,8 @@ mod tests {
             let mut sink = CnfSink::new(n);
             encode_exactly(&lits, k, encoding, &mut sink);
             for bits in 0u32..(1 << n) {
-                let mut solver = Solver::new();
-                solver.ensure_vars(sink.num_vars());
-                for c in sink.clauses() {
-                    solver.add_clause(c.iter().copied());
-                }
-                let assumptions: Vec<Lit> = (0..n)
-                    .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                    .collect();
+                let mut solver = crate::test_support::solver_for_sink(&sink);
+                let assumptions = crate::test_support::bit_assumptions(n, bits);
                 let sat = solver.solve_with_assumptions(&assumptions) == SolveOutcome::Sat;
                 assert_eq!(
                     sat,
@@ -284,21 +299,15 @@ mod tests {
 
     #[test]
     fn negated_input_literals_supported() {
-        use coremax_sat::{SolveOutcome, Solver};
+        use coremax_sat::SolveOutcome;
         // Constraint over ¬x literals: Σ ¬xᵢ ≤ 1.
         let lits: Vec<Lit> = (0..3).map(|i| Lit::negative(Var::new(i))).collect();
         for encoding in CardEncoding::ALL {
             let mut sink = CnfSink::new(3);
             encode_at_most(&lits, 1, encoding, &mut sink);
             for bits in 0u32..8 {
-                let mut solver = Solver::new();
-                solver.ensure_vars(sink.num_vars());
-                for c in sink.clauses() {
-                    solver.add_clause(c.iter().copied());
-                }
-                let assumptions: Vec<Lit> = (0..3)
-                    .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                    .collect();
+                let mut solver = crate::test_support::solver_for_sink(&sink);
+                let assumptions = crate::test_support::bit_assumptions(3, bits);
                 let sat = solver.solve_with_assumptions(&assumptions) == SolveOutcome::Sat;
                 let zeros = 3 - bits.count_ones();
                 assert_eq!(sat, zeros <= 1, "{encoding} bits={bits:b}");

@@ -94,7 +94,7 @@ fn comparator(a: Lit, b: Lit, sink: &mut CnfSink) -> (Lit, Lit) {
 mod tests {
     use super::*;
     use coremax_cnf::Var;
-    use coremax_sat::{SolveOutcome, Solver};
+    use coremax_sat::SolveOutcome;
 
     fn input_lits(n: usize) -> Vec<Lit> {
         (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect()
@@ -110,14 +110,8 @@ mod tests {
             let out = sort_network(&lits, &mut sink);
             assert_eq!(out.len(), n);
             for bits in 0u32..(1 << n) {
-                let mut solver = Solver::new();
-                solver.ensure_vars(sink.num_vars());
-                for c in sink.clauses() {
-                    solver.add_clause(c.iter().copied());
-                }
-                let assumptions: Vec<Lit> = (0..n)
-                    .map(|i| Lit::new(Var::new(i as u32), bits >> i & 1 == 1))
-                    .collect();
+                let mut solver = crate::test_support::solver_for_sink(&sink);
+                let assumptions = crate::test_support::bit_assumptions(n, bits);
                 assert_eq!(
                     solver.solve_with_assumptions(&assumptions),
                     SolveOutcome::Sat
@@ -138,11 +132,7 @@ mod tests {
         let mut sink = CnfSink::new(2);
         let (hi, lo) = comparator(a, b, &mut sink);
         for bits in 0u32..4 {
-            let mut solver = Solver::new();
-            solver.ensure_vars(sink.num_vars());
-            for c in sink.clauses() {
-                solver.add_clause(c.iter().copied());
-            }
+            let mut solver = crate::test_support::solver_for_sink(&sink);
             let assumptions = [
                 Lit::new(Var::new(0), bits & 1 == 1),
                 Lit::new(Var::new(1), bits & 2 == 2),

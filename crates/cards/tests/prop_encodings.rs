@@ -1,9 +1,9 @@
 //! Property tests: every cardinality encoding is semantically exact for
 //! randomly chosen arities, bounds and input polarities.
 
-use coremax_cards::{encode_at_least, encode_at_most, CardEncoding, CnfSink};
+use coremax_cards::{encode_at_least, encode_at_most, test_support, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, Var};
-use coremax_sat::{SolveOutcome, Solver};
+use coremax_sat::SolveOutcome;
 use proptest::prelude::*;
 
 fn encodings() -> impl Strategy<Value = CardEncoding> {
@@ -34,14 +34,8 @@ proptest! {
         let mut sink = CnfSink::new(n);
         encode_at_most(&lits, k, encoding, &mut sink);
 
-        let mut solver = Solver::new();
-        solver.ensure_vars(sink.num_vars());
-        for c in sink.clauses() {
-            solver.add_clause(c.iter().copied());
-        }
-        let assumptions: Vec<Lit> = (0..n)
-            .map(|i| Lit::new(Var::new(i as u32), input_bits >> i & 1 == 1))
-            .collect();
+        let mut solver = test_support::solver_for_sink(&sink);
+        let assumptions = test_support::bit_assumptions(n, u32::from(input_bits));
         let true_count = lits
             .iter()
             .enumerate()
@@ -66,14 +60,8 @@ proptest! {
         let mut sink = CnfSink::new(n);
         encode_at_least(&lits, k, encoding, &mut sink);
 
-        let mut solver = Solver::new();
-        solver.ensure_vars(sink.num_vars());
-        for c in sink.clauses() {
-            solver.add_clause(c.iter().copied());
-        }
-        let assumptions: Vec<Lit> = (0..n)
-            .map(|i| Lit::new(Var::new(i as u32), input_bits >> i & 1 == 1))
-            .collect();
+        let mut solver = test_support::solver_for_sink(&sink);
+        let assumptions = test_support::bit_assumptions(n, u32::from(input_bits));
         let true_count = (0..n).filter(|i| input_bits >> i & 1 == 1).count();
         let outcome = solver.solve_with_assumptions(&assumptions);
         let expected = if true_count >= k { SolveOutcome::Sat } else { SolveOutcome::Unsat };
@@ -96,11 +84,7 @@ proptest! {
         let selectors: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::new(i as u32))).collect();
         let mut sink = CnfSink::new(n);
         encode_at_most(&selectors, k, encoding, &mut sink);
-        let mut solver = Solver::new();
-        solver.ensure_vars(sink.num_vars());
-        for c in sink.clauses() {
-            solver.add_clause(c.iter().copied());
-        }
+        let mut solver = test_support::solver_for_sink(&sink);
         // Only the falsified clauses *force* their selector; satisfied
         // clauses leave theirs free — so assume positives only.
         let assumptions: Vec<Lit> = (0..n)
@@ -128,11 +112,7 @@ proptest! {
         for encoding in CardEncoding::ALL {
             let mut sink = CnfSink::new(n);
             encode_at_most(&lits, k.min(n), encoding, &mut sink);
-            let mut solver = Solver::new();
-            solver.ensure_vars(sink.num_vars());
-            for c in sink.clauses() {
-                solver.add_clause(c.iter().copied());
-            }
+            let mut solver = test_support::solver_for_sink(&sink);
             verdicts.push(solver.solve_with_assumptions(&assumptions));
         }
         prop_assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");

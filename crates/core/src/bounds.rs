@@ -3,7 +3,7 @@
 //! formula.
 
 use coremax_cnf::{CnfFormula, Lit};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_sat::{Budget, IncrementalSolver, SolveOutcome};
 
 /// The result of a disjoint-core analysis (Proposition 1).
 #[derive(Debug, Clone)]
@@ -43,37 +43,42 @@ pub struct DisjointCoreReport {
 pub fn disjoint_core_analysis(formula: &CnfFormula, budget: &Budget) -> DisjointCoreReport {
     let start = std::time::Instant::now();
     let child_budget = budget.child(start);
-    let mut removed = vec![false; formula.num_clauses()];
     let mut cores: Vec<Vec<usize>> = Vec::new();
     let mut complete = false;
 
+    // One persistent engine: every clause is registered as a selector-
+    // managed soft, so "removing" a core is retiring its members — the
+    // solver keeps its learned clauses and heuristic state between
+    // extraction rounds instead of being rebuilt from scratch.
+    let mut engine = IncrementalSolver::new();
+    engine.ensure_vars(formula.num_vars());
+    engine.set_budget(child_budget.clone());
+    let handles: Vec<_> = formula
+        .iter()
+        .map(|c| engine.add_soft(c.lits().iter().copied()))
+        .collect();
+
     loop {
-        let mut solver = Solver::new();
-        solver.ensure_vars(formula.num_vars());
-        solver.set_budget(child_budget.clone());
-        // Map solver clause ids back to original indices.
-        let mut id_to_index = Vec::new();
-        for (i, c) in formula.iter().enumerate() {
-            if !removed[i] {
-                solver.add_clause(c.lits().iter().copied());
-                id_to_index.push(i);
-            }
-        }
-        match solver.solve() {
+        match engine.solve(&[]) {
             SolveOutcome::Sat => {
                 complete = true;
                 break;
             }
             SolveOutcome::Unknown => break,
             SolveOutcome::Unsat => {
-                let core: Vec<usize> = solver
-                    .unsat_core()
-                    .expect("core after UNSAT")
+                let failed = engine.failed_softs();
+                if failed.is_empty() {
+                    // Cannot happen — every clause is selector-gated, so
+                    // the formula alone is satisfiable — but an empty
+                    // core must not loop forever.
+                    break;
+                }
+                let core: Vec<usize> = failed
                     .iter()
-                    .map(|id| id_to_index[id.index()])
+                    .filter_map(|id| handles.iter().position(|h| h == id))
                     .collect();
                 for &i in &core {
-                    removed[i] = true;
+                    engine.retire(handles[i]);
                 }
                 cores.push(core);
             }

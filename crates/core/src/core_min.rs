@@ -9,7 +9,7 @@
 //! clause.
 
 use coremax_cnf::CnfFormula;
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_sat::{Budget, IncrementalSolver, SoftId, SolveOutcome};
 
 /// Shrinks `core` (clause indices into `formula`) to an irredundant
 /// unsatisfiable subset by deletion-based minimisation.
@@ -36,39 +36,48 @@ pub fn minimize_core(formula: &CnfFormula, core: &[usize], budget: &Budget) -> V
     let start = std::time::Instant::now();
     let child_budget = budget.child(start);
     let mut kept: Vec<usize> = core.to_vec();
+
+    // One persistent engine for every probe: each candidate clause is a
+    // selector-managed soft, and "dropping" a clause is just leaving
+    // its selector out of the assumption set. Learned clauses carry
+    // over between probes, which is exactly where deletion-based
+    // minimisation spends its time.
+    let mut engine = IncrementalSolver::new();
+    engine.ensure_vars(formula.num_vars());
+    engine.set_budget(child_budget.clone());
+    let mut handles: Vec<SoftId> = kept
+        .iter()
+        .map(|&idx| engine.add_soft(formula.clause(idx).lits().iter().copied()))
+        .collect();
+
     let mut probe = 0usize;
     while probe < kept.len() {
         if child_budget.interrupted() {
             break;
         }
-        // Try dropping kept[probe].
-        let mut solver = Solver::new();
-        solver.ensure_vars(formula.num_vars());
-        solver.set_budget(child_budget.clone());
-        for (i, &idx) in kept.iter().enumerate() {
-            if i != probe {
-                solver.add_clause(formula.clause(idx).lits().iter().copied());
-            }
-        }
-        match solver.solve() {
+        // Try dropping kept[probe]: assume every kept selector but its.
+        let assumptions: Vec<_> = handles
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != probe)
+            .map(|(_, &h)| engine.assumption(h))
+            .collect();
+        match engine.solve_exact(&assumptions) {
             SolveOutcome::Unsat => {
                 // Still UNSAT without it: drop for good. Better: keep
                 // only the clauses of the *new* core, which may drop
                 // several at once.
-                let sub_core = solver.unsat_core().expect("core after UNSAT");
+                let sub_core = engine.failed_softs();
                 let mut remaining: Vec<usize> = Vec::with_capacity(sub_core.len());
-                // Map solver ids back through the kept list, skipping the
-                // probed position.
-                let kept_without: Vec<usize> = kept
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != probe)
-                    .map(|(_, &idx)| idx)
-                    .collect();
-                for id in sub_core {
-                    remaining.push(kept_without[id.index()]);
+                let mut remaining_handles: Vec<SoftId> = Vec::with_capacity(sub_core.len());
+                for (i, (&idx, &h)) in kept.iter().zip(handles.iter()).enumerate() {
+                    if i != probe && sub_core.contains(&h) {
+                        remaining.push(idx);
+                        remaining_handles.push(h);
+                    }
                 }
                 kept = remaining;
+                handles = remaining_handles;
                 // Do not advance: position `probe` now holds a new clause.
             }
             SolveOutcome::Sat => {

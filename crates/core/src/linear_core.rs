@@ -20,8 +20,8 @@
 use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
-use coremax_cnf::{Lit, Var, WcnfFormula};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_cnf::{Lit, WcnfFormula};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -31,6 +31,7 @@ struct LinearCore {
     encoding: CardEncoding,
     core_at_least_one: bool,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl LinearCore {
@@ -42,22 +43,7 @@ impl LinearCore {
         let start = Instant::now();
         let child_budget = self.budget.child(start);
 
-        let hard: Vec<Vec<Lit>> = wcnf
-            .hard_clauses()
-            .iter()
-            .map(|c| c.lits().to_vec())
-            .collect();
-        let soft: Vec<Vec<Lit>> = wcnf
-            .soft_clauses()
-            .iter()
-            .map(|s| s.clause.lits().to_vec())
-            .collect();
-        let num_soft = soft.len();
-
-        let mut blocking: Vec<Option<Lit>> = vec![None; num_soft];
-        let mut vb: Vec<Lit> = Vec::new();
-        let mut ge1_constraints: Vec<Vec<Lit>> = Vec::new();
-        let mut num_vars_base = wcnf.num_vars();
+        let num_soft = wcnf.num_soft();
         let mut k: usize = 0; // current lower bound on cost
 
         let finish = |status: MaxSatStatus,
@@ -73,78 +59,103 @@ impl LinearCore {
             }
         };
 
+        // One engine for the whole run. Unblocked softs are enforced by
+        // their selector assumptions; *blocking* clause `i` just
+        // deactivates it, so its selector becomes the blocking variable
+        // the global bound ranges over — no clause is ever re-added.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
+        for h in wcnf.hard_clauses() {
+            engine.add_clause(h.lits().iter().copied());
+        }
+        let handles: Vec<SoftId> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| engine.add_soft(s.clause.lits().iter().copied()))
+            .collect();
+
+        let mut vb: Vec<Lit> = Vec::new(); // selectors of blocked clauses
+
+        // The global `Σ_vb b ≤ k` constraint *loosens* as `k` grows and
+        // its variable set grows with `vb`, so each version is gated
+        // behind a fresh activation literal: the encoding's clauses all
+        // carry `t`, the solve assumes `¬t`, and a superseded version is
+        // retired for good by the unit `t`.
+        let mut bound_gate: Option<Lit> = None;
+        let mut bound_key: (usize, usize) = (0, 0); // (vb.len(), k) encoded
+
         loop {
-            // φW = hard ∪ soft(blocked) ∪ ge1 ∪ CNF(Σ_vb b ≤ k).
-            let mut solver = Solver::new();
-            solver.ensure_vars(num_vars_base);
-            solver.set_budget(child_budget.clone());
-            for h in &hard {
-                solver.add_clause(h.iter().copied());
-            }
-            for (i, s) in soft.iter().enumerate() {
-                match blocking[i] {
-                    Some(b) => {
-                        solver.add_clause(s.iter().copied().chain(std::iter::once(b)));
-                    }
-                    None => {
-                        solver.add_clause(s.iter().copied());
-                    }
+            if !vb.is_empty()
+                && k < vb.len()
+                && (bound_key != (vb.len(), k) || bound_gate.is_none())
+            {
+                if let Some(t) = bound_gate.take() {
+                    engine.add_clause([t]);
                 }
-            }
-            for c in &ge1_constraints {
-                solver.add_clause(c.iter().copied());
-            }
-            let bound_start = solver.num_original_clauses();
-            if !vb.is_empty() && k < vb.len() {
-                let mut sink = CnfSink::new(num_vars_base);
+                let t = Lit::positive(engine.new_var());
+                let mut sink = CnfSink::new(engine.num_vars());
                 encode_at_most(&vb, k, self.encoding, &mut sink);
-                solver.ensure_vars(sink.num_vars());
+                engine.ensure_vars(sink.num_vars());
                 let clauses = sink.into_clauses();
                 stats.cardinality_clauses += clauses.len() as u64;
                 for c in clauses {
-                    solver.add_clause(c);
+                    engine.add_clause(c.into_iter().chain(std::iter::once(t)));
+                }
+                bound_gate = Some(t);
+                bound_key = (vb.len(), k);
+            } else if k >= vb.len() {
+                // The bound is vacuous; retire any active version.
+                if let Some(t) = bound_gate.take() {
+                    engine.add_clause([t]);
                 }
             }
+            let gate_assumptions: Vec<Lit> = bound_gate.iter().map(|&t| !t).collect();
 
             stats.sat_calls += 1;
-            let outcome = solver.solve();
-            stats.absorb_sat(solver.stats());
-            match outcome {
+            match engine.solve(&gate_assumptions) {
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Unknown, None, None, stats);
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let model = solver.model().expect("model after SAT").clone();
+                    let model = engine.model().expect("model after SAT").clone();
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Optimal, Some(k), Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
+                    // Refuted independently of every assumption: blocked
+                    // selectors and the bound gate are free at the clause
+                    // level and the ge1 clauses are satisfiable on their
+                    // own, so only the hard clauses can be contradictory.
+                    if engine.formula_refuted() {
+                        stats.absorb_sat(&engine.stats());
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
                     stats.cores += 1;
-                    let core = solver.unsat_core().expect("core after UNSAT").to_vec();
-                    let soft_range = hard.len()..hard.len() + num_soft;
-                    let mut touched_soft = false;
-                    let mut touched_bound = false;
+                    let touched_bound =
+                        bound_gate.is_some_and(|t| engine.failed_assumptions().contains(&!t));
+                    // Failed soft assumptions are exactly the unblocked
+                    // clauses of the core; blocking one turns its selector
+                    // into a blocking variable.
                     let mut fresh_blockers: Vec<Lit> = Vec::new();
-                    for id in &core {
-                        let idx = id.index();
-                        if soft_range.contains(&idx) {
-                            touched_soft = true;
-                            let i = idx - hard.len();
-                            if blocking[i].is_none() {
-                                let b = Lit::positive(Var::new(num_vars_base as u32));
-                                num_vars_base += 1;
-                                blocking[i] = Some(b);
-                                vb.push(b);
-                                stats.blocking_vars += 1;
-                                fresh_blockers.push(b);
-                            }
-                        } else if idx >= bound_start || idx >= soft_range.end {
-                            touched_bound = true; // bound or ge1 helper clause
+                    for id in engine.failed_softs() {
+                        debug_assert!(handles.contains(&id));
+                        if engine.is_active(id) {
+                            engine.deactivate(id);
+                            let b = engine.selector(id);
+                            vb.push(b);
+                            stats.blocking_vars += 1;
+                            fresh_blockers.push(b);
                         }
                     }
-                    if !touched_soft && !touched_bound {
-                        // Pure hard-clause contradiction.
+                    if fresh_blockers.is_empty() && !touched_bound {
+                        // No assumption of either kind was involved —
+                        // cannot happen without a formula-level refutation,
+                        // but classify conservatively as infeasible.
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
                     // Like msu4's optional line-19 constraint, the ≥1
@@ -156,7 +167,7 @@ impl LinearCore {
                     // implied only when the refutation did not use the
                     // bound at all.
                     if self.core_at_least_one && !fresh_blockers.is_empty() && !touched_bound {
-                        ge1_constraints.push(fresh_blockers.clone());
+                        engine.add_clause(fresh_blockers.iter().copied());
                         stats.cardinality_clauses += 1;
                     }
                     if fresh_blockers.is_empty() {
@@ -168,6 +179,7 @@ impl LinearCore {
                         if k > num_soft {
                             // Cannot falsify more clauses than exist: the
                             // hard part must be inconsistent.
+                            stats.absorb_sat(&engine.stats());
                             return finish(MaxSatStatus::Infeasible, None, None, stats);
                         }
                     }
@@ -178,6 +190,7 @@ impl LinearCore {
                 }
             }
             if child_budget.interrupted() {
+                stats.absorb_sat(&engine.stats());
                 return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
@@ -222,8 +235,17 @@ impl Msu3 {
                 encoding: CardEncoding::Bdd,
                 core_at_least_one: false,
                 budget: Budget::new(),
+                engine_mode: EngineMode::Persistent,
             },
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.inner.engine_mode = mode;
+        self
     }
 
     /// msu3 with an explicit bound encoding.
@@ -234,6 +256,7 @@ impl Msu3 {
                 encoding,
                 core_at_least_one: false,
                 budget: Budget::new(),
+                engine_mode: EngineMode::Persistent,
             },
         }
     }
@@ -280,8 +303,19 @@ impl Msu2 {
                 encoding: CardEncoding::SequentialCounter,
                 core_at_least_one: true,
                 budget: Budget::new(),
+                engine_mode: EngineMode::Persistent,
             },
         }
+    }
+}
+
+impl Msu2 {
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.inner.engine_mode = mode;
+        self
     }
 }
 
@@ -364,7 +398,7 @@ mod tests {
                 let len = 1 + (next() % 3) as usize;
                 let lits: Vec<Lit> = (0..len)
                     .map(|_| {
-                        let v = Var::new((next() % num_vars as u64) as u32);
+                        let v = coremax_cnf::Var::new((next() % num_vars as u64) as u32);
                         Lit::new(v, next() & 1 == 0)
                     })
                     .collect();

@@ -3,8 +3,8 @@
 use std::time::Instant;
 
 use coremax_cards::{encode_exactly, CardEncoding, CnfSink};
-use coremax_cnf::{Lit, Var, WcnfFormula};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_cnf::{Lit, WcnfFormula};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -41,6 +41,7 @@ use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub struct Msu1 {
     encoding: CardEncoding,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Default for Msu1 {
@@ -56,6 +57,7 @@ impl Msu1 {
         Msu1 {
             encoding: CardEncoding::Pairwise,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
     }
 
@@ -65,7 +67,16 @@ impl Msu1 {
         Msu1 {
             encoding,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 }
 
@@ -87,19 +98,6 @@ impl MaxSatSolver for Msu1 {
         let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
-        let hard: Vec<Vec<Lit>> = wcnf
-            .hard_clauses()
-            .iter()
-            .map(|c| c.lits().to_vec())
-            .collect();
-        // Soft clauses grow blocking literals over time.
-        let mut soft: Vec<Vec<Lit>> = wcnf
-            .soft_clauses()
-            .iter()
-            .map(|s| s.clause.lits().to_vec())
-            .collect();
-        let mut extra: Vec<Vec<Lit>> = Vec::new();
-        let mut num_vars = wcnf.num_vars();
         let mut cost: usize = 0;
 
         let finish = |status: MaxSatStatus,
@@ -115,69 +113,87 @@ impl MaxSatSolver for Msu1 {
             }
         };
 
-        loop {
-            let mut solver = Solver::new();
-            solver.ensure_vars(num_vars);
-            solver.set_budget(child_budget.clone());
-            for h in &hard {
-                solver.add_clause(h.iter().copied());
-            }
-            for s in &soft {
-                solver.add_clause(s.iter().copied());
-            }
-            for c in &extra {
-                solver.add_clause(c.iter().copied());
-            }
+        // One engine for the whole run: hard clauses once, each soft
+        // registered with a selector and enforced by assumption (the
+        // working formula treats softs as mandatory; relaxation happens
+        // through the blocking literals Fu–Malik adds *inside* them).
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
+        for h in wcnf.hard_clauses() {
+            engine.add_clause(h.lits().iter().copied());
+        }
+        // Current working copy of each soft clause: its literals (which
+        // grow blocking variables over time) and its live handle.
+        let mut soft: Vec<Vec<Lit>> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| s.clause.lits().to_vec())
+            .collect();
+        let mut handles: Vec<SoftId> = soft
+            .iter()
+            .map(|lits| engine.add_soft(lits.iter().copied()))
+            .collect();
 
+        loop {
             stats.sat_calls += 1;
-            let outcome = solver.solve();
-            stats.absorb_sat(solver.stats());
-            match outcome {
+            match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Unknown, None, None, stats);
                 }
                 SolveOutcome::Sat => {
-                    let model = solver.model().expect("model after SAT").clone();
+                    let model = engine.model().expect("model after SAT").clone();
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Optimal, Some(cost), Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
-                    stats.cores += 1;
-                    let core = solver.unsat_core().expect("core after UNSAT").to_vec();
-                    let soft_range = hard.len()..hard.len() + soft.len();
-                    let in_core: Vec<usize> = core
-                        .iter()
-                        .map(|id| id.index())
-                        .filter(|i| soft_range.contains(i))
-                        .map(|i| i - hard.len())
-                        .collect();
-                    if in_core.is_empty() {
-                        // No soft clause participates: the hard (plus
-                        // previously added exactly-one) skeleton is
-                        // contradictory — for pure hard cores this means
-                        // infeasible.
+                    // A refutation independent of the soft assumptions can
+                    // only cite hard clauses (every selector is free at the
+                    // clause level, and exactly-one constraints are
+                    // satisfiable on their own): infeasible.
+                    if engine.formula_refuted() {
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
-                    // Fresh blocking variable per soft core clause.
+                    stats.cores += 1;
+                    let failed = engine.failed_softs();
+                    let in_core: Vec<usize> = failed
+                        .iter()
+                        .filter_map(|id| handles.iter().position(|h| h == id))
+                        .collect();
+                    if in_core.is_empty() {
+                        stats.absorb_sat(&engine.stats());
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
+                    // Fresh blocking variable per soft core clause. The
+                    // stored clause cannot be mutated in place, so the old
+                    // copy is retired and the extended clause registered as
+                    // a new soft under a fresh selector.
                     let mut fresh: Vec<Lit> = Vec::with_capacity(in_core.len());
                     for &i in &in_core {
-                        let b = Lit::positive(Var::new(num_vars as u32));
-                        num_vars += 1;
+                        let b = Lit::positive(engine.new_var());
                         soft[i].push(b);
                         fresh.push(b);
                         stats.blocking_vars += 1;
+                        engine.retire(handles[i]);
+                        handles[i] = engine.add_soft(soft[i].iter().copied());
                     }
                     // Exactly one of the fresh variables is spent.
-                    let mut sink = CnfSink::new(num_vars);
+                    let mut sink = CnfSink::new(engine.num_vars());
                     encode_exactly(&fresh, 1, self.encoding, &mut sink);
-                    num_vars = sink.num_vars();
+                    engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
-                    extra.extend(new_clauses);
+                    for c in new_clauses {
+                        engine.add_clause(c);
+                    }
                     cost += 1;
                 }
             }
             if child_budget.interrupted() {
+                stats.absorb_sat(&engine.stats());
                 return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
@@ -262,7 +278,7 @@ mod tests {
                 let len = 1 + (next() % 3) as usize;
                 let lits: Vec<Lit> = (0..len)
                     .map(|_| {
-                        let v = Var::new((next() % num_vars as u64) as u32);
+                        let v = coremax_cnf::Var::new((next() % num_vars as u64) as u32);
                         Lit::new(v, next() & 1 == 0)
                     })
                     .collect();

@@ -3,8 +3,8 @@
 use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
-use coremax_cnf::{Lit, Var, WcnfFormula};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_cnf::{Lit, WcnfFormula};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -79,6 +79,7 @@ impl Default for Msu4Config {
 pub struct Msu4 {
     config: Msu4Config,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Msu4 {
@@ -112,7 +113,16 @@ impl Msu4 {
         Msu4 {
             config,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 
     /// The active configuration.
@@ -145,34 +155,6 @@ impl MaxSatSolver for Msu4 {
         let mut stats = MaxSatStats::default();
 
         let num_soft = wcnf.num_soft();
-        let hard: Vec<Vec<Lit>> = wcnf
-            .hard_clauses()
-            .iter()
-            .map(|c| c.lits().to_vec())
-            .collect();
-        let soft: Vec<Vec<Lit>> = wcnf
-            .soft_clauses()
-            .iter()
-            .map(|s| s.clause.lits().to_vec())
-            .collect();
-
-        // Per-soft-clause blocking literal, assigned lazily (at most one,
-        // the defining property of msu4).
-        let mut blocking: Vec<Option<Lit>> = vec![None; num_soft];
-        // All blocking literals, in introduction order (the paper's VB).
-        let mut vb: Vec<Lit> = Vec::new();
-        // Per-core ≥1 clauses (the optional line-19 constraints); these
-        // stay for the whole run.
-        let mut ge1: Vec<Vec<Lit>> = Vec::new();
-        // CNF of the *current* Σ_vb b ≤ ub−1 bound. Superseded bounds are
-        // implied by the tightest one, so φW keeps only the latest —
-        // Algorithm 1 accumulates them, but dropping implied clauses
-        // changes neither models nor correctness and avoids a quadratic
-        // formula blow-up over the descent.
-        let mut bound_cnf: Vec<Vec<Lit>> = Vec::new();
-        // Variables: original ∪ blocking (encoder auxiliaries live above
-        // this watermark and are re-allocated per bound encoding).
-        let mut num_vars = wcnf.num_vars();
 
         // Bounds in *cost* space: lb = the paper's νU (each disjointly
         // refuted core forces one more falsified clause, Prop. 1);
@@ -194,78 +176,62 @@ impl MaxSatSolver for Msu4 {
             }
         };
 
+        // One engine for the whole run.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
+        for h in wcnf.hard_clauses() {
+            engine.add_clause(h.lits().iter().copied());
+        }
+
         // Feasibility pre-check: cores are not guaranteed minimal, so a
         // hard-only contradiction could otherwise hide inside a mixed
         // core and the termination argument of Algorithm 1 (which assumes
-        // plain MaxSAT) would return a bogus optimum.
+        // plain MaxSAT) would return a bogus optimum. Running it on the
+        // same engine seeds the clause database before the softs arrive.
         let mut hard_model: Option<coremax_cnf::Assignment> = None;
-        if !hard.is_empty() {
-            let mut solver = Solver::new();
-            solver.ensure_vars(wcnf.num_vars());
-            solver.set_budget(child_budget.clone());
-            for h in &hard {
-                solver.add_clause(h.iter().copied());
-            }
+        if wcnf.num_hard() > 0 {
             stats.sat_calls += 1;
-            let outcome = solver.solve();
-            stats.absorb_sat(solver.stats());
-            match outcome {
-                SolveOutcome::Unsat => return finish(MaxSatStatus::Infeasible, None, None, stats),
-                SolveOutcome::Unknown => return finish(MaxSatStatus::Unknown, None, None, stats),
+            match engine.solve(&[]) {
+                SolveOutcome::Unsat => {
+                    stats.absorb_sat(&engine.stats());
+                    return finish(MaxSatStatus::Infeasible, None, None, stats);
+                }
+                SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
+                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                }
                 SolveOutcome::Sat => {
-                    hard_model = solver.model().cloned();
+                    hard_model = engine.model().cloned();
                 }
             }
         }
 
-        loop {
-            // (Re)build φW: hard clauses, soft clauses (blocked ones carry
-            // their blocking literal), all cardinality CNF so far.
-            let mut solver = Solver::new();
-            solver.ensure_vars(num_vars);
-            solver.set_budget(child_budget.clone());
-            // Clause-id layout: [0, hard) hard, [hard, hard+soft) soft,
-            // then ge1 clauses, then the current bound encoding. When
-            // core minimisation is on, keep the materialised working
-            // formula for subset re-solving.
-            let mut built: Vec<Vec<Lit>> = Vec::new();
-            let keep = |c: Vec<Lit>, built: &mut Vec<Vec<Lit>>| {
-                if self.config.minimize_cores {
-                    built.push(c);
-                }
-            };
-            for h in &hard {
-                solver.add_clause(h.iter().copied());
-                keep(h.clone(), &mut built);
-            }
-            for (i, s) in soft.iter().enumerate() {
-                match blocking[i] {
-                    Some(b) => {
-                        solver.add_clause(s.iter().copied().chain(std::iter::once(b)));
-                        let mut c = s.clone();
-                        c.push(b);
-                        keep(c, &mut built);
-                    }
-                    None => {
-                        solver.add_clause(s.iter().copied());
-                        keep(s.clone(), &mut built);
-                    }
-                }
-            }
-            for c in &ge1 {
-                solver.add_clause(c.iter().copied());
-                keep(c.clone(), &mut built);
-            }
-            for c in &bound_cnf {
-                solver.add_clause(c.iter().copied());
-                keep(c.clone(), &mut built);
-            }
+        // Selector per soft clause; an *unblocked* clause is one whose
+        // selector assumption is still active, and blocking it merely
+        // deactivates the assumption (the selector is the paper's
+        // blocking variable — at most one per clause, by construction).
+        let handles: Vec<SoftId> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| engine.add_soft(s.clause.lits().iter().copied()))
+            .collect();
+        // All blocking literals, in introduction order (the paper's VB).
+        let mut vb: Vec<Lit> = Vec::new();
+        // The *current* Σ_vb b ≤ ub−1 bound. Superseded bounds are
+        // implied by the tightest one, so φW keeps only the latest —
+        // Algorithm 1 accumulates them, but keeping stale encodings
+        // active changes neither models nor correctness and only slows
+        // propagation. Each version is therefore gated behind a fresh
+        // activation literal and retired (unit `t`) when replaced.
+        let mut bound_gate: Option<Lit> = None;
 
+        loop {
+            let gate_assumptions: Vec<Lit> = bound_gate.iter().map(|&t| !t).collect();
             stats.sat_calls += 1;
-            let outcome = solver.solve();
-            stats.absorb_sat(solver.stats());
-            match outcome {
+            match engine.solve(&gate_assumptions) {
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     return finish(
                         MaxSatStatus::Unknown,
                         best_model.is_some().then_some(ub),
@@ -275,62 +241,54 @@ impl MaxSatSolver for Msu4 {
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
-                    stats.cores += 1;
-                    let raw_core: Vec<usize> = solver
-                        .unsat_core()
-                        .expect("core after UNSAT")
-                        .iter()
-                        .map(|id| id.index())
-                        .collect();
-                    let core: Vec<usize> = if self.config.minimize_cores {
-                        let mut formula = coremax_cnf::CnfFormula::with_vars(solver.num_vars());
-                        for c in &built {
-                            formula.add_clause(c.iter().copied());
-                        }
-                        crate::minimize_core(&formula, &raw_core, &child_budget)
-                    } else {
-                        raw_core
-                    };
-                    // φI: unblocked soft clauses in the core (the paper's
-                    // "initial clauses"); also detect hard-only cores.
-                    let soft_range = hard.len()..hard.len() + num_soft;
-                    let mut new_blocked: Vec<usize> = Vec::new();
-                    let mut all_hard = true;
-                    for idx in core {
-                        if soft_range.contains(&idx) {
-                            all_hard = false;
-                            let soft_idx = idx - hard.len();
-                            if blocking[soft_idx].is_none() {
-                                new_blocked.push(soft_idx);
-                            }
-                        } else if idx >= soft_range.end {
-                            all_hard = false; // cardinality clause
-                        }
-                    }
-                    if all_hard {
+                    // Independent of all assumptions: only the hard
+                    // clauses can be contradictory (selectors and bound
+                    // gates are free at the clause level, ge1 clauses are
+                    // satisfiable on their own) — and the pre-check
+                    // already ran, so this is a late hard refutation.
+                    if engine.formula_refuted() {
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
+                    stats.cores += 1;
+                    let core: Vec<Lit> = if self.config.minimize_cores {
+                        minimize_failed_assumptions(&mut engine, &child_budget)
+                    } else {
+                        engine.failed_assumptions().to_vec()
+                    };
+                    // φI: unblocked soft clauses in the core (the paper's
+                    // "initial clauses"). Failed soft assumptions are
+                    // active by construction, so all of them are fresh.
+                    let new_blocked: Vec<SoftId> = core
+                        .iter()
+                        .filter_map(|&a| {
+                            handles
+                                .iter()
+                                .find(|&&id| engine.assumption(id) == a && engine.is_active(id))
+                                .copied()
+                        })
+                        .collect();
                     if new_blocked.is_empty() {
                         // Line 21–22: the core can be re-derived no matter
                         // which further clauses are blocked, so the current
                         // upper bound is the optimum.
                         debug_assert!(best_model.is_some() || ub == num_soft);
+                        stats.absorb_sat(&engine.stats());
                         let model = best_model.or_else(|| hard_model.clone());
                         return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
                     }
                     // Lines 17–20: attach blocking variables and (optionally)
                     // require at least one of them to be used.
                     let mut core_blockers = Vec::with_capacity(new_blocked.len());
-                    for soft_idx in new_blocked {
-                        let b = Lit::positive(Var::new(num_vars as u32));
-                        num_vars += 1;
-                        blocking[soft_idx] = Some(b);
+                    for id in new_blocked {
+                        engine.deactivate(id);
+                        let b = engine.selector(id);
                         vb.push(b);
                         core_blockers.push(b);
                         stats.blocking_vars += 1;
                     }
                     if self.config.core_at_least_one {
-                        ge1.push(core_blockers);
+                        engine.add_clause(core_blockers.iter().copied());
                         stats.cardinality_clauses += 1;
                     }
                     // Lines 23–24: every such core lifts the lower bound.
@@ -338,7 +296,7 @@ impl MaxSatSolver for Msu4 {
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let model = solver.model().expect("model after SAT").clone();
+                    let model = engine.model().expect("model after SAT").clone();
                     // Line 26 uses ν = blocking variables assigned 1; we
                     // tighten it to the model's *actual* number of
                     // falsified soft clauses f ≤ ν (a model may raise a
@@ -349,39 +307,46 @@ impl MaxSatSolver for Msu4 {
                     // Without this, descent proceeds one wasted blocking
                     // variable at a time, re-encoding the cardinality
                     // network per step (see DESIGN.md §4).
-                    let f = soft
+                    let f = wcnf
+                        .soft_clauses()
                         .iter()
-                        .filter(|s| !s.iter().any(|&l| model.satisfies(l)))
+                        .filter(|s| !s.clause.is_satisfied_by(&model))
                         .count();
-                    debug_assert!(
-                        f <= vb.iter().filter(|&&b| model.satisfies(b)).count()
-                            || soft.iter().any(Vec::is_empty)
-                    );
                     if f < ub || best_model.is_none() {
                         ub = f;
                         best_model = Some(model);
                     }
                     if ub == 0 {
                         // No soft clause needed blocking: cost 0 optimum.
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
                     }
                     // Lines 30–31: demand strictly fewer blocking vars.
-                    // Auxiliary encoder variables sit above the
-                    // original+blocking watermark and are recycled when
-                    // the bound is replaced.
-                    let mut sink = CnfSink::new(num_vars);
+                    // The previous bound version is retired for good and
+                    // the new, tighter one activated under a fresh gate.
+                    if let Some(t) = bound_gate.take() {
+                        engine.add_clause([t]);
+                    }
+                    let t = Lit::positive(engine.new_var());
+                    let mut sink = CnfSink::new(engine.num_vars());
                     encode_at_most(&vb, ub - 1, self.config.encoding, &mut sink);
+                    engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
-                    bound_cnf = new_clauses;
+                    for c in new_clauses {
+                        engine.add_clause(c.into_iter().chain(std::iter::once(t)));
+                    }
+                    bound_gate = Some(t);
                 }
             }
             // Line 32: bounds met.
             if lb >= ub {
+                stats.absorb_sat(&engine.stats());
                 let model = best_model.or_else(|| hard_model.clone());
                 return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
             }
             if child_budget.interrupted() {
+                stats.absorb_sat(&engine.stats());
                 return finish(
                     MaxSatStatus::Unknown,
                     best_model.is_some().then_some(ub),
@@ -391,6 +356,36 @@ impl MaxSatSolver for Msu4 {
             }
         }
     }
+}
+
+/// Deletion-based minimisation of the engine's current failed-assumption
+/// core: drop one literal, re-solve under the remaining assumptions, and
+/// keep the shrunken failed subset whenever the candidate is still
+/// UNSAT. The incremental counterpart of [`crate::minimize_core`] — one
+/// assumption-based call per candidate on the *same* engine, instead of
+/// a fresh solver per clause-subset probe.
+fn minimize_failed_assumptions(engine: &mut IncrementalSolver, budget: &Budget) -> Vec<Lit> {
+    let mut core: Vec<Lit> = engine.failed_assumptions().to_vec();
+    let mut i = 0;
+    while i < core.len() {
+        if budget.interrupted() {
+            break;
+        }
+        let mut candidate = core.clone();
+        candidate.remove(i);
+        match engine.solve_exact(&candidate) {
+            SolveOutcome::Unsat if !engine.formula_refuted() => {
+                // Still UNSAT without it: adopt the failed subset of the
+                // candidate (often several literals smaller at once).
+                let failed: Vec<Lit> = engine.failed_assumptions().to_vec();
+                core.retain(|l| failed.contains(l));
+            }
+            // SAT, Unknown, or a formula-level refutation (cannot happen
+            // after the feasibility pre-check): the literal stays.
+            _ => i += 1,
+        }
+    }
+    core
 }
 
 #[cfg(test)]
@@ -514,7 +509,7 @@ mod tests {
                 let len = 1 + (next() % 3) as usize;
                 let lits: Vec<Lit> = (0..len)
                     .map(|_| {
-                        let v = Var::new((next() % num_vars as u64) as u32);
+                        let v = coremax_cnf::Var::new((next() % num_vars as u64) as u32);
                         Lit::new(v, next() & 1 == 0)
                     })
                     .collect();

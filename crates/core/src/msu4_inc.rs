@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, WcnfFormula};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -51,6 +51,7 @@ use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub struct Msu4Incremental {
     encoding: CardEncoding,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Default for Msu4Incremental {
@@ -66,6 +67,7 @@ impl Msu4Incremental {
         Msu4Incremental {
             encoding: CardEncoding::SortingNetwork,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
     }
 
@@ -75,7 +77,16 @@ impl Msu4Incremental {
         Msu4Incremental {
             encoding,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 }
 
@@ -111,23 +122,21 @@ impl MaxSatSolver for Msu4Incremental {
             }
         };
 
-        // One solver for the whole run.
-        let mut solver = Solver::new();
-        solver.ensure_vars(wcnf.num_vars());
-        solver.set_budget(child_budget.clone());
+        // One engine for the whole run; the selector-per-soft-clause
+        // bookkeeping this module used to do by hand now lives in
+        // `IncrementalSolver`.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            solver.add_clause(h.lits().iter().copied());
+            engine.add_clause(h.lits().iter().copied());
         }
-        // Selector per soft clause: clause ωᵢ ∨ sᵢ, assumption ¬sᵢ while
-        // unblocked.
-        let mut selectors: Vec<Lit> = Vec::with_capacity(num_soft);
-        for s in wcnf.soft_clauses() {
-            let sel = Lit::positive(solver.new_var());
-            solver.add_clause(s.clause.lits().iter().copied().chain(std::iter::once(sel)));
-            selectors.push(sel);
-        }
+        let handles: Vec<SoftId> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| engine.add_soft(s.clause.lits().iter().copied()))
+            .collect();
 
-        let mut blocked: Vec<bool> = vec![false; num_soft];
         let mut vb: Vec<Lit> = Vec::new(); // selectors of blocked clauses
         let mut lb = 0usize;
         let mut ub = num_soft;
@@ -139,16 +148,10 @@ impl MaxSatSolver for Msu4Incremental {
         let mut bounds_added = false;
 
         loop {
-            let assumptions: Vec<Lit> = selectors
-                .iter()
-                .zip(&blocked)
-                .filter(|&(_, &b)| !b)
-                .map(|(&s, _)| !s)
-                .collect();
             stats.sat_calls += 1;
-            match solver.solve_with_assumptions(&assumptions) {
+            match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
-                    stats.absorb_sat(solver.stats());
+                    stats.absorb_sat(&engine.stats());
                     return finish(
                         MaxSatStatus::Unknown,
                         best_model.is_some().then_some(ub),
@@ -158,7 +161,7 @@ impl MaxSatSolver for Msu4Incremental {
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
-                    if solver.unsat_core().is_some() {
+                    if engine.formula_refuted() {
                         // Refuted independently of the assumptions: either
                         // the hard clauses are inconsistent (infeasible) or
                         // the accumulated bounds are (current ub optimal —
@@ -168,39 +171,35 @@ impl MaxSatSolver for Msu4Incremental {
                         // model; before any bound the refutation can only
                         // cite hard clauses, however late CDCL finds it.
                         if !bounds_added {
-                            stats.absorb_sat(solver.stats());
+                            stats.absorb_sat(&engine.stats());
                             return finish(MaxSatStatus::Infeasible, None, None, stats);
                         }
-                        stats.absorb_sat(solver.stats());
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
                     }
                     stats.cores += 1;
-                    let failed: Vec<Lit> = solver.failed_assumptions().to_vec();
-                    // Failed assumptions are ¬sᵢ literals: the core's soft
-                    // clauses, all unblocked by construction.
+                    // Failed softs name the core's clauses directly, all
+                    // unblocked by construction.
                     let mut fresh = 0usize;
-                    for a in failed {
-                        let sel = !a;
-                        if let Some(i) = selectors.iter().position(|&s| s == sel) {
-                            if !blocked[i] {
-                                blocked[i] = true;
-                                vb.push(selectors[i]);
-                                fresh += 1;
-                                stats.blocking_vars += 1;
-                            }
+                    for id in engine.failed_softs() {
+                        if handles.contains(&id) && engine.is_active(id) {
+                            engine.deactivate(id);
+                            vb.push(engine.selector(id));
+                            fresh += 1;
+                            stats.blocking_vars += 1;
                         }
                     }
                     if fresh == 0 {
                         // The assumption core was empty or already
                         // blocked: the hard part must be inconsistent.
-                        stats.absorb_sat(solver.stats());
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
                     lb += 1;
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let model = solver.model().expect("model after SAT").clone();
+                    let model = engine.model().expect("model after SAT").clone();
                     // Cost = falsified soft clauses (unblocked ones are
                     // enforced by assumptions, so only blocked count).
                     let f = wcnf
@@ -213,19 +212,19 @@ impl MaxSatSolver for Msu4Incremental {
                         best_model = Some(model);
                     }
                     if ub == 0 {
-                        stats.absorb_sat(solver.stats());
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
                     }
                     // Tighten: Σ_vb s ≤ ub − 1 (added permanently; bounds
                     // only tighten so stale ones are merely redundant).
-                    let mut sink = CnfSink::new(solver.num_vars());
+                    let mut sink = CnfSink::new(engine.num_vars());
                     encode_at_most(&vb, ub - 1, self.encoding, &mut sink);
-                    solver.ensure_vars(sink.num_vars());
+                    engine.ensure_vars(sink.num_vars());
                     let clauses = sink.into_clauses();
                     stats.cardinality_clauses += clauses.len() as u64;
                     bounds_added |= !clauses.is_empty();
                     for c in clauses {
-                        solver.add_clause(c);
+                        engine.add_clause(c);
                     }
                 }
             }
@@ -238,26 +237,26 @@ impl MaxSatSolver for Msu4Incremental {
                     // verdict must never be model-free — or exposes the
                     // hard clauses as infeasible.
                     stats.sat_calls += 1;
-                    match solver.solve() {
+                    match engine.solve_exact(&[]) {
                         SolveOutcome::Sat => {
                             stats.sat_iterations += 1;
-                            best_model = solver.model().cloned();
+                            best_model = engine.model().cloned();
                         }
                         SolveOutcome::Unsat => {
-                            stats.absorb_sat(solver.stats());
+                            stats.absorb_sat(&engine.stats());
                             return finish(MaxSatStatus::Infeasible, None, None, stats);
                         }
                         SolveOutcome::Unknown => {
-                            stats.absorb_sat(solver.stats());
+                            stats.absorb_sat(&engine.stats());
                             return finish(MaxSatStatus::Unknown, None, None, stats);
                         }
                     }
                 }
-                stats.absorb_sat(solver.stats());
+                stats.absorb_sat(&engine.stats());
                 return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
             }
             if child_budget.interrupted() {
-                stats.absorb_sat(solver.stats());
+                stats.absorb_sat(&engine.stats());
                 return finish(
                     MaxSatStatus::Unknown,
                     best_model.is_some().then_some(ub),

@@ -12,70 +12,28 @@
 use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
-use coremax_cnf::{Assignment, Lit, Var, WcnfFormula};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_cnf::{Assignment, Lit, WcnfFormula};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
-/// Shared scaffolding: working formula with one blocking variable per
-/// soft clause.
-struct Relaxed {
-    clauses: Vec<Vec<Lit>>,
-    blockers: Vec<Lit>,
-    num_vars: usize,
-}
-
-fn relax(wcnf: &WcnfFormula) -> Relaxed {
-    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(wcnf.num_clauses());
+/// Loads the working formula into `engine`: hard clauses verbatim, one
+/// blocking variable appended to every soft clause. Returns the
+/// blocking literals.
+fn load_relaxed(engine: &mut IncrementalSolver, wcnf: &WcnfFormula) -> Vec<Lit> {
+    engine.ensure_vars(wcnf.num_vars());
     for h in wcnf.hard_clauses() {
-        clauses.push(h.lits().to_vec());
+        engine.add_clause(h.lits().iter().copied());
     }
-    let mut next = wcnf.num_vars() as u32;
     let mut blockers = Vec::with_capacity(wcnf.num_soft());
     for soft in wcnf.soft_clauses() {
-        let b = Lit::positive(Var::new(next));
-        next += 1;
+        let b = Lit::positive(engine.new_var());
         let mut c = soft.clause.lits().to_vec();
         c.push(b);
-        clauses.push(c);
+        engine.add_clause(c);
         blockers.push(b);
     }
-    Relaxed {
-        clauses,
-        blockers,
-        num_vars: next as usize,
-    }
-}
-
-/// Builds a solver over the relaxed clauses plus `Σ b ≤ bound`.
-fn solve_with_bound(
-    relaxed: &Relaxed,
-    bound: Option<usize>,
-    encoding: CardEncoding,
-    budget: &Budget,
-    stats: &mut MaxSatStats,
-) -> (SolveOutcome, Option<Assignment>) {
-    let mut solver = Solver::new();
-    solver.ensure_vars(relaxed.num_vars);
-    solver.set_budget(budget.clone());
-    for c in &relaxed.clauses {
-        solver.add_clause(c.iter().copied());
-    }
-    if let Some(k) = bound {
-        let mut sink = CnfSink::new(relaxed.num_vars);
-        encode_at_most(&relaxed.blockers, k, encoding, &mut sink);
-        solver.ensure_vars(sink.num_vars());
-        let clauses = sink.into_clauses();
-        stats.cardinality_clauses += clauses.len() as u64;
-        for c in clauses {
-            solver.add_clause(c);
-        }
-    }
-    stats.sat_calls += 1;
-    let outcome = solver.solve();
-    stats.absorb_sat(solver.stats());
-    let model = solver.model().cloned();
-    (outcome, model)
+    blockers
 }
 
 fn model_cost(wcnf: &WcnfFormula, model: &Assignment) -> usize {
@@ -109,6 +67,7 @@ fn model_cost(wcnf: &WcnfFormula, model: &Assignment) -> usize {
 pub struct LinearSearchSat {
     encoding: CardEncoding,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Default for LinearSearchSat {
@@ -124,6 +83,7 @@ impl LinearSearchSat {
         LinearSearchSat {
             encoding: CardEncoding::SortingNetwork,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
     }
 
@@ -133,7 +93,16 @@ impl LinearSearchSat {
         LinearSearchSat {
             encoding,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 }
 
@@ -154,29 +123,42 @@ impl MaxSatSolver for LinearSearchSat {
         let start = Instant::now();
         let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
-        let relaxed = relax(wcnf);
+
+        // One engine for the whole descent. The bound only ever
+        // tightens (`Σ b ≤ cost − 1` with strictly decreasing cost), so
+        // each encoding strictly implies the previous and all bound
+        // clauses can be added permanently — no gating needed.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.set_budget(child_budget.clone());
+        let blockers = load_relaxed(&mut engine, wcnf);
 
         let mut best: Option<(Assignment, usize)> = None;
-        let mut bound: Option<usize> = None;
         loop {
-            let (outcome, model) =
-                solve_with_bound(&relaxed, bound, self.encoding, &child_budget, &mut stats);
-            match outcome {
+            stats.sat_calls += 1;
+            match engine.solve(&[]) {
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let m = model.expect("model after SAT");
+                    let m = engine.model().expect("model after SAT").clone();
                     let cost = model_cost(wcnf, &m);
                     best = Some((m, cost));
                     if cost == 0 {
                         break;
                     }
-                    bound = Some(cost - 1);
+                    let mut sink = CnfSink::new(engine.num_vars());
+                    encode_at_most(&blockers, cost - 1, self.encoding, &mut sink);
+                    engine.ensure_vars(sink.num_vars());
+                    let clauses = sink.into_clauses();
+                    stats.cardinality_clauses += clauses.len() as u64;
+                    for c in clauses {
+                        engine.add_clause(c);
+                    }
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
                     break;
                 }
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     stats.wall_time = start.elapsed();
                     return MaxSatSolution {
                         status: MaxSatStatus::Unknown,
@@ -187,6 +169,7 @@ impl MaxSatSolver for LinearSearchSat {
                 }
             }
         }
+        stats.absorb_sat(&engine.stats());
         stats.wall_time = start.elapsed();
         match best {
             Some((m, cost)) => MaxSatSolution {
@@ -209,6 +192,7 @@ impl MaxSatSolver for LinearSearchSat {
 pub struct BinarySearchSat {
     encoding: CardEncoding,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Default for BinarySearchSat {
@@ -224,6 +208,7 @@ impl BinarySearchSat {
         BinarySearchSat {
             encoding: CardEncoding::SortingNetwork,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
     }
 
@@ -233,7 +218,16 @@ impl BinarySearchSat {
         BinarySearchSat {
             encoding,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 }
 
@@ -254,17 +248,26 @@ impl MaxSatSolver for BinarySearchSat {
         let start = Instant::now();
         let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
-        let relaxed = relax(wcnf);
 
-        // Feasibility first (bound = |soft| is no bound at all).
-        let (outcome, model) =
-            solve_with_bound(&relaxed, None, self.encoding, &child_budget, &mut stats);
-        let mut best = match outcome {
+        // One engine for the whole search. Unlike the linear descent
+        // the probed bound moves in both directions, so each `Σ b ≤
+        // mid` encoding carries a gate literal `t` on every clause:
+        // assuming `¬t` activates the bound, the unit `t` retires it
+        // for good once the search moves on.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.set_budget(child_budget.clone());
+        let blockers = load_relaxed(&mut engine, wcnf);
+
+        // Feasibility first (no bound at all).
+        stats.sat_calls += 1;
+        let mut best = match engine.solve(&[]) {
             SolveOutcome::Unsat => {
+                stats.absorb_sat(&engine.stats());
                 stats.wall_time = start.elapsed();
                 return MaxSatSolution::infeasible(stats);
             }
             SolveOutcome::Unknown => {
+                stats.absorb_sat(&engine.stats());
                 stats.wall_time = start.elapsed();
                 return MaxSatSolution {
                     status: MaxSatStatus::Unknown,
@@ -275,7 +278,7 @@ impl MaxSatSolver for BinarySearchSat {
             }
             SolveOutcome::Sat => {
                 stats.sat_iterations += 1;
-                let m = model.expect("model after SAT");
+                let m = engine.model().expect("model after SAT").clone();
                 let cost = model_cost(wcnf, &m);
                 (m, cost)
             }
@@ -283,19 +286,32 @@ impl MaxSatSolver for BinarySearchSat {
 
         let mut lo = 0usize; // smallest cost not yet excluded
         let mut hi = best.1; // best.1 is attainable
+        let mut gate: Option<Lit> = None;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let (outcome, model) = solve_with_bound(
-                &relaxed,
-                Some(mid),
-                self.encoding,
-                &child_budget,
-                &mut stats,
-            );
-            match outcome {
+            // The previous probe's bound is stale either way (SAT
+            // shrank hi below it, UNSAT moved lo above it): retire it
+            // and install the gated encoding for `mid`.
+            if let Some(t) = gate.take() {
+                engine.add_clause([t]);
+            }
+            let t = Lit::positive(engine.new_var());
+            let mut sink = CnfSink::new(engine.num_vars());
+            encode_at_most(&blockers, mid, self.encoding, &mut sink);
+            engine.ensure_vars(sink.num_vars());
+            let clauses = sink.into_clauses();
+            stats.cardinality_clauses += clauses.len() as u64;
+            for mut c in clauses {
+                c.push(t);
+                engine.add_clause(c);
+            }
+            gate = Some(t);
+
+            stats.sat_calls += 1;
+            match engine.solve(&[!t]) {
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let m = model.expect("model after SAT");
+                    let m = engine.model().expect("model after SAT").clone();
                     let cost = model_cost(wcnf, &m);
                     debug_assert!(cost <= mid);
                     hi = cost.min(mid);
@@ -306,6 +322,7 @@ impl MaxSatSolver for BinarySearchSat {
                     lo = mid + 1;
                 }
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     stats.wall_time = start.elapsed();
                     return MaxSatSolution {
                         status: MaxSatStatus::Unknown,
@@ -316,6 +333,7 @@ impl MaxSatSolver for BinarySearchSat {
                 }
             }
         }
+        stats.absorb_sat(&engine.stats());
         stats.wall_time = start.elapsed();
         MaxSatSolution {
             status: MaxSatStatus::Optimal,
@@ -329,7 +347,7 @@ impl MaxSatSolver for BinarySearchSat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coremax_cnf::dimacs;
+    use coremax_cnf::{dimacs, Var};
     use coremax_sat::dpll_max_satisfiable;
 
     fn unweighted(text: &str) -> WcnfFormula {
@@ -403,6 +421,17 @@ mod tests {
                 let m = r.model.unwrap();
                 assert_eq!(w.cost(&m), r.cost);
             }
+        }
+    }
+
+    #[test]
+    fn rebuild_mode_agrees_with_persistent() {
+        let w = unweighted("p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n");
+        for mode in [EngineMode::Persistent, EngineMode::Rebuild] {
+            let rl = LinearSearchSat::new().with_engine_mode(mode).solve(&w);
+            let rb = BinarySearchSat::new().with_engine_mode(mode).solve(&w);
+            assert_eq!(rl.cost, Some(2), "linear under {mode:?}");
+            assert_eq!(rb.cost, Some(2), "binary under {mode:?}");
         }
     }
 

@@ -15,8 +15,8 @@
 use std::time::Instant;
 
 use coremax_cards::{encode_exactly, CardEncoding, CnfSink};
-use coremax_cnf::{Lit, Var, WcnfFormula, Weight};
-use coremax_sat::{Budget, SolveOutcome, Solver};
+use coremax_cnf::{Lit, WcnfFormula, Weight};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -42,6 +42,7 @@ use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub struct Wmsu1 {
     encoding: CardEncoding,
     budget: Budget,
+    engine_mode: EngineMode,
 }
 
 impl Default for Wmsu1 {
@@ -58,6 +59,7 @@ impl Wmsu1 {
         Wmsu1 {
             encoding: CardEncoding::Pairwise,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
     }
 
@@ -67,7 +69,16 @@ impl Wmsu1 {
         Wmsu1 {
             encoding,
             budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
         }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
     }
 }
 
@@ -97,23 +108,6 @@ impl MaxSatSolver for Wmsu1 {
         let child_budget = self.budget.child(start);
         let mut stats = MaxSatStats::default();
 
-        let hard: Vec<Vec<Lit>> = wcnf
-            .hard_clauses()
-            .iter()
-            .map(|c| c.lits().to_vec())
-            .collect();
-        // Soft clauses gain blocking literals and shed weight over time;
-        // splitting appends residual copies.
-        let mut soft: Vec<WorkingSoft> = wcnf
-            .soft_clauses()
-            .iter()
-            .map(|s| WorkingSoft {
-                lits: s.clause.lits().to_vec(),
-                weight: s.weight,
-            })
-            .collect();
-        let mut extra: Vec<Vec<Lit>> = Vec::new(); // exactly-one CNF (hard)
-        let mut num_vars = wcnf.num_vars();
         let mut cost: Weight = 0;
 
         let finish = |status: MaxSatStatus,
@@ -129,48 +123,64 @@ impl MaxSatSolver for Wmsu1 {
             }
         };
 
-        loop {
-            let mut solver = Solver::new();
-            solver.ensure_vars(num_vars);
-            solver.set_budget(child_budget.clone());
-            for h in &hard {
-                solver.add_clause(h.iter().copied());
-            }
-            for s in &soft {
-                solver.add_clause(s.lits.iter().copied());
-            }
-            for c in &extra {
-                solver.add_clause(c.iter().copied());
-            }
+        // One engine for the whole run; every working soft clause (the
+        // originals and the residual copies splitting creates) is
+        // enforced through its selector assumption. Extending a clause
+        // with a blocking literal retires the old copy and registers the
+        // extended one under a fresh selector.
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
+        for h in wcnf.hard_clauses() {
+            engine.add_clause(h.lits().iter().copied());
+        }
+        // Soft clauses gain blocking literals and shed weight over time;
+        // splitting appends residual copies.
+        let mut soft: Vec<WorkingSoft> = wcnf
+            .soft_clauses()
+            .iter()
+            .map(|s| WorkingSoft {
+                lits: s.clause.lits().to_vec(),
+                weight: s.weight,
+            })
+            .collect();
+        let mut handles: Vec<SoftId> = soft
+            .iter()
+            .map(|s| engine.add_soft(s.lits.iter().copied()))
+            .collect();
 
+        loop {
             stats.sat_calls += 1;
-            let outcome = solver.solve();
-            stats.absorb_sat(solver.stats());
-            match outcome {
+            match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Unknown, None, None, stats);
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
-                    let model = solver.model().expect("model after SAT").clone();
+                    let model = engine.model().expect("model after SAT").clone();
+                    stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Optimal, Some(cost), Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
+                    // Refuted independently of the soft assumptions: the
+                    // hard (plus exactly-one) skeleton is contradictory —
+                    // selectors are free at the clause level and the
+                    // exactly-one constraints are satisfiable on their
+                    // own, so the instance has no feasible assignment.
+                    if engine.formula_refuted() {
+                        stats.absorb_sat(&engine.stats());
+                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    }
                     stats.cores += 1;
-                    let core = solver.unsat_core().expect("core after UNSAT").to_vec();
-                    let soft_range = hard.len()..hard.len() + soft.len();
-                    let mut in_core: Vec<usize> = core
+                    let failed = engine.failed_softs();
+                    let in_core: Vec<usize> = failed
                         .iter()
-                        .map(|id| id.index())
-                        .filter(|i| soft_range.contains(i))
-                        .map(|i| i - hard.len())
+                        .filter_map(|id| handles.iter().position(|h| h == id))
                         .collect();
-                    in_core.sort_unstable();
-                    in_core.dedup();
                     if in_core.is_empty() {
-                        // Hard (plus exactly-one) skeleton contradictory:
-                        // the instance has no feasible assignment.
+                        stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, None, stats);
                     }
                     let w_min = in_core
@@ -180,7 +190,8 @@ impl MaxSatSolver for Wmsu1 {
                         .expect("non-empty core");
                     // Relax the w_min share of every core clause with a
                     // fresh blocking variable; clauses heavier than
-                    // w_min keep a residual un-relaxed copy.
+                    // w_min keep a residual un-relaxed copy (registered
+                    // *before* the blocking literal is appended).
                     let mut fresh: Vec<Lit> = Vec::with_capacity(in_core.len());
                     for &i in &in_core {
                         if soft[i].weight > w_min {
@@ -188,25 +199,31 @@ impl MaxSatSolver for Wmsu1 {
                                 lits: soft[i].lits.clone(),
                                 weight: soft[i].weight - w_min,
                             });
+                            let residual = engine.add_soft(soft[i].lits.iter().copied());
+                            handles.push(residual);
                             soft[i].weight = w_min;
                             stats.weight_splits += 1;
                         }
-                        let b = Lit::positive(Var::new(num_vars as u32));
-                        num_vars += 1;
+                        let b = Lit::positive(engine.new_var());
                         soft[i].lits.push(b);
                         fresh.push(b);
                         stats.blocking_vars += 1;
+                        engine.retire(handles[i]);
+                        handles[i] = engine.add_soft(soft[i].lits.iter().copied());
                     }
-                    let mut sink = CnfSink::new(num_vars);
+                    let mut sink = CnfSink::new(engine.num_vars());
                     encode_exactly(&fresh, 1, self.encoding, &mut sink);
-                    num_vars = sink.num_vars();
+                    engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
-                    extra.extend(new_clauses);
+                    for c in new_clauses {
+                        engine.add_clause(c);
+                    }
                     cost = cost.saturating_add(w_min);
                 }
             }
             if child_budget.interrupted() {
+                stats.absorb_sat(&engine.stats());
                 return finish(MaxSatStatus::Unknown, None, None, stats);
             }
         }
@@ -311,7 +328,12 @@ mod tests {
             for _ in 0..(4 + next() % 6) {
                 let len = 1 + (next() % 2) as usize;
                 let lits: Vec<Lit> = (0..len)
-                    .map(|_| Lit::new(Var::new((next() % num_vars as u64) as u32), next() & 1 == 0))
+                    .map(|_| {
+                        Lit::new(
+                            coremax_cnf::Var::new((next() % num_vars as u64) as u32),
+                            next() & 1 == 0,
+                        )
+                    })
                     .collect();
                 w.add_soft(lits, 1 + next() % 9);
             }

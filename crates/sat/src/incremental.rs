@@ -1,0 +1,499 @@
+//! IPASIR-style persistent incremental solving.
+//!
+//! [`IncrementalSolver`] is the assumption-based engine the core-guided
+//! MaxSAT drivers run on. One instance lives for a whole optimisation
+//! run: learned clauses, VSIDS activities, saved phases and the clause
+//! arena all carry over from one `solve` call to the next, so each
+//! iteration of an MSU loop starts where the previous one stopped
+//! instead of re-deriving everything from a cold solver.
+//!
+//! On top of the raw [`Solver`] it adds *selector-variable soft-clause
+//! management*: a soft clause `ω` is stored once as `ω ∨ s` with a
+//! fresh selector variable `s`, and its lifecycle is driven purely
+//! through that selector —
+//!
+//! - **active**: assume `¬s`, so the clause is enforced;
+//! - **deactivated** (relaxed): drop the assumption — `s` doubles as
+//!   the clause's blocking variable, free for cardinality constraints;
+//! - **hardened**: add the unit `¬s`, making the clause permanent;
+//! - **retired**: add the unit `s`, satisfying the stored clause
+//!   forever (used when a driver replaces a soft with an extended
+//!   copy, e.g. Fu–Malik relaxation rounds).
+//!
+//! After an UNSAT answer, [`IncrementalSolver::failed_softs`] maps the
+//! solver's failed assumptions straight back to soft-clause handles —
+//! the unsatisfiable core, with no clause-id bookkeeping.
+//!
+//! # Engine modes
+//!
+//! [`EngineMode::Persistent`] is the real engine. [`EngineMode::Rebuild`]
+//! answers every query identically but deliberately reconstructs a
+//! fresh [`Solver`] from a mirrored clause list on every `solve` call —
+//! the historic per-iteration-`Solver::new()` behaviour. It exists so
+//! benchmarks can measure exactly what persistence buys
+//! ([`SolverStats::solver_rebuilds`] vs
+//! [`SolverStats::incremental_solves`]) and so differential tests can
+//! prove the persistent engine agrees with a from-scratch solver after
+//! any sequence of operations.
+//!
+//! # Examples
+//!
+//! ```
+//! use coremax_cnf::{Lit, Var};
+//! use coremax_sat::{IncrementalSolver, SolveOutcome};
+//!
+//! let mut engine = IncrementalSolver::new();
+//! let x = engine.new_var();
+//! // Hard: x. Softs: ¬x (contradicts the hard clause) and x.
+//! engine.add_clause([Lit::positive(x)]);
+//! let s0 = engine.add_soft([Lit::negative(x)]);
+//! let s1 = engine.add_soft([Lit::positive(x)]);
+//! assert_eq!(engine.solve(&[]), SolveOutcome::Unsat);
+//! assert_eq!(engine.failed_softs(), vec![s0]);
+//! // Relax the core's soft clause and the formula becomes satisfiable.
+//! engine.deactivate(s0);
+//! assert_eq!(engine.solve(&[]), SolveOutcome::Sat);
+//! assert!(engine.is_active(s1));
+//! ```
+
+use std::collections::HashMap;
+
+use coremax_cnf::{Assignment, Lit, Var};
+
+use crate::budget::Budget;
+use crate::solver::{SolveOutcome, Solver, SolverConfig};
+use crate::stats::SolverStats;
+
+/// Handle for a soft clause registered with
+/// [`IncrementalSolver::add_soft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoftId(pub usize);
+
+/// How the engine services its solve calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// One long-lived [`Solver`]: learned clauses, activities, phases
+    /// and the clause arena persist across calls.
+    #[default]
+    Persistent,
+    /// A fresh [`Solver`] is built and reloaded from a mirrored clause
+    /// list on every solve call — the pre-incremental behaviour, kept
+    /// for benchmarking and differential testing.
+    Rebuild,
+}
+
+/// Lifecycle of a registered soft clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SoftState {
+    /// `¬s` is assumed on every solve: the clause is enforced.
+    Active,
+    /// No assumption: the selector is a free blocking variable.
+    Inactive,
+    /// Unit `¬s` added: permanently enforced, no assumption needed.
+    Hardened,
+    /// Unit `s` added: the stored clause is satisfied forever.
+    Retired,
+}
+
+/// A persistent assumption-based SAT engine with selector-variable
+/// soft-clause management. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    mode: EngineMode,
+    config: SolverConfig,
+    solver: Solver,
+    budget: Budget,
+    num_vars: usize,
+    selectors: Vec<Lit>,
+    states: Vec<SoftState>,
+    /// Selector-variable index → soft id, for failed-assumption mapping.
+    selector_index: HashMap<u32, SoftId>,
+    /// All clauses ever added, kept only in [`EngineMode::Rebuild`] so
+    /// each solve call can reload a fresh solver.
+    mirror: Vec<Vec<Lit>>,
+    /// Stats of solvers already discarded by rebuilds.
+    retired_stats: SolverStats,
+    /// Fresh solvers constructed beyond the first.
+    rebuilds: u64,
+    assumption_buf: Vec<Lit>,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        IncrementalSolver::new()
+    }
+}
+
+impl IncrementalSolver {
+    /// A persistent engine with default solver configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalSolver::with_mode_and_config(EngineMode::Persistent, SolverConfig::default())
+    }
+
+    /// An engine in the given mode with default solver configuration.
+    #[must_use]
+    pub fn with_mode(mode: EngineMode) -> Self {
+        IncrementalSolver::with_mode_and_config(mode, SolverConfig::default())
+    }
+
+    /// An engine with explicit mode and solver configuration.
+    #[must_use]
+    pub fn with_mode_and_config(mode: EngineMode, config: SolverConfig) -> Self {
+        IncrementalSolver {
+            mode,
+            config: config.clone(),
+            solver: Solver::with_config(config),
+            budget: Budget::new(),
+            num_vars: 0,
+            selectors: Vec::new(),
+            states: Vec::new(),
+            selector_index: HashMap::new(),
+            mirror: Vec::new(),
+            retired_stats: SolverStats::default(),
+            rebuilds: 0,
+            assumption_buf: Vec::new(),
+        }
+    }
+
+    /// The engine's mode.
+    #[must_use]
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Sets the budget applied to subsequent solve calls. Callers
+    /// typically pass a [`Budget::child`] anchored at the start of the
+    /// whole optimisation run so every iteration shares one deadline.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.solver.set_budget(budget.clone());
+        self.budget = budget;
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        self.solver.ensure_vars(self.num_vars);
+        v
+    }
+
+    /// Grows the variable table to at least `num_vars` variables.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        self.num_vars = self.num_vars.max(num_vars);
+        self.solver.ensure_vars(self.num_vars);
+    }
+
+    /// Number of variables (problem + selectors + auxiliaries).
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a hard clause.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for &l in &clause {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.solver.add_clause(clause.iter().copied());
+        if self.mode == EngineMode::Rebuild {
+            self.mirror.push(clause);
+        }
+    }
+
+    /// Registers a soft clause: stores `lits ∨ s` for a fresh selector
+    /// `s` and returns its handle. The clause starts *active* (enforced
+    /// via the assumption `¬s` on every solve).
+    pub fn add_soft<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> SoftId {
+        let sel = Lit::positive(self.new_var());
+        let id = SoftId(self.selectors.len());
+        self.selectors.push(sel);
+        self.states.push(SoftState::Active);
+        self.selector_index.insert(sel.var().index_u32(), id);
+        self.add_clause(lits.into_iter().chain(std::iter::once(sel)));
+        id
+    }
+
+    /// The positive selector literal of a soft clause (`s` in `ω ∨ s`).
+    /// True models that set it "pay" for the clause; while deactivated
+    /// it is exactly the clause's blocking variable.
+    #[must_use]
+    pub fn selector(&self, id: SoftId) -> Lit {
+        self.selectors[id.0]
+    }
+
+    /// The assumption literal (`¬s`) that enforces a soft clause.
+    #[must_use]
+    pub fn assumption(&self, id: SoftId) -> Lit {
+        !self.selectors[id.0]
+    }
+
+    /// Whether the soft clause is currently enforced by assumption.
+    #[must_use]
+    pub fn is_active(&self, id: SoftId) -> bool {
+        self.states[id.0] == SoftState::Active
+    }
+
+    /// Number of registered soft clauses (any state).
+    #[must_use]
+    pub fn num_softs(&self) -> usize {
+        self.selectors.len()
+    }
+
+    /// Stops enforcing a soft clause: its `¬s` assumption is dropped,
+    /// leaving `s` free — the incremental equivalent of attaching a
+    /// blocking variable. No-op unless the clause is active.
+    pub fn deactivate(&mut self, id: SoftId) {
+        if self.states[id.0] == SoftState::Active {
+            self.states[id.0] = SoftState::Inactive;
+        }
+    }
+
+    /// Re-enforces a previously deactivated soft clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause was hardened or retired — those transitions
+    /// added a unit clause and cannot be undone.
+    pub fn activate(&mut self, id: SoftId) {
+        match self.states[id.0] {
+            SoftState::Active | SoftState::Inactive => self.states[id.0] = SoftState::Active,
+            s => panic!("cannot re-activate a {s:?} soft clause"),
+        }
+    }
+
+    /// Makes a soft clause permanently hard by adding the unit `¬s`.
+    pub fn harden(&mut self, id: SoftId) {
+        if self.states[id.0] != SoftState::Hardened {
+            self.states[id.0] = SoftState::Hardened;
+            let unit = !self.selectors[id.0];
+            self.add_clause([unit]);
+        }
+    }
+
+    /// Permanently satisfies the *stored* clause by adding the unit
+    /// `s`, removing it from the problem. Drivers use this to replace a
+    /// soft clause with an extended copy (relaxation rounds append
+    /// blocking variables by retiring the old clause and registering
+    /// `ω ∨ b` as a new soft).
+    pub fn retire(&mut self, id: SoftId) {
+        if self.states[id.0] != SoftState::Retired {
+            self.states[id.0] = SoftState::Retired;
+            let unit = self.selectors[id.0];
+            self.add_clause([unit]);
+        }
+    }
+
+    /// Solves under the active softs' assumptions plus
+    /// `extra_assumptions` (bound-encoding gates, probe literals, …).
+    ///
+    /// In [`EngineMode::Rebuild`] a fresh solver is constructed and
+    /// reloaded first; answers are identical, only the carried-over
+    /// state differs.
+    pub fn solve(&mut self, extra_assumptions: &[Lit]) -> SolveOutcome {
+        if self.mode == EngineMode::Rebuild {
+            self.rebuild_solver();
+        }
+        let mut assumptions = std::mem::take(&mut self.assumption_buf);
+        assumptions.clear();
+        for (sel, state) in self.selectors.iter().zip(&self.states) {
+            if *state == SoftState::Active {
+                assumptions.push(!*sel);
+            }
+        }
+        assumptions.extend_from_slice(extra_assumptions);
+        let outcome = self.solver.solve_with_assumptions(&assumptions);
+        self.assumption_buf = assumptions;
+        outcome
+    }
+
+    /// Solves under *exactly* the given assumptions, ignoring soft
+    /// activation state. Used for assumption-set core minimisation:
+    /// re-solving with a candidate subset of a failed-assumption core
+    /// checks whether the dropped literal was necessary.
+    pub fn solve_exact(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        if self.mode == EngineMode::Rebuild {
+            self.rebuild_solver();
+        }
+        self.solver.solve_with_assumptions(assumptions)
+    }
+
+    fn rebuild_solver(&mut self) {
+        self.retired_stats.absorb(self.solver.stats());
+        self.rebuilds += 1;
+        let mut fresh = Solver::with_config(self.config.clone());
+        fresh.ensure_vars(self.num_vars);
+        fresh.set_budget(self.budget.clone());
+        for clause in &self.mirror {
+            fresh.add_clause(clause.iter().copied());
+        }
+        self.solver = fresh;
+    }
+
+    /// The satisfying assignment of the last successful solve.
+    #[must_use]
+    pub fn model(&self) -> Option<&Assignment> {
+        self.solver.model()
+    }
+
+    /// After UNSAT: the subset of assumption literals used to derive
+    /// the contradiction (soft assumptions and extras alike).
+    #[must_use]
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        self.solver.failed_assumptions()
+    }
+
+    /// After UNSAT: the soft clauses among the failed assumptions — the
+    /// unsatisfiable core, in registration order. Failed extra
+    /// assumptions (e.g. bound gates) are not included; inspect
+    /// [`IncrementalSolver::failed_assumptions`] for those.
+    #[must_use]
+    pub fn failed_softs(&self) -> Vec<SoftId> {
+        let mut ids: Vec<SoftId> = self
+            .solver
+            .failed_assumptions()
+            .iter()
+            .filter_map(|a| self.selector_index.get(&a.var().index_u32()).copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether the last UNSAT refuted the clauses *independently of the
+    /// assumptions*. With every soft selector free this can only cite
+    /// hard clauses (and any permanently added constraints), which is
+    /// how drivers separate "infeasible" from "core found".
+    #[must_use]
+    pub fn formula_refuted(&self) -> bool {
+        self.solver.unsat_core().is_some()
+    }
+
+    /// Returns `false` once the clauses have been refuted outright
+    /// (every further solve is trivially UNSAT).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.solver.is_ok()
+    }
+
+    /// Cumulative statistics: the live solver's counters plus
+    /// everything absorbed from solvers discarded by rebuilds, with
+    /// [`SolverStats::solver_rebuilds`] reporting the rebuild count.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        let mut stats = self.retired_stats;
+        stats.absorb(self.solver.stats());
+        stats.solver_rebuilds += self.rebuilds;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(engine_var: Var, positive: bool) -> Lit {
+        Lit::new(engine_var, positive)
+    }
+
+    /// One engine per mode, driven identically.
+    fn both_modes() -> [IncrementalSolver; 2] {
+        [
+            IncrementalSolver::new(),
+            IncrementalSolver::with_mode(EngineMode::Rebuild),
+        ]
+    }
+
+    #[test]
+    fn soft_lifecycle_and_cores() {
+        for mut e in both_modes() {
+            let x = e.new_var();
+            e.add_clause([lit(x, true)]);
+            let s0 = e.add_soft([lit(x, false)]);
+            let s1 = e.add_soft([lit(x, true)]);
+            assert_eq!(e.solve(&[]), SolveOutcome::Unsat);
+            assert!(!e.formula_refuted(), "assumption-level core only");
+            assert_eq!(e.failed_softs(), vec![s0]);
+            e.deactivate(s0);
+            assert_eq!(e.solve(&[]), SolveOutcome::Sat);
+            let m = e.model().unwrap();
+            assert_eq!(m.value(x), Some(true));
+            // Re-activating restores the contradiction.
+            e.activate(s0);
+            assert_eq!(e.solve(&[]), SolveOutcome::Unsat);
+            e.deactivate(s0);
+            // Hardening s1 is consistent; retiring s0 removes it.
+            e.harden(s1);
+            e.retire(s0);
+            assert_eq!(e.solve(&[]), SolveOutcome::Sat);
+            assert!(!e.is_active(s1) && e.is_ok());
+        }
+    }
+
+    #[test]
+    fn formula_refutation_is_mode_independent() {
+        for mut e in both_modes() {
+            let x = e.new_var();
+            e.add_clause([lit(x, true)]);
+            e.add_clause([lit(x, false)]);
+            let _s = e.add_soft([lit(x, true)]);
+            assert_eq!(e.solve(&[]), SolveOutcome::Unsat);
+            assert!(e.formula_refuted());
+            assert!(!e.is_ok());
+        }
+    }
+
+    #[test]
+    fn extra_assumptions_gate_constraints() {
+        for mut e in both_modes() {
+            let x = e.new_var();
+            let y = e.new_var();
+            e.add_clause([lit(x, true), lit(y, true)]);
+            // Gated constraint ¬x: active while assuming ¬t.
+            let t = Lit::positive(e.new_var());
+            e.add_clause([lit(x, false), t]);
+            assert_eq!(e.solve(&[!t]), SolveOutcome::Sat);
+            assert_eq!(e.model().unwrap().value(y), Some(true));
+            // Add the conflicting gated constraint ¬y under the same gate.
+            e.add_clause([lit(y, false), t]);
+            assert_eq!(e.solve(&[!t]), SolveOutcome::Unsat);
+            assert_eq!(e.failed_assumptions(), &[!t]);
+            assert!(e.failed_softs().is_empty());
+            // Retire the gate: both constraints vanish.
+            e.add_clause([t]);
+            assert_eq!(e.solve(&[]), SolveOutcome::Sat);
+        }
+    }
+
+    #[test]
+    fn rebuild_mode_counts_rebuilds_and_persistent_counts_reuse() {
+        let mut reb = IncrementalSolver::with_mode(EngineMode::Rebuild);
+        let mut per = IncrementalSolver::new();
+        for e in [&mut reb, &mut per] {
+            let x = e.new_var();
+            let y = e.new_var();
+            e.add_clause([lit(x, true), lit(y, true)]);
+            let _ = e.add_soft([lit(x, false)]);
+            for _ in 0..3 {
+                assert_eq!(e.solve(&[]), SolveOutcome::Sat);
+            }
+        }
+        let rs = reb.stats();
+        assert_eq!(rs.solver_rebuilds, 3);
+        assert_eq!(rs.incremental_solves, 0, "fresh solver every call");
+        let ps = per.stats();
+        assert_eq!(ps.solver_rebuilds, 0);
+        assert_eq!(ps.incremental_solves, 2, "calls beyond the first");
+    }
+
+    #[test]
+    fn budget_survives_rebuilds() {
+        use std::time::Duration;
+        let mut e = IncrementalSolver::with_mode(EngineMode::Rebuild);
+        let x = e.new_var();
+        e.add_clause([lit(x, true)]);
+        e.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
+        assert_eq!(e.solve(&[]), SolveOutcome::Unknown);
+        assert_eq!(e.solve(&[]), SolveOutcome::Unknown);
+    }
+}

@@ -49,6 +49,7 @@ mod budget;
 mod clause_db;
 mod dpll;
 mod heap;
+mod incremental;
 mod luby;
 mod solver;
 mod stats;
@@ -57,5 +58,6 @@ mod trace;
 pub use budget::Budget;
 pub use clause_db::ClauseId;
 pub use dpll::{dpll_is_satisfiable, dpll_max_satisfiable};
+pub use incremental::{EngineMode, IncrementalSolver, SoftId};
 pub use solver::{RestartMode, SolveOutcome, Solver, SolverConfig};
 pub use stats::{SolverStats, LBD_HIST_BUCKETS};

@@ -213,6 +213,10 @@ pub struct Solver {
     next_clause_id: u32,
     budget: Budget,
     stats: SolverStats,
+    // Completed `solve*` calls; calls beyond the first reuse the
+    // learned-clause database and heuristic state, which is what
+    // `SolverStats::incremental_solves` / `clauses_retained` count.
+    solve_calls: u64,
 
     // Cooperative-interruption state, armed only for the duration of a
     // `solve` call (propagation from `add_clause` / `probe_lit` is never
@@ -290,6 +294,7 @@ impl Solver {
             next_clause_id: 0,
             budget: Budget::new(),
             stats: SolverStats::default(),
+            solve_calls: 0,
             interrupt_armed: false,
             interrupted: false,
             active_deadline: None,
@@ -532,6 +537,11 @@ impl Solver {
                 a.var().index() < self.num_vars(),
                 "assumption over unknown variable"
             );
+        }
+        self.solve_calls += 1;
+        if self.solve_calls > 1 {
+            self.stats.incremental_solves += 1;
+            self.stats.clauses_retained += self.db.num_learned() as u64;
         }
 
         let start = Instant::now();

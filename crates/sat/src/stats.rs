@@ -51,6 +51,18 @@ pub struct SolverStats {
     pub max_literals: u64,
     /// Total literals in learned clauses (after minimisation).
     pub tot_literals: u64,
+    /// Solve calls beyond the first on the same solver instance — the
+    /// calls that reuse learned clauses, activities and phases instead
+    /// of starting cold.
+    pub incremental_solves: u64,
+    /// Learned clauses already in the database at the start of each
+    /// incremental solve call, summed over calls: the work carried over
+    /// instead of being re-derived.
+    pub clauses_retained: u64,
+    /// Times a fresh solver was built and reloaded from scratch where a
+    /// persistent engine could have been reused (counted by the
+    /// rebuilding engine mode; always 0 for a bare solver).
+    pub solver_rebuilds: u64,
 }
 
 impl SolverStats {
@@ -88,6 +100,9 @@ impl SolverStats {
         self.scratch_reallocs += other.scratch_reallocs;
         self.max_literals += other.max_literals;
         self.tot_literals += other.tot_literals;
+        self.incremental_solves += other.incremental_solves;
+        self.clauses_retained += other.clauses_retained;
+        self.solver_rebuilds += other.solver_rebuilds;
     }
 }
 
@@ -97,7 +112,8 @@ impl fmt::Display for SolverStats {
             f,
             "decisions={} propagations={} bin_props={} conflicts={} \
              restarts={} (luby={} glucose={}) learned={} deleted={} peak_learned={} \
-             glue={} lbd_hist=[{},{},{},{}] gc_runs={} gc_bytes={} scratch_reallocs={}",
+             glue={} lbd_hist=[{},{},{},{}] gc_runs={} gc_bytes={} scratch_reallocs={} \
+             inc_solves={} clauses_retained={} rebuilds={}",
             self.decisions,
             self.propagations,
             self.bin_propagations,
@@ -115,7 +131,10 @@ impl fmt::Display for SolverStats {
             self.lbd_hist[3],
             self.gc_runs,
             self.gc_bytes_reclaimed,
-            self.scratch_reallocs
+            self.scratch_reallocs,
+            self.incremental_solves,
+            self.clauses_retained,
+            self.solver_rebuilds
         )
     }
 }
@@ -144,6 +163,9 @@ mod tests {
         assert!(text.contains("decisions=3"));
         assert!(text.contains("conflicts=2"));
         assert!(text.contains("gc_runs=0"));
+        assert!(text.contains("inc_solves=0"));
+        assert!(text.contains("clauses_retained=0"));
+        assert!(text.contains("rebuilds=0"));
     }
 
     #[test]
