@@ -1,0 +1,254 @@
+//! `anytime_baseline` — best-cost-at-timeout curves for the certified
+//! anytime contract.
+//!
+//! Solves the generated suite under a ladder of shrinking wall-clock
+//! budgets and records, for every (solver, instance, budget) point, the
+//! certified interval `[lower_bound, cost]` the run returned. The JSON
+//! trajectory (`BENCH_pr7.json` at the repo root by convention) plots
+//! how incumbent quality degrades as the budget tightens — the
+//! graceful-degradation curve the anytime contract promises.
+//!
+//! Soundness is enforced, not sampled: the run **fails** (exit 1) on
+//! any solution that fails verification, any interval with
+//! `lower_bound > cost`, any budget-monotonicity violation of the
+//! *certificates* (a larger budget must never verify worse than a
+//! smaller one… is timing-dependent, so that is NOT checked), and any
+//! optimal verdict that disagrees with another solver's optimum on the
+//! same instance.
+//!
+//! Usage:
+//! `anytime_baseline [--out FILE] [--scale N] [--seed S]
+//!                   [--budgets-ms A,B,C] [--solvers a,b]`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use coremax::MaxSatStatus;
+use coremax_bench::{consistency_violations, run_solver_over, RunRecord};
+use coremax_instances::{debug_suite, Instance, SuiteConfig};
+
+struct Args {
+    out: String,
+    scale: usize,
+    seed: u64,
+    budgets_ms: Vec<u64>,
+    solvers: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_pr7.json".into(),
+            scale: 1,
+            seed: 42,
+            // A ladder from comfortable to starved: the tail is where
+            // the anytime interval does the work.
+            budgets_ms: vec![2000, 200, 50, 10, 2],
+            solvers: vec![
+                "msu4v2".into(),
+                "msu3".into(),
+                "wmsu1".into(),
+                "maxsatz".into(),
+            ],
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--budgets-ms" => {
+                args.budgets_ms = value("--budgets-ms")
+                    .split(',')
+                    .map(|b| b.parse().expect("budgets-ms"))
+                    .collect();
+            }
+            "--solvers" => {
+                args.solvers = value("--solvers").split(',').map(str::to_string).collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn status_name(status: MaxSatStatus) -> &'static str {
+    match status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A soundness violation in one record, if any: the hard-fail
+/// conditions of the anytime contract that need no oracle.
+fn violation(r: &RunRecord) -> Option<String> {
+    if !r.verified {
+        return Some(format!(
+            "{} on {}: solution failed verification",
+            r.solver, r.instance
+        ));
+    }
+    if let Some(cost) = r.cost {
+        if r.lower_bound > cost {
+            return Some(format!(
+                "{} on {}: lower bound {} exceeds cost {}",
+                r.solver, r.instance, r.lower_bound, cost
+            ));
+        }
+    }
+    if r.status == MaxSatStatus::Optimal && r.cost.is_none() {
+        return Some(format!(
+            "{} on {}: optimal verdict without a cost",
+            r.solver, r.instance
+        ));
+    }
+    None
+}
+
+fn main() {
+    let args = parse_args();
+    let suite: Vec<Instance> = debug_suite(&SuiteConfig {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    assert!(!suite.is_empty(), "empty suite");
+    eprintln!(
+        "anytime_baseline: {} instances, budgets {:?} ms, solvers {:?}",
+        suite.len(),
+        args.budgets_ms,
+        args.solvers
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"scale\": {}, \"seed\": {}, \"instances\": {}}},",
+        args.scale,
+        args.seed,
+        suite.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"budgets_ms\": [{}],",
+        args.budgets_ms
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut optimal_records: Vec<RunRecord> = Vec::new();
+    // (solver, instance) → tightest lb certified at any budget; the
+    // tightest lb must never exceed any optimum another run proved.
+    let mut best_lb: HashMap<(String, String), u64> = HashMap::new();
+    let mut proven_opt: HashMap<String, u64> = HashMap::new();
+
+    out.push_str("  \"anytime_runs\": [\n");
+    let mut first = true;
+    for solver_name in &args.solvers {
+        for &budget_ms in &args.budgets_ms {
+            eprintln!("anytime layer: {solver_name} at {budget_ms} ms");
+            let records = run_solver_over(solver_name, &suite, Duration::from_millis(budget_ms));
+            for r in &records {
+                if let Some(v) = violation(r) {
+                    eprintln!("  SOUNDNESS VIOLATION: {v}");
+                    violations.push(v);
+                }
+                if r.status == MaxSatStatus::Optimal {
+                    optimal_records.push(r.clone());
+                    if let Some(c) = r.cost {
+                        proven_opt.insert(r.instance.clone(), c);
+                    }
+                }
+                let key = (solver_name.clone(), r.instance.clone());
+                let e = best_lb.entry(key).or_insert(0);
+                *e = (*e).max(r.lower_bound);
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "    {{\"solver\": \"{}\", \"budget_ms\": {}, \"instance\": \"{}\", \
+                     \"family\": \"{}\", \"status\": \"{}\", \"cost\": {}, \"lb\": {}, \
+                     \"gap\": {}, \"verified\": {}, \"time_ms\": {:.3}}}",
+                    json_escape(solver_name),
+                    budget_ms,
+                    json_escape(&r.instance),
+                    r.family,
+                    status_name(r.status),
+                    r.cost.map_or("null".into(), |c| c.to_string()),
+                    r.lower_bound,
+                    r.cost.map_or("null".into(), |c| c
+                        .saturating_sub(r.lower_bound)
+                        .to_string()),
+                    r.verified,
+                    r.time.as_secs_f64() * 1e3,
+                );
+            }
+        }
+    }
+    out.push_str("\n  ],\n");
+
+    // Cross-budget soundness: every lb certified at ANY budget must be
+    // ≤ the optimum whenever some run proved it.
+    for ((solver, instance), lb) in &best_lb {
+        if let Some(&opt) = proven_opt.get(instance) {
+            if *lb > opt {
+                let v = format!(
+                    "{solver} on {instance}: certified lb {lb} exceeds the proven optimum {opt}"
+                );
+                eprintln!("  SOUNDNESS VIOLATION: {v}");
+                violations.push(v);
+            }
+        }
+    }
+    // Cross-solver soundness on exact verdicts.
+    let disagreements = consistency_violations(&optimal_records);
+    for instance in &disagreements {
+        let v = format!("optimal verdicts disagree on {instance}");
+        eprintln!("  SOUNDNESS VIOLATION: {v}");
+        violations.push(v);
+    }
+
+    let _ = writeln!(out, "  \"soundness_violations\": {},", violations.len());
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"instances\": {}, \"solvers\": {}, \"budgets\": {}}}",
+        suite.len(),
+        args.solvers.len(),
+        args.budgets_ms.len()
+    );
+    out.push_str("}\n");
+
+    std::fs::write(&args.out, &out).expect("write output");
+    eprintln!("anytime_baseline: wrote {}", args.out);
+
+    if !violations.is_empty() {
+        eprintln!(
+            "anytime_baseline: {} soundness violation(s)",
+            violations.len()
+        );
+        std::process::exit(1);
+    }
+}

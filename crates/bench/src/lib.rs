@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fi;
+
 use std::time::Duration;
 
 use coremax::{
@@ -33,6 +35,9 @@ pub struct RunRecord {
     pub status: MaxSatStatus,
     /// Proven (or best-known) cost.
     pub cost: Option<u64>,
+    /// Certified lower bound — equals `cost` on optimal runs, a sound
+    /// partial bound on aborted ones.
+    pub lower_bound: u64,
     /// Wall-clock time.
     pub time: Duration,
     /// CDCL propagations aggregated over the run's SAT calls.
@@ -145,6 +150,7 @@ pub fn run_solver_over_opts(
                 preprocess,
                 status: solution.status,
                 cost: solution.cost,
+                lower_bound: solution.lower_bound,
                 time: solution.stats.wall_time,
                 sat_propagations: solution.stats.sat.propagations,
                 sat_conflicts: solution.stats.sat.conflicts,
@@ -307,6 +313,7 @@ mod tests {
             preprocess: false,
             status: MaxSatStatus::Optimal,
             cost: Some(1),
+            lower_bound: 1,
             time: Duration::ZERO,
             sat_propagations: 0,
             sat_conflicts: 0,

@@ -328,6 +328,8 @@ pub struct BatchFileOutcome {
     pub status: MaxSatStatus,
     /// Proven (or best-known) cost.
     pub cost: Option<Weight>,
+    /// Certified lower bound (equals cost on `Optimal`).
+    pub lower_bound: Weight,
     /// Independent `verify_solution` verdict.
     pub verified: bool,
     /// Per-instance wall-clock milliseconds.
@@ -437,6 +439,7 @@ pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
             file: outcome.name.clone(),
             status: outcome.solution.status,
             cost: outcome.solution.cost,
+            lower_bound: outcome.solution.lower_bound,
             verified: coremax::verify_solution(wcnf, &outcome.solution),
             time_ms: outcome.solution.stats.wall_time.as_secs_f64() * 1e3,
         })
@@ -450,7 +453,8 @@ pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
 }
 
 /// Formats a batch run: one `r FILE STATUS COST` line per instance
-/// (`-` for no cost) plus a `c batch:` summary.
+/// (`-` for no cost; aborted instances append their certified
+/// `lb=<lower bound>`) plus a `c batch:` summary.
 #[must_use]
 pub fn format_batch(run: &BatchRun) -> String {
     let mut out = String::new();
@@ -462,11 +466,15 @@ pub fn format_batch(run: &BatchRun) -> String {
             MaxSatStatus::Unknown => 2,
         }] += 1;
         out.push_str(&format!(
-            "r {} {} {}\n",
+            "r {} {} {}",
             o.file,
             o.status,
             o.cost.map_or("-".to_string(), |c| c.to_string()),
         ));
+        if o.status == MaxSatStatus::Unknown {
+            out.push_str(&format!(" lb={}", o.lower_bound));
+        }
+        out.push('\n');
     }
     out.push_str(&format!(
         "c batch: {} instances, {} optimal, {} infeasible, {} aborted, \
@@ -535,13 +543,22 @@ pub fn generate_suite(options: &Options, dir: &str) -> Result<Vec<String>, Strin
 }
 
 /// Formats a solution in MaxSAT-evaluation style (`o` cost line, `s`
-/// status line, optional `v` model line).
+/// status line, optional `v` model line). Budget-exhausted solves also
+/// print their certified interval as a `c bounds` comment — `lb` is
+/// the core-derived lower bound, `ub` the incumbent's exact cost (`-`
+/// when no incumbent was found).
 #[must_use]
 pub fn format_solution(wcnf: &WcnfFormula, solution: &MaxSatSolution, print_model: bool) -> String {
     use coremax::MaxSatStatus;
     let mut out = String::new();
     if let Some(cost) = solution.cost {
         out.push_str(&format!("o {cost}\n"));
+    }
+    if solution.status == MaxSatStatus::Unknown {
+        let ub = solution
+            .cost
+            .map_or_else(|| "-".to_string(), |c| c.to_string());
+        out.push_str(&format!("c bounds lb={} ub={ub}\n", solution.lower_bound));
     }
     out.push_str(match solution.status {
         MaxSatStatus::Optimal => "s OPTIMUM FOUND\n",
@@ -968,9 +985,28 @@ mod tests {
             status: MaxSatStatus::Unknown,
             cost: None,
             model: None,
+            lower_bound: 0,
             stats: MaxSatStats::default(),
         };
         let text = format_solution(&wcnf, &s, true);
-        assert_eq!(text, "s UNKNOWN\n");
+        assert_eq!(text, "c bounds lb=0 ub=-\ns UNKNOWN\n");
+    }
+
+    #[test]
+    fn format_unknown_with_incumbent_prints_interval() {
+        use coremax::{MaxSatSolution, MaxSatStats, MaxSatStatus};
+        use coremax_cnf::Assignment;
+        let wcnf = parse_problem("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let s = MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost: Some(1),
+            model: Some(Assignment::from_bools(&[true])),
+            lower_bound: 1,
+            stats: MaxSatStats::default(),
+        };
+        let text = format_solution(&wcnf, &s, false);
+        assert!(text.contains("o 1\n"), "{text}");
+        assert!(text.contains("c bounds lb=1 ub=1\n"), "{text}");
+        assert!(text.ends_with("s UNKNOWN\n"), "{text}");
     }
 }

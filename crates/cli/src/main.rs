@@ -121,9 +121,14 @@ fn main() -> ExitCode {
     }
     print!("{}", format_solution(&wcnf, &solution, options.print_model));
 
+    // Exit codes: 0 optimum proven, 20 infeasible hard clauses, 10
+    // budget exhausted with a certified incumbent (an `o` line was
+    // printed), 30 hard abort — budget exhausted before any feasible
+    // model was found (only the `c bounds` lower bound is certified).
     match solution.status {
         coremax::MaxSatStatus::Optimal => ExitCode::SUCCESS,
         coremax::MaxSatStatus::Infeasible => ExitCode::from(20),
-        coremax::MaxSatStatus::Unknown => ExitCode::from(10),
+        coremax::MaxSatStatus::Unknown if solution.cost.is_some() => ExitCode::from(10),
+        coremax::MaxSatStatus::Unknown => ExitCode::from(30),
     }
 }

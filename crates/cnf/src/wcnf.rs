@@ -267,8 +267,10 @@ impl WcnfFormula {
         self.hard.is_empty()
     }
 
-    /// Cost of `assignment`: the total weight of falsified soft clauses,
-    /// or `None` if some hard clause is not satisfied.
+    /// Cost of `assignment`: the total weight of falsified soft clauses
+    /// (saturating at [`Weight::MAX`], like [`total_soft_weight`]
+    /// (Self::total_soft_weight) — a wrapped sum could certify a bogus
+    /// low cost), or `None` if some hard clause is not satisfied.
     #[must_use]
     pub fn cost(&self, assignment: &Assignment) -> Option<Weight> {
         for h in &self.hard {
@@ -280,8 +282,7 @@ impl WcnfFormula {
             self.soft
                 .iter()
                 .filter(|s| !s.clause.is_satisfied_by(assignment))
-                .map(|s| s.weight)
-                .sum(),
+                .fold(0, |acc: Weight, s| acc.saturating_add(s.weight)),
         )
     }
 

@@ -127,11 +127,16 @@ impl MaxSatSolver for BranchBound {
         stats.nodes = ctx.nodes;
         stats.wall_time = start.elapsed();
         if ctx.aborted {
+            // Branch-and-bound prunes against the incumbent, so an
+            // interrupted search certifies no global lower bound beyond
+            // the trivial 0; the incumbent (when one exists) is a
+            // complete assignment whose cost is exact.
             let has_model = ctx.best_model.is_some();
             return MaxSatSolution {
                 status: MaxSatStatus::Unknown,
                 cost: has_model.then_some(ctx.best_cost),
                 model: ctx.best_model,
+                lower_bound: 0,
                 stats,
             };
         }
@@ -140,6 +145,7 @@ impl MaxSatSolver for BranchBound {
                 status: MaxSatStatus::Optimal,
                 cost: Some(ctx.best_cost),
                 model: Some(model),
+                lower_bound: ctx.best_cost,
                 stats,
             },
             None => MaxSatSolution::infeasible(stats),
@@ -151,7 +157,7 @@ impl SearchCtx {
     /// Cost of soft clauses already falsified; `None` if a hard clause
     /// is falsified.
     fn current_cost(&self, assignment: &Assignment) -> Option<Weight> {
-        let mut cost = 0;
+        let mut cost: Weight = 0;
         for c in &self.clauses {
             let falsified = c
                 .lits
@@ -160,7 +166,9 @@ impl SearchCtx {
             if falsified {
                 match c.weight {
                     None => return None,
-                    Some(w) => cost += w,
+                    // Saturating: a wrapped total would understate the
+                    // cost and let the search prune the true optimum.
+                    Some(w) => cost = cost.saturating_add(w),
                 }
             }
         }
@@ -199,7 +207,7 @@ impl SearchCtx {
         // Repeatedly look for an inconsistency via unit propagation over
         // the remaining reduct; on success remove the involved clauses.
         while let Some((involved, min_weight)) = up_inconsistency(&reduct, &alive, self.num_vars) {
-            lb += min_weight;
+            lb = lb.saturating_add(min_weight);
             for i in involved {
                 alive[i] = false;
             }

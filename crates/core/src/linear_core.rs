@@ -48,6 +48,7 @@ impl LinearCore {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<usize>,
+                      lower_bound: usize,
                       model: Option<coremax_cnf::Assignment>,
                       stats: &mut MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -55,6 +56,7 @@ impl LinearCore {
                 status,
                 cost: cost.map(|c| c as u64),
                 model: model.clone(),
+                lower_bound: lower_bound as u64,
                 stats: *stats,
             }
         };
@@ -116,13 +118,15 @@ impl LinearCore {
             match engine.solve(&gate_assumptions) {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                    // `k` is the running lower bound of the UNSAT→SAT
+                    // search: certified even when the run is cut short.
+                    return finish(MaxSatStatus::Unknown, None, k, None, stats);
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
                     let model = engine.model().expect("model after SAT").clone();
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Optimal, Some(k), Some(model), stats);
+                    return finish(MaxSatStatus::Optimal, Some(k), k, Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
@@ -132,7 +136,7 @@ impl LinearCore {
                     // own, so only the hard clauses can be contradictory.
                     if engine.formula_refuted() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     stats.cores += 1;
                     let touched_bound =
@@ -156,7 +160,7 @@ impl LinearCore {
                         // cannot happen without a formula-level refutation,
                         // but classify conservatively as infeasible.
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     // Like msu4's optional line-19 constraint, the ≥1
                     // clause is only sound over the *newly* blocked
@@ -180,7 +184,7 @@ impl LinearCore {
                             // Cannot falsify more clauses than exist: the
                             // hard part must be inconsistent.
                             stats.absorb_sat(&engine.stats());
-                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                            return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                         }
                     }
                     // With fresh blocking variables the working formula
@@ -191,7 +195,7 @@ impl LinearCore {
             }
             if child_budget.interrupted() {
                 stats.absorb_sat(&engine.stats());
-                return finish(MaxSatStatus::Unknown, None, None, stats);
+                return finish(MaxSatStatus::Unknown, None, k, None, stats);
             }
         }
     }

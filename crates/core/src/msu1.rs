@@ -102,6 +102,7 @@ impl MaxSatSolver for Msu1 {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<usize>,
+                      lower_bound: usize,
                       model: Option<coremax_cnf::Assignment>,
                       mut stats: MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -109,6 +110,7 @@ impl MaxSatSolver for Msu1 {
                 status,
                 cost: cost.map(|c| c as u64),
                 model,
+                lower_bound: lower_bound as u64,
                 stats,
             }
         };
@@ -140,12 +142,16 @@ impl MaxSatSolver for Msu1 {
             match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                    // Every extracted core charged one unit: the
+                    // accumulated cost is a certified lower bound even
+                    // though no incumbent exists yet (the first SAT
+                    // answer would already be optimal).
+                    return finish(MaxSatStatus::Unknown, None, cost, None, stats);
                 }
                 SolveOutcome::Sat => {
                     let model = engine.model().expect("model after SAT").clone();
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Optimal, Some(cost), Some(model), stats);
+                    return finish(MaxSatStatus::Optimal, Some(cost), cost, Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
@@ -155,7 +161,7 @@ impl MaxSatSolver for Msu1 {
                     // satisfiable on their own): infeasible.
                     if engine.formula_refuted() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     stats.cores += 1;
                     let failed = engine.failed_softs();
@@ -165,7 +171,7 @@ impl MaxSatSolver for Msu1 {
                         .collect();
                     if in_core.is_empty() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     // Fresh blocking variable per soft core clause. The
                     // stored clause cannot be mutated in place, so the old
@@ -194,7 +200,7 @@ impl MaxSatSolver for Msu1 {
             }
             if child_budget.interrupted() {
                 stats.absorb_sat(&engine.stats());
-                return finish(MaxSatStatus::Unknown, None, None, stats);
+                return finish(MaxSatStatus::Unknown, None, cost, None, stats);
             }
         }
     }
@@ -297,6 +303,17 @@ mod tests {
         let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
         let mut solver = Msu1::new();
         solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
-        assert_eq!(solver.solve(&w).status, MaxSatStatus::Unknown);
+        let s = solver.solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Unknown);
+        assert!(s.lower_bound <= 2, "lb stays below the optimum");
+    }
+
+    #[test]
+    fn optimal_carries_tight_lower_bound() {
+        let w = unweighted("p cnf 2 4\n1 0\n-1 0\n2 0\n-2 0\n");
+        let s = Msu1::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.lower_bound, 2);
+        assert_eq!(s.gap(), Some(0));
     }
 }

@@ -165,6 +165,7 @@ impl MaxSatSolver for Msu4 {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<usize>,
+                      lower_bound: usize,
                       model: Option<coremax_cnf::Assignment>,
                       mut stats: MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -172,6 +173,7 @@ impl MaxSatSolver for Msu4 {
                 status,
                 cost: cost.map(|c| c as u64),
                 model,
+                lower_bound: lower_bound as u64,
                 stats,
             }
         };
@@ -195,11 +197,11 @@ impl MaxSatSolver for Msu4 {
             match engine.solve(&[]) {
                 SolveOutcome::Unsat => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                 }
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                    return finish(MaxSatStatus::Unknown, None, 0, None, stats);
                 }
                 SolveOutcome::Sat => {
                     hard_model = engine.model().cloned();
@@ -232,12 +234,17 @@ impl MaxSatSolver for Msu4 {
             match engine.solve(&gate_assumptions) {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(
-                        MaxSatStatus::Unknown,
-                        best_model.is_some().then_some(ub),
-                        best_model,
-                        stats,
-                    );
+                    // Certified interval: lb from disjoint cores, ub from
+                    // the best model found (the hard-feasibility model is
+                    // a valid incumbent when no better one exists).
+                    let incumbent = best_model.or_else(|| hard_model.clone());
+                    let cost = incumbent.as_ref().map(|m| {
+                        wcnf.soft_clauses()
+                            .iter()
+                            .filter(|s| !s.clause.is_satisfied_by(m))
+                            .count()
+                    });
+                    return finish(MaxSatStatus::Unknown, cost, lb, incumbent, stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
@@ -248,7 +255,7 @@ impl MaxSatSolver for Msu4 {
                     // already ran, so this is a late hard refutation.
                     if engine.formula_refuted() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     stats.cores += 1;
                     let core: Vec<Lit> = if self.config.minimize_cores {
@@ -275,7 +282,7 @@ impl MaxSatSolver for Msu4 {
                         debug_assert!(best_model.is_some() || ub == num_soft);
                         stats.absorb_sat(&engine.stats());
                         let model = best_model.or_else(|| hard_model.clone());
-                        return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
+                        return finish(MaxSatStatus::Optimal, Some(ub), ub, model, stats);
                     }
                     // Lines 17–20: attach blocking variables and (optionally)
                     // require at least one of them to be used.
@@ -319,7 +326,7 @@ impl MaxSatSolver for Msu4 {
                     if ub == 0 {
                         // No soft clause needed blocking: cost 0 optimum.
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
+                        return finish(MaxSatStatus::Optimal, Some(0), 0, best_model, stats);
                     }
                     // Lines 30–31: demand strictly fewer blocking vars.
                     // The previous bound version is retired for good and
@@ -343,16 +350,18 @@ impl MaxSatSolver for Msu4 {
             if lb >= ub {
                 stats.absorb_sat(&engine.stats());
                 let model = best_model.or_else(|| hard_model.clone());
-                return finish(MaxSatStatus::Optimal, Some(ub), model, stats);
+                return finish(MaxSatStatus::Optimal, Some(ub), ub, model, stats);
             }
             if child_budget.interrupted() {
                 stats.absorb_sat(&engine.stats());
-                return finish(
-                    MaxSatStatus::Unknown,
-                    best_model.is_some().then_some(ub),
-                    best_model,
-                    stats,
-                );
+                let incumbent = best_model.or_else(|| hard_model.clone());
+                let cost = incumbent.as_ref().map(|m| {
+                    wcnf.soft_clauses()
+                        .iter()
+                        .filter(|s| !s.clause.is_satisfied_by(m))
+                        .count()
+                });
+                return finish(MaxSatStatus::Unknown, cost, lb, incumbent, stats);
             }
         }
     }

@@ -111,6 +111,7 @@ impl MaxSatSolver for Msu4Incremental {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<usize>,
+                      lower_bound: usize,
                       model: Option<coremax_cnf::Assignment>,
                       mut stats: MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -118,6 +119,7 @@ impl MaxSatSolver for Msu4Incremental {
                 status,
                 cost: cost.map(|c| c as u64),
                 model,
+                lower_bound: lower_bound as u64,
                 stats,
             }
         };
@@ -152,9 +154,12 @@ impl MaxSatSolver for Msu4Incremental {
             match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
+                    // Certified interval: lb from disjoint cores, ub from
+                    // the best model found so far.
                     return finish(
                         MaxSatStatus::Unknown,
                         best_model.is_some().then_some(ub),
+                        lb,
                         best_model,
                         stats,
                     );
@@ -172,10 +177,10 @@ impl MaxSatSolver for Msu4Incremental {
                         // cite hard clauses, however late CDCL finds it.
                         if !bounds_added {
                             stats.absorb_sat(&engine.stats());
-                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                            return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                         }
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
+                        return finish(MaxSatStatus::Optimal, Some(ub), ub, best_model, stats);
                     }
                     stats.cores += 1;
                     // Failed softs name the core's clauses directly, all
@@ -193,7 +198,7 @@ impl MaxSatSolver for Msu4Incremental {
                         // The assumption core was empty or already
                         // blocked: the hard part must be inconsistent.
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     lb += 1;
                 }
@@ -213,7 +218,7 @@ impl MaxSatSolver for Msu4Incremental {
                     }
                     if ub == 0 {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Optimal, Some(0), best_model, stats);
+                        return finish(MaxSatStatus::Optimal, Some(0), 0, best_model, stats);
                     }
                     // Tighten: Σ_vb s ≤ ub − 1 (added permanently; bounds
                     // only tighten so stale ones are merely redundant).
@@ -244,22 +249,26 @@ impl MaxSatSolver for Msu4Incremental {
                         }
                         SolveOutcome::Unsat => {
                             stats.absorb_sat(&engine.stats());
-                            return finish(MaxSatStatus::Infeasible, None, None, stats);
+                            return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                         }
                         SolveOutcome::Unknown => {
+                            // lb ≥ ub is proven but no model could be
+                            // materialised in time: report the certified
+                            // lower bound with no incumbent.
                             stats.absorb_sat(&engine.stats());
-                            return finish(MaxSatStatus::Unknown, None, None, stats);
+                            return finish(MaxSatStatus::Unknown, None, lb.min(ub), None, stats);
                         }
                     }
                 }
                 stats.absorb_sat(&engine.stats());
-                return finish(MaxSatStatus::Optimal, Some(ub), best_model, stats);
+                return finish(MaxSatStatus::Optimal, Some(ub), ub, best_model, stats);
             }
             if child_budget.interrupted() {
                 stats.absorb_sat(&engine.stats());
                 return finish(
                     MaxSatStatus::Unknown,
                     best_model.is_some().then_some(ub),
+                    lb,
                     best_model,
                     stats,
                 );

@@ -71,20 +71,31 @@ impl MaxSatSolver for PboBaseline {
                 // equals the objective value because blocking variables
                 // are driven to the falsified clauses at the optimum.
                 let real_cost = wcnf.cost(&model).unwrap_or(cost);
+                let cost = real_cost.min(cost);
                 MaxSatSolution {
                     status: MaxSatStatus::Optimal,
-                    cost: Some(real_cost.min(cost)),
+                    cost: Some(cost),
                     model: Some(model),
+                    lower_bound: cost,
                     stats,
                 }
             }
             PboOutcome::Infeasible => MaxSatSolution::infeasible(stats),
-            PboOutcome::Unknown { best } => MaxSatSolution {
-                status: MaxSatStatus::Unknown,
-                cost: best.as_ref().map(|(_, c)| *c),
-                model: best.map(|(m, _)| m),
-                stats,
-            },
+            PboOutcome::Unknown { best } => {
+                // Linear descent proves no lower bound before the final
+                // UNSAT call; the incumbent certifies its exact cost on
+                // the original soft clauses.
+                let model = best.map(|(m, _)| m);
+                let cost = model.as_ref().and_then(|m| wcnf.cost(m));
+                let model = cost.is_some().then_some(model).flatten();
+                MaxSatSolution {
+                    status: MaxSatStatus::Unknown,
+                    cost,
+                    model,
+                    lower_bound: 0,
+                    stats,
+                }
+            }
         }
     }
 }

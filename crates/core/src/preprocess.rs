@@ -106,10 +106,11 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
         // deadline) skips the pipeline entirely, and a stop raised
         // *during* simplification is observed before the inner solve —
         // the simplifier pass is the one uninterruptible window left.
-        let abort = |simp_stats, start: Instant| MaxSatSolution {
+        let abort = |simp_stats, lower_bound: u64, start: Instant| MaxSatSolution {
             status: MaxSatStatus::Unknown,
             cost: None,
             model: None,
+            lower_bound,
             stats: MaxSatStats {
                 simp: simp_stats,
                 wall_time: start.elapsed(),
@@ -117,13 +118,18 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
             },
         };
         if inner_budget.interrupted() {
-            return abort(coremax_simp::SimpStats::default(), start);
+            return abort(coremax_simp::SimpStats::default(), 0, start);
         }
         let mut simplifier = Simplifier::with_config(self.config.clone());
+        simplifier.set_budget(inner_budget.clone());
         let simp = simplifier.simplify(wcnf);
         let simp_stats = *simplifier.stats();
         if inner_budget.interrupted() {
-            return abort(simp_stats, start);
+            // A completed (or partially completed) pipeline has already
+            // charged `cost_offset` for soft clauses it proved falsified
+            // in every feasible assignment — a sound lower bound on its
+            // own, even with no residual solve.
+            return abort(simp_stats, simp.cost_offset, start);
         }
         if simp.infeasible {
             let mut stats = MaxSatStats {
@@ -137,14 +143,30 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
         solution.stats.simp = simp_stats;
         solution.stats.wall_time = start.elapsed();
         // Costs on the residual formula miss what preprocessing already
-        // charged; models live in the compacted space.
+        // charged; models live in the compacted space. The lower bound
+        // shifts by the same offset: residual-optimum ≥ inner lb, and
+        // original-optimum = residual-optimum + cost_offset.
         solution.cost = solution.cost.map(|c| c.saturating_add(simp.cost_offset));
+        solution.lower_bound = solution.lower_bound.saturating_add(simp.cost_offset);
         if let Some(model) = solution.model.take() {
             solution.model = Some(simp.reconstruct_model(&model));
         } else if solution.status == MaxSatStatus::Optimal {
             // Defensive: an optimal verdict without a model cannot be
             // reconstructed; keep it as-is (verify will flag it, as it
             // would for the inner solver alone).
+        }
+        if solution.status == MaxSatStatus::Unknown {
+            // An anytime incumbent certifies its cost *exactly* on the
+            // original instance: recompute it through the reconstruction
+            // rather than trusting the residual-space figure; drop the
+            // incumbent if the reconstructed model cannot be costed.
+            match solution.model.as_ref().and_then(|m| wcnf.cost(m)) {
+                Some(c) => solution.cost = Some(c),
+                None => {
+                    solution.model = None;
+                    solution.cost = None;
+                }
+            }
         }
         solution
     }

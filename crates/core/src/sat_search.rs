@@ -160,10 +160,14 @@ impl MaxSatSolver for LinearSearchSat {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
                     stats.wall_time = start.elapsed();
+                    // Linear descent proves no lower bound until the
+                    // final UNSAT, so only the incumbent side of the
+                    // interval is non-trivial here.
                     return MaxSatSolution {
                         status: MaxSatStatus::Unknown,
                         cost: best.as_ref().map(|(_, c)| *c as u64),
                         model: best.map(|(m, _)| m),
+                        lower_bound: 0,
                         stats,
                     };
                 }
@@ -176,6 +180,7 @@ impl MaxSatSolver for LinearSearchSat {
                 status: MaxSatStatus::Optimal,
                 cost: Some(cost as u64),
                 model: Some(m),
+                lower_bound: cost as u64,
                 stats,
             },
             None => MaxSatSolution::infeasible(stats),
@@ -273,6 +278,7 @@ impl MaxSatSolver for BinarySearchSat {
                     status: MaxSatStatus::Unknown,
                     cost: None,
                     model: None,
+                    lower_bound: 0,
                     stats,
                 };
             }
@@ -324,10 +330,14 @@ impl MaxSatSolver for BinarySearchSat {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
                     stats.wall_time = start.elapsed();
+                    // `lo` is the smallest cost not yet excluded: every
+                    // cost below it was refuted, so it is a certified
+                    // lower bound.
                     return MaxSatSolution {
                         status: MaxSatStatus::Unknown,
                         cost: Some(best.1 as u64),
                         model: Some(best.0),
+                        lower_bound: lo as u64,
                         stats,
                     };
                 }
@@ -339,6 +349,7 @@ impl MaxSatSolver for BinarySearchSat {
             status: MaxSatStatus::Optimal,
             cost: Some(best.1 as u64),
             model: Some(best.0),
+            lower_bound: best.1 as u64,
             stats,
         }
     }

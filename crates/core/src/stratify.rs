@@ -208,6 +208,7 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<Weight>,
+                      lower_bound: Weight,
                       model: Option<coremax_cnf::Assignment>,
                       mut stats: MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -215,7 +216,24 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
                 status,
                 cost,
                 model,
+                lower_bound,
                 stats,
+            }
+        };
+
+        // Any model satisfying the (possibly frozen) hard clauses also
+        // satisfies the original hard clauses, so it is a valid incumbent
+        // for the original instance at its recomputed exact cost.
+        let incumbent = |candidate: Option<coremax_cnf::Assignment>,
+                         fallback: &Option<coremax_cnf::Assignment>| {
+            let best = candidate
+                .into_iter()
+                .chain(fallback.clone())
+                .filter_map(|m| wcnf.cost(&m).map(|c| (c, m)))
+                .min_by_key(|&(c, _)| c);
+            match best {
+                Some((c, m)) => (Some(c), Some(m)),
+                None => (None, None),
             }
         };
 
@@ -265,10 +283,15 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
                 MaxSatStatus::Infeasible => {
                     // Only the hard clauses can be contradictory: every
                     // later stage is feasible by the previous model.
-                    return finish(MaxSatStatus::Infeasible, None, None, stats);
+                    return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                 }
                 MaxSatStatus::Unknown => {
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                    // Completed stages are frozen at their exact optima
+                    // and the interrupted stage certifies its own lb in
+                    // normalised units: both add up to a sound global lb.
+                    let lb = total_cost.saturating_add(solution.lower_bound.saturating_mul(g));
+                    let (cost, best) = incumbent(solution.model, &model);
+                    return finish(MaxSatStatus::Unknown, cost, lb, best, stats);
                 }
                 MaxSatStatus::Optimal => {}
             }
@@ -318,11 +341,18 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
                 hard.extend(freeze);
             }
             if stage_budget.interrupted() {
-                return finish(MaxSatStatus::Unknown, None, None, stats);
+                let (cost, best) = incumbent(None, &model);
+                return finish(MaxSatStatus::Unknown, cost, total_cost, best, stats);
             }
         }
 
-        finish(MaxSatStatus::Optimal, Some(total_cost), model, stats)
+        finish(
+            MaxSatStatus::Optimal,
+            Some(total_cost),
+            total_cost,
+            model,
+            stats,
+        )
     }
 }
 

@@ -120,15 +120,28 @@ impl fmt::Display for MaxSatStats {
 /// `cost` is the total weight of falsified soft clauses: the proven
 /// optimum when `status` is [`MaxSatStatus::Optimal`], or the best known
 /// upper bound when [`MaxSatStatus::Unknown`] (if any model was found).
+///
+/// Every run — including a budget-exhausted one — is a **certified
+/// interval**: `lower_bound` is a proven lower bound on the optimum
+/// (derived from extracted cores; 0 is always sound) and `cost`, when
+/// present, is the exact cost of the incumbent `model`, an upper bound.
+/// So at any abort point `lower_bound ≤ optimum ≤ cost` holds, and a
+/// caller can decide whether the gap is good enough instead of
+/// discarding the run.
 #[derive(Debug, Clone)]
 pub struct MaxSatSolution {
     /// Verdict.
     pub status: MaxSatStatus,
-    /// Optimal (or best-known) cost; `None` when infeasible or when no
-    /// model was found within budget.
+    /// Optimal (or best-known incumbent) cost; `None` when infeasible or
+    /// when no model was found within budget. For `Unknown` this is the
+    /// *exact* cost of `model` — a certified upper bound.
     pub cost: Option<Weight>,
     /// A model attaining `cost`, if one was found.
     pub model: Option<Assignment>,
+    /// Certified lower bound on the optimum cost (0 when nothing was
+    /// proven). Equals `cost` for `Optimal`; meaningless for
+    /// `Infeasible` (kept at whatever was proven before refutation).
+    pub lower_bound: Weight,
     /// Work counters.
     pub stats: MaxSatStats,
 }
@@ -141,7 +154,40 @@ impl MaxSatSolution {
             status: MaxSatStatus::Infeasible,
             cost: None,
             model: None,
+            lower_bound: 0,
             stats,
+        }
+    }
+
+    /// Convenience constructor for a budget-exhausted run: a certified
+    /// `[lower_bound, cost]` interval (either side may be trivial —
+    /// `lower_bound` 0, or no incumbent at all).
+    #[must_use]
+    pub fn interval(
+        lower_bound: Weight,
+        cost: Option<Weight>,
+        model: Option<Assignment>,
+        stats: MaxSatStats,
+    ) -> Self {
+        MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost,
+            model,
+            lower_bound,
+            stats,
+        }
+    }
+
+    /// The unproven width of the certified interval: `cost −
+    /// lower_bound` for an aborted run with an incumbent, 0 once the
+    /// optimum is proven, `None` when no incumbent exists (the upper
+    /// side of the interval is still infinite).
+    #[must_use]
+    pub fn gap(&self) -> Option<Weight> {
+        match self.status {
+            MaxSatStatus::Optimal => Some(0),
+            MaxSatStatus::Infeasible => None,
+            MaxSatStatus::Unknown => self.cost.map(|c| c.saturating_sub(self.lower_bound)),
         }
     }
 
@@ -244,7 +290,21 @@ mod tests {
         assert_eq!(s.status, MaxSatStatus::Infeasible);
         assert!(s.cost.is_none());
         assert!(s.model.is_none());
+        assert_eq!(s.lower_bound, 0);
         assert!(!s.is_optimal());
+        assert_eq!(s.gap(), None);
+    }
+
+    #[test]
+    fn interval_constructor_and_gap() {
+        let s = MaxSatSolution::interval(3, Some(7), None, MaxSatStats::default());
+        assert_eq!(s.status, MaxSatStatus::Unknown);
+        assert_eq!(s.lower_bound, 3);
+        assert_eq!(s.gap(), Some(4));
+        let open = MaxSatSolution::interval(3, None, None, MaxSatStats::default());
+        assert_eq!(open.gap(), None, "no incumbent: upper side open");
+        let tight = MaxSatSolution::interval(5, Some(5), None, MaxSatStats::default());
+        assert_eq!(tight.gap(), Some(0));
     }
 
     #[test]

@@ -7,13 +7,18 @@ use crate::types::{MaxSatSolution, MaxSatStatus};
 /// Checks a [`MaxSatSolution`] against its instance:
 ///
 /// - an `Optimal`/`Unknown` solution with a model must have the model's
-///   actual cost equal to the reported cost (and the model must satisfy
-///   every hard clause);
-/// - an `Optimal` solution must carry both a cost and a model;
-/// - an `Infeasible` verdict carries neither.
+///   actual cost *equal* to the reported cost (and the model must
+///   satisfy every hard clause) — an incumbent certifies its upper
+///   bound exactly, never approximately;
+/// - an `Optimal` solution must carry both a cost and a model, and its
+///   `lower_bound` must not exceed the proven cost;
+/// - an `Unknown` solution's certified interval must be consistent:
+///   `lower_bound ≤ cost` whenever an incumbent is reported;
+/// - an `Infeasible` verdict carries neither cost nor model.
 ///
 /// This validates *consistency*, not optimality — cross-algorithm
-/// agreement tests and the exhaustive oracle cover optimality.
+/// agreement tests and the exhaustive oracle cover optimality (and the
+/// fault-injection harness covers `lower_bound ≤ optimum`).
 ///
 /// # Examples
 ///
@@ -35,13 +40,14 @@ pub fn verify_solution(wcnf: &WcnfFormula, solution: &MaxSatSolution) -> bool {
             let (Some(cost), Some(model)) = (solution.cost, solution.model.as_ref()) else {
                 return false;
             };
-            wcnf.cost(model) == Some(cost)
+            solution.lower_bound <= cost && wcnf.cost(model) == Some(cost)
         }
         MaxSatStatus::Unknown => match (&solution.model, solution.cost) {
             (Some(model), Some(cost)) => {
-                // Best-known model: its true cost may be at most the
-                // reported bound.
-                wcnf.cost(model).is_some_and(|c| c <= cost)
+                // The incumbent certifies its bound exactly: the
+                // interval [lower_bound, cost] must be well-formed and
+                // the model's true cost must match the reported one.
+                solution.lower_bound <= cost && wcnf.cost(model) == Some(cost)
             }
             (None, None) => true,
             _ => false,
@@ -70,6 +76,7 @@ mod tests {
             status: MaxSatStatus::Optimal,
             cost: Some(1),
             model: Some(Assignment::from_bools(&[true])),
+            lower_bound: 1,
             stats: MaxSatStats::default(),
         };
         assert!(verify_solution(&w, &s));
@@ -82,6 +89,7 @@ mod tests {
             status: MaxSatStatus::Optimal,
             cost: Some(0),
             model: Some(Assignment::from_bools(&[true])),
+            lower_bound: 0,
             stats: MaxSatStats::default(),
         };
         assert!(!verify_solution(&w, &s));
@@ -94,6 +102,7 @@ mod tests {
             status: MaxSatStatus::Optimal,
             cost: Some(1),
             model: None,
+            lower_bound: 0,
             stats: MaxSatStats::default(),
         };
         assert!(!verify_solution(&w, &s));
@@ -109,6 +118,7 @@ mod tests {
             status: MaxSatStatus::Optimal,
             cost: Some(0),
             model: Some(Assignment::from_bools(&[false])),
+            lower_bound: 0,
             stats: MaxSatStats::default(),
         };
         assert!(!verify_solution(&w, &s));
@@ -125,8 +135,39 @@ mod tests {
             status: MaxSatStatus::Unknown,
             cost: None,
             model: None,
+            lower_bound: 1,
             stats: MaxSatStats::default(),
         };
         assert!(verify_solution(&w, &unknown));
+    }
+
+    #[test]
+    fn unknown_incumbent_must_match_cost_exactly_and_contain_lb() {
+        let w = instance();
+        // Model of true cost 1 reported as cost 2: rejected (the
+        // incumbent must certify its bound exactly).
+        let padded = MaxSatSolution::interval(
+            0,
+            Some(2),
+            Some(Assignment::from_bools(&[true])),
+            MaxSatStats::default(),
+        );
+        assert!(!verify_solution(&w, &padded));
+        // lb above the incumbent cost: malformed interval.
+        let inverted = MaxSatSolution::interval(
+            2,
+            Some(1),
+            Some(Assignment::from_bools(&[true])),
+            MaxSatStats::default(),
+        );
+        assert!(!verify_solution(&w, &inverted));
+        // Exact incumbent with a consistent lb: accepted.
+        let exact = MaxSatSolution::interval(
+            1,
+            Some(1),
+            Some(Assignment::from_bools(&[true])),
+            MaxSatStats::default(),
+        );
+        assert!(verify_solution(&w, &exact));
     }
 }

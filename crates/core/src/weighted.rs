@@ -118,6 +118,7 @@ impl<S: MaxSatSolver> MaxSatSolver for WeightedByReplication<S> {
                 status: MaxSatStatus::Unknown,
                 cost: None,
                 model: None,
+                lower_bound: 0,
                 stats: crate::types::MaxSatStats {
                     wall_time: start.elapsed(),
                     ..Default::default()

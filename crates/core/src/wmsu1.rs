@@ -112,6 +112,7 @@ impl MaxSatSolver for Wmsu1 {
 
         let finish = |status: MaxSatStatus,
                       cost: Option<Weight>,
+                      lower_bound: Weight,
                       model: Option<coremax_cnf::Assignment>,
                       mut stats: MaxSatStats| {
             stats.wall_time = start.elapsed();
@@ -119,6 +120,7 @@ impl MaxSatSolver for Wmsu1 {
                 status,
                 cost,
                 model,
+                lower_bound,
                 stats,
             }
         };
@@ -154,13 +156,15 @@ impl MaxSatSolver for Wmsu1 {
             match engine.solve(&[]) {
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Unknown, None, None, stats);
+                    // Every core charged w_min to `cost` (saturating):
+                    // a certified lower bound on the optimum.
+                    return finish(MaxSatStatus::Unknown, None, cost, None, stats);
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
                     let model = engine.model().expect("model after SAT").clone();
                     stats.absorb_sat(&engine.stats());
-                    return finish(MaxSatStatus::Optimal, Some(cost), Some(model), stats);
+                    return finish(MaxSatStatus::Optimal, Some(cost), cost, Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
@@ -171,7 +175,7 @@ impl MaxSatSolver for Wmsu1 {
                     // own, so the instance has no feasible assignment.
                     if engine.formula_refuted() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     stats.cores += 1;
                     let failed = engine.failed_softs();
@@ -181,7 +185,7 @@ impl MaxSatSolver for Wmsu1 {
                         .collect();
                     if in_core.is_empty() {
                         stats.absorb_sat(&engine.stats());
-                        return finish(MaxSatStatus::Infeasible, None, None, stats);
+                        return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     let w_min = in_core
                         .iter()
@@ -224,7 +228,7 @@ impl MaxSatSolver for Wmsu1 {
             }
             if child_budget.interrupted() {
                 stats.absorb_sat(&engine.stats());
-                return finish(MaxSatStatus::Unknown, None, None, stats);
+                return finish(MaxSatStatus::Unknown, None, cost, None, stats);
             }
         }
     }
@@ -365,6 +369,17 @@ mod tests {
         let w = weighted("p wcnf 2 4\n3 1 0\n4 -1 0\n2 2 0\n5 -2 0\n");
         let mut solver = Wmsu1::new();
         solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
-        assert_eq!(solver.solve(&w).status, MaxSatStatus::Unknown);
+        let s = solver.solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Unknown);
+        assert!(s.lower_bound <= 5, "lb never exceeds the optimum");
+    }
+
+    #[test]
+    fn optimal_lower_bound_equals_cost() {
+        let w = weighted("p wcnf 1 2\n4 1 0\n9 -1 0\n");
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.lower_bound, 4);
+        assert_eq!(s.gap(), Some(0));
     }
 }

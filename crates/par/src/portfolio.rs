@@ -74,6 +74,8 @@ pub struct MemberRun {
     pub status: Option<MaxSatStatus>,
     /// The member's reported cost, when it produced one.
     pub cost: Option<Weight>,
+    /// The member's certified lower bound, when it produced a result.
+    pub lower_bound: Option<Weight>,
 }
 
 /// Result of a portfolio race.
@@ -257,6 +259,7 @@ impl Portfolio {
                 name: m.name,
                 status: r.as_ref().map(|s| s.status),
                 cost: r.as_ref().and_then(|s| s.cost),
+                lower_bound: r.as_ref().map(|s| s.lower_bound),
             })
             .collect();
 
@@ -272,22 +275,36 @@ impl Portfolio {
         let mut solution = match winner_index {
             Some(i) => results[i].clone().expect("winner slot is filled"),
             None => {
-                // Everything aborted: report Unknown with the best
-                // (lowest) upper bound any member reached.
-                let best = results
+                // Everything aborted: merge the members' certified
+                // intervals — incumbent from the member with the lowest
+                // upper bound (lowest member index on ties, so the
+                // reported incumbent is deterministic for any thread
+                // count given the same member results), lower bound the
+                // tightest any member proved. Every member lb is sound
+                // for the same instance, so their max is too.
+                let tightest_lb = results
                     .iter()
                     .flatten()
-                    .filter(|s| s.cost.is_some())
-                    .min_by_key(|s| s.cost);
-                match best {
-                    Some(s) => s.clone(),
+                    .map(|s| s.lower_bound)
+                    .max()
+                    .unwrap_or(0);
+                let best = results
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.as_ref().and_then(|s| s.cost.map(|c| (c, i, s))))
+                    .min_by_key(|&(c, i, _)| (c, i));
+                let mut merged = match best {
+                    Some((_, _, s)) => s.clone(),
                     None => MaxSatSolution {
                         status: MaxSatStatus::Unknown,
                         cost: None,
                         model: None,
+                        lower_bound: 0,
                         stats: MaxSatStats::default(),
                     },
-                }
+                };
+                merged.lower_bound = merged.lower_bound.max(tightest_lb);
+                merged
             }
         };
         solution.stats.wall_time = start.elapsed();
@@ -435,6 +452,74 @@ mod tests {
             elapsed < Duration::from_millis(300),
             "race ran {elapsed:?}, expected ~one 40 ms timeout, not twelve"
         );
+    }
+
+    #[test]
+    fn all_members_timeout_merges_the_certified_intervals() {
+        use std::time::Duration;
+        // A miter no member finishes within the deadline: the merged
+        // solution must be the member minimum (lowest index on cost
+        // ties) for the incumbent and the member maximum for the lower
+        // bound — the merge property itself is thread-count-invariant
+        // even though which members reach which bound is not.
+        let cnf = coremax_instances::equiv_instance(1, 8);
+        let w = WcnfFormula::from_cnf_all_soft(&cnf);
+        for jobs in [1, 4] {
+            let mut portfolio = Portfolio::new(jobs);
+            portfolio.set_budget(Budget::new().with_timeout(Duration::from_millis(30)));
+            let outcome = portfolio.solve(&w);
+            assert_eq!(
+                outcome.solution.status,
+                MaxSatStatus::Unknown,
+                "jobs={jobs}"
+            );
+            assert!(outcome.winner.is_none(), "jobs={jobs}");
+            let member_min = outcome.runs.iter().filter_map(|r| r.cost).min();
+            assert_eq!(
+                outcome.solution.cost, member_min,
+                "jobs={jobs}: incumbent must be the member minimum"
+            );
+            let member_max_lb = outcome
+                .runs
+                .iter()
+                .filter_map(|r| r.lower_bound)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                outcome.solution.lower_bound, member_max_lb,
+                "jobs={jobs}: lower bound must be the tightest any member proved"
+            );
+            if let Some(cost) = outcome.solution.cost {
+                let model = outcome.solution.model.as_ref().expect("incumbent model");
+                assert_eq!(
+                    w.cost(model),
+                    Some(cost),
+                    "jobs={jobs}: incumbent certifies"
+                );
+                assert!(outcome.solution.lower_bound <= cost, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_interval_is_jobs_invariant() {
+        // With the stop flag raised before the race starts no member
+        // does any work, so the merged bare interval is identical for
+        // every thread count.
+        let w = example2();
+        let mut baseline = None;
+        for jobs in [1, 2, 4] {
+            let stop = Arc::new(AtomicBool::new(true));
+            let mut portfolio = Portfolio::new(jobs);
+            portfolio.set_budget(Budget::new().with_stop_flag(stop));
+            let outcome = portfolio.solve(&w);
+            assert_eq!(outcome.solution.status, MaxSatStatus::Unknown);
+            let key = (outcome.solution.cost, outcome.solution.lower_bound);
+            match baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(key, b, "jobs={jobs}: interval must not depend on jobs"),
+            }
+        }
     }
 
     #[test]

@@ -292,6 +292,13 @@ impl IncrementalSolver {
     /// reloaded first; answers are identical, only the carried-over
     /// state differs.
     pub fn solve(&mut self, extra_assumptions: &[Lit]) -> SolveOutcome {
+        // Budget-aware backoff: an already-interrupted budget (stop flag
+        // raised, deadline passed) makes the whole call a no-op instead
+        // of entering — and paying the setup of — a doomed search. In
+        // rebuild mode this also skips the full solver reconstruction.
+        if self.budget.interrupted() {
+            return SolveOutcome::Unknown;
+        }
         if self.mode == EngineMode::Rebuild {
             self.rebuild_solver();
         }
@@ -313,6 +320,9 @@ impl IncrementalSolver {
     /// re-solving with a candidate subset of a failed-assumption core
     /// checks whether the dropped literal was necessary.
     pub fn solve_exact(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        if self.budget.interrupted() {
+            return SolveOutcome::Unknown;
+        }
         if self.mode == EngineMode::Rebuild {
             self.rebuild_solver();
         }

@@ -75,6 +75,17 @@ pub struct SolverConfig {
     /// clauses. Default 0.25; set to 0.0 to force a collection after
     /// every reduction (test hook).
     pub gc_frac: f64,
+    /// Memory watermark on the clause arena, in 32-bit arena words
+    /// (`None` = unlimited). When the *live* arena footprint
+    /// (`total_words - wasted_words`) crosses the watermark, the solver
+    /// runs an aggressive database reduction — every unprotected learned
+    /// clause is shed, the learned-clause cap is clamped back down, and
+    /// the arena is compacted unconditionally — so memory pressure
+    /// degrades search quality gracefully instead of growing towards
+    /// allocation failure. Original (problem) clauses are never shed, so
+    /// a watermark below the problem's own footprint simply pins the
+    /// learned database near empty.
+    pub arena_watermark_words: Option<usize>,
     /// The wall-clock deadline is polled once per this many decisions
     /// (and once at the start of every restart). Default 64; raising it
     /// trades timeout precision for less `Instant::now` overhead in the
@@ -105,6 +116,7 @@ impl Default for SolverConfig {
             learntsize_inc: 1.1,
             min_learnts: 1000.0,
             gc_frac: 0.25,
+            arena_watermark_words: None,
             timeout_check_interval: 64,
             propagation_check_interval: 1024,
             default_phase: false,
@@ -1363,6 +1375,37 @@ impl Solver {
         self.var_data[first.var().index()].reason == c && self.lit_value(first) == Some(true)
     }
 
+    /// Whether the live clause-arena footprint exceeds the configured
+    /// memory watermark.
+    fn over_watermark(&self) -> bool {
+        self.config
+            .arena_watermark_words
+            .is_some_and(|w| self.db.total_words() - self.db.wasted_words() > w)
+    }
+
+    /// Memory-pressure response: sheds *every* unprotected learned
+    /// clause (glue, binary and reason clauses survive), clamps the
+    /// learned-clause cap back down so the database does not immediately
+    /// regrow past the watermark, and compacts the arena
+    /// unconditionally. Soundness is untouched — learned clauses are
+    /// redundant by construction.
+    fn reduce_db_aggressive(&mut self) {
+        self.stats.watermark_reductions += 1;
+        let mut refs = std::mem::take(&mut self.reduce_scratch);
+        refs.clear();
+        refs.extend(self.db.learned_refs());
+        for &c in refs.iter() {
+            if self.db.len(c) <= 2 || self.db.lbd(c) <= 2 || self.is_locked(c) {
+                continue;
+            }
+            self.db.mark_deleted(c);
+            self.stats.deleted_clauses += 1;
+        }
+        self.reduce_scratch = refs;
+        self.max_learnts = (self.db.num_learned() as f64).max(self.config.min_learnts);
+        self.collect_garbage_now();
+    }
+
     /// Compacts the clause arena when at least `gc_frac` of its literals
     /// belongs to deleted clauses, remapping every stored `CRef`
     /// (watchers, reasons). The resolution trace holds no `CRef`s, so
@@ -1370,6 +1413,15 @@ impl Solver {
     fn maybe_collect_garbage(&mut self) {
         let wasted = self.db.wasted_words();
         if wasted == 0 || (wasted as f64) < self.config.gc_frac * self.db.total_words() as f64 {
+            return;
+        }
+        self.collect_garbage_now();
+    }
+
+    /// Compacts the clause arena unconditionally (the memory-pressure
+    /// path cannot wait for `gc_frac` to be reached).
+    fn collect_garbage_now(&mut self) {
+        if self.db.wasted_words() == 0 {
             return;
         }
         let remap = self.db.collect_garbage();
@@ -1476,7 +1528,9 @@ impl Solver {
                     }
                 }
             }
-            if self.db.num_learned() as f64 >= self.max_learnts {
+            if self.over_watermark() {
+                self.reduce_db_aggressive();
+            } else if self.db.num_learned() as f64 >= self.max_learnts {
                 self.max_learnts *= self.config.learntsize_inc;
                 self.reduce_db();
             }
@@ -1964,6 +2018,55 @@ mod tests {
             s2.add_clause(clauses[id.index()].iter().copied());
         }
         assert_eq!(s2.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn memory_watermark_sheds_learnts_without_changing_the_verdict() {
+        // A watermark far below what the learnt database would normally
+        // grow to: the guard must fire (aggressive reductions counted)
+        // while the verdict matches an unconstrained run — learned
+        // clauses are redundant, so shedding them cannot flip UNSAT.
+        let clauses = php_clauses(6, 5);
+        let mut unlimited = Solver::new();
+        let mut guarded = Solver::with_config(SolverConfig {
+            arena_watermark_words: Some(600),
+            ..SolverConfig::default()
+        });
+        for c in &clauses {
+            unlimited.add_clause(c.iter().copied());
+            guarded.add_clause(c.iter().copied());
+        }
+        assert_eq!(unlimited.solve(), SolveOutcome::Unsat);
+        assert_eq!(guarded.solve(), SolveOutcome::Unsat);
+        assert!(
+            guarded.stats().watermark_reductions > 0,
+            "watermark never fired: {}",
+            guarded.stats()
+        );
+        // The guard holds the live arena near the watermark after every
+        // aggressive reduction (original clauses alone may exceed it,
+        // but this instance's originals fit comfortably).
+        assert!(unlimited.stats().watermark_reductions == 0);
+    }
+
+    #[test]
+    fn watermark_guard_leaves_sat_models_intact() {
+        // A satisfiable chain with enough conflicts to learn clauses;
+        // the guard must not break model extraction.
+        let mut clauses = php_clauses(5, 5);
+        clauses.truncate(clauses.len() - 1);
+        let mut s = Solver::with_config(SolverConfig {
+            arena_watermark_words: Some(400),
+            ..SolverConfig::default()
+        });
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveOutcome::Sat);
+        let m = s.model().unwrap();
+        for c in &clauses {
+            assert!(c.iter().any(|&lit| m.satisfies(lit)), "clause violated");
+        }
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct SolverStats {
     /// persistent engine could have been reused (counted by the
     /// rebuilding engine mode; always 0 for a bare solver).
     pub solver_rebuilds: u64,
+    /// Aggressive database reductions triggered by the clause-arena
+    /// memory watermark ([`crate::SolverConfig::arena_watermark_words`]):
+    /// memory pressure handled by shedding learned clauses instead of
+    /// growing towards allocation failure.
+    pub watermark_reductions: u64,
 }
 
 impl SolverStats {
@@ -103,6 +108,7 @@ impl SolverStats {
         self.incremental_solves += other.incremental_solves;
         self.clauses_retained += other.clauses_retained;
         self.solver_rebuilds += other.solver_rebuilds;
+        self.watermark_reductions += other.watermark_reductions;
     }
 }
 
@@ -113,7 +119,7 @@ impl fmt::Display for SolverStats {
             "decisions={} propagations={} bin_props={} conflicts={} \
              restarts={} (luby={} glucose={}) learned={} deleted={} peak_learned={} \
              glue={} lbd_hist=[{},{},{},{}] gc_runs={} gc_bytes={} scratch_reallocs={} \
-             inc_solves={} clauses_retained={} rebuilds={}",
+             inc_solves={} clauses_retained={} rebuilds={} watermark_reductions={}",
             self.decisions,
             self.propagations,
             self.bin_propagations,
@@ -134,7 +140,8 @@ impl fmt::Display for SolverStats {
             self.scratch_reallocs,
             self.incremental_solves,
             self.clauses_retained,
-            self.solver_rebuilds
+            self.solver_rebuilds,
+            self.watermark_reductions
         )
     }
 }

@@ -9,7 +9,7 @@
 
 use coremax_cnf::simp::{Reconstructor, SimpResult, VarMap};
 use coremax_cnf::{Lit, Var, WcnfFormula, Weight};
-use coremax_sat::Solver;
+use coremax_sat::{Budget, Solver};
 
 use crate::{SimpConfig, SimpStats};
 
@@ -97,10 +97,18 @@ pub(crate) struct Engine<'a> {
     recon: Reconstructor,
     stats: SimpStats,
     infeasible: bool,
+    /// Cooperative cancellation: polled between passes and inside the
+    /// elimination/probing/subsumption loops.
+    budget: Budget,
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(cfg: &'a SimpConfig, wcnf: &WcnfFormula, extra_frozen: &[Var]) -> Self {
+    pub(crate) fn new(
+        cfg: &'a SimpConfig,
+        wcnf: &WcnfFormula,
+        extra_frozen: &[Var],
+        budget: Budget,
+    ) -> Self {
         let n = wcnf.num_vars();
         let mut engine = Engine {
             cfg,
@@ -119,6 +127,7 @@ impl<'a> Engine<'a> {
                 ..SimpStats::default()
             },
             infeasible: false,
+            budget,
         };
         for s in wcnf.soft_clauses() {
             for &l in s.clause.lits() {
@@ -259,6 +268,9 @@ impl<'a> Engine<'a> {
             if budget == 0 || self.infeasible {
                 break;
             }
+            if i.is_multiple_of(256) && self.budget.interrupted() {
+                break;
+            }
             if self.clauses[i].dead {
                 continue;
             }
@@ -346,6 +358,9 @@ impl<'a> Engine<'a> {
             if remaining == 0 || !solver.is_ok() {
                 break;
             }
+            if remaining.is_multiple_of(64) && self.budget.interrupted() {
+                break;
+            }
             let lit = Lit::from_code(code as u32);
             remaining -= 1;
             self.stats.probes += 1;
@@ -377,8 +392,11 @@ impl<'a> Engine<'a> {
             })
             .collect();
         order.sort_unstable();
-        for (_, v) in order {
+        for (i, (_, v)) in order.into_iter().enumerate() {
             if self.infeasible {
+                return;
+            }
+            if i.is_multiple_of(64) && self.budget.interrupted() {
                 return;
             }
             if self.value[v] != VALUE_UNDEF {
@@ -479,7 +497,11 @@ impl<'a> Engine<'a> {
         } else {
             0
         };
-        while !self.infeasible && round < self.cfg.max_rounds {
+        // Poll the budget between pipeline passes: a stop flag raised
+        // (or a deadline expired) mid-preprocessing abandons further
+        // rewriting. Everything already applied is sound on its own, so
+        // the partially simplified result stays correct.
+        while !self.infeasible && round < self.cfg.max_rounds && !self.budget.interrupted() {
             round += 1;
             self.stats.rounds += 1;
             let before = self.change_marker();
@@ -487,10 +509,10 @@ impl<'a> Engine<'a> {
                 self.subsume_round();
                 self.propagate();
             }
-            if self.cfg.probing && round == 1 {
+            if self.cfg.probing && round == 1 && !self.budget.interrupted() {
                 self.probe_round();
             }
-            if self.cfg.bve {
+            if self.cfg.bve && !self.budget.interrupted() {
                 self.bve_round();
             }
             self.propagate();

@@ -54,6 +54,7 @@
 mod engine;
 
 use coremax_cnf::{simp::SimpResult, Var, WcnfFormula};
+use coremax_sat::Budget;
 
 /// Tunable preprocessing parameters.
 ///
@@ -171,6 +172,7 @@ impl std::fmt::Display for SimpStats {
 pub struct Simplifier {
     config: SimpConfig,
     stats: SimpStats,
+    budget: Budget,
 }
 
 impl Simplifier {
@@ -186,7 +188,18 @@ impl Simplifier {
         Simplifier {
             config,
             stats: SimpStats::default(),
+            budget: Budget::new(),
         }
+    }
+
+    /// Makes the pipeline cooperate with `budget`'s stop flags and
+    /// deadline: each pass (and the inner elimination/probing loops)
+    /// polls for interruption and stops rewriting early. Every rewrite
+    /// already applied is individually sound, so a cancelled run still
+    /// returns a correct (merely less simplified) [`SimpResult`].
+    /// Conflict/propagation caps do not apply to preprocessing.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// The active configuration.
@@ -228,7 +241,7 @@ impl Simplifier {
             };
             return SimpResult::identity(wcnf);
         }
-        let mut engine = engine::Engine::new(&self.config, wcnf, extra_frozen);
+        let mut engine = engine::Engine::new(&self.config, wcnf, extra_frozen, self.budget.clone());
         let result = engine.run(wcnf);
         self.stats = engine.into_stats();
         result
