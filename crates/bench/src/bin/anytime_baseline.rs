@@ -3,10 +3,13 @@
 //!
 //! Solves the generated suite under a ladder of shrinking wall-clock
 //! budgets and records, for every (solver, instance, budget) point, the
-//! certified interval `[lower_bound, cost]` the run returned. The JSON
-//! trajectory (`BENCH_pr7.json` at the repo root by convention) plots
-//! how incumbent quality degrades as the budget tightens — the
-//! graceful-degradation curve the anytime contract promises.
+//! certified interval `[lower_bound, cost]` the run returned, plus the
+//! full anytime time-series `(elapsed_ms, lb, ub)` captured live from
+//! the solver's bounds events. The JSON trajectory (`BENCH_pr8.json`
+//! at the repo root by convention) plots how incumbent quality degrades
+//! as the budget tightens — the graceful-degradation curve the anytime
+//! contract promises — and how each run's certified interval tightened
+//! over wall-clock time within a single budget.
 //!
 //! Soundness is enforced, not sampled: the run **fails** (exit 1) on
 //! any solution that fails verification, any interval with
@@ -25,7 +28,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use coremax::MaxSatStatus;
-use coremax_bench::{consistency_violations, run_solver_over, RunRecord};
+use coremax_bench::{consistency_violations, run_solver_over_traced, RunRecord};
 use coremax_instances::{debug_suite, Instance, SuiteConfig};
 
 struct Args {
@@ -39,7 +42,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
-            out: "BENCH_pr7.json".into(),
+            out: "BENCH_pr8.json".into(),
             scale: 1,
             seed: 42,
             // A ladder from comfortable to starved: the tail is where
@@ -97,6 +100,23 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The run's anytime staircase as a JSON array of
+/// `[elapsed_ms, lb, ub|null]` triples.
+fn samples_json(r: &RunRecord) -> String {
+    r.samples
+        .iter()
+        .map(|s| {
+            format!(
+                "[{}, {}, {}]",
+                s.elapsed_ms,
+                s.lb,
+                s.ub.map_or("null".into(), |u| u.to_string())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// A soundness violation in one record, if any: the hard-fail
 /// conditions of the anytime contract that need no oracle.
 fn violation(r: &RunRecord) -> Option<String> {
@@ -119,6 +139,18 @@ fn violation(r: &RunRecord) -> Option<String> {
             "{} on {}: optimal verdict without a cost",
             r.solver, r.instance
         ));
+    }
+    // Every certified interval in the live time-series must be
+    // well-formed, not just the final one.
+    for s in &r.samples {
+        if let Some(ub) = s.ub {
+            if s.lb > ub {
+                return Some(format!(
+                    "{} on {}: anytime sample at {} ms has lb {} > ub {}",
+                    r.solver, r.instance, s.elapsed_ms, s.lb, ub
+                ));
+            }
+        }
     }
     None
 }
@@ -168,7 +200,12 @@ fn main() {
     for solver_name in &args.solvers {
         for &budget_ms in &args.budgets_ms {
             eprintln!("anytime layer: {solver_name} at {budget_ms} ms");
-            let records = run_solver_over(solver_name, &suite, Duration::from_millis(budget_ms));
+            let records = run_solver_over_traced(
+                solver_name,
+                &suite,
+                Duration::from_millis(budget_ms),
+                false,
+            );
             for r in &records {
                 if let Some(v) = violation(r) {
                     eprintln!("  SOUNDNESS VIOLATION: {v}");
@@ -191,7 +228,7 @@ fn main() {
                     out,
                     "    {{\"solver\": \"{}\", \"budget_ms\": {}, \"instance\": \"{}\", \
                      \"family\": \"{}\", \"status\": \"{}\", \"cost\": {}, \"lb\": {}, \
-                     \"gap\": {}, \"verified\": {}, \"time_ms\": {:.3}}}",
+                     \"gap\": {}, \"verified\": {}, \"time_ms\": {:.3}, \"samples\": [{}]}}",
                     json_escape(solver_name),
                     budget_ms,
                     json_escape(&r.instance),
@@ -204,6 +241,7 @@ fn main() {
                         .to_string()),
                     r.verified,
                     r.time.as_secs_f64() * 1e3,
+                    samples_json(r),
                 );
             }
         }

@@ -7,29 +7,97 @@
 //! solved instance took time_s". Plot with gnuplot:
 //! `plot 'data' using 3:2 with steps`.
 //!
-//! Usage: `cactus [--scale N] [--budget-ms MS] [--seed S] [SOLVER...]`
+//! With `--anytime FILE` the binary instead renders the anytime curves
+//! recorded by `anytime_baseline` (`BENCH_pr8.json`): one gnuplot block
+//! per (solver, instance) with rows `elapsed_ms lb ub`, showing how the
+//! certified interval tightened over wall-clock time. Missing incumbents
+//! print as `-` (gnuplot: `set datafile missing "-"`). Blocks come from
+//! the largest budget in the file unless `--budget-ms` selects another.
+//!
+//! Usage: `cactus [--scale N] [--budget-ms MS] [--seed S]
+//!                [--anytime FILE] [SOLVER...]`
 
 use std::time::Duration;
 
 use coremax_bench::{run_solver_over, PAPER_SOLVERS};
 use coremax_instances::{full_suite, SuiteConfig};
+use coremax_obs::json::{self, Value};
+
+/// Renders the anytime curves stored in an `anytime_baseline` JSON
+/// file; returns an error string on malformed input.
+fn render_anytime(path: &str, budget_ms: Option<u64>, solvers: &[String]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let runs = doc
+        .get("anytime_runs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no anytime_runs array"))?;
+
+    // Default to the file's largest budget — the richest staircases.
+    let budget = match budget_ms {
+        Some(b) => b,
+        None => runs
+            .iter()
+            .filter_map(|r| r.get("budget_ms").and_then(Value::as_u64))
+            .max()
+            .ok_or_else(|| format!("{path}: anytime_runs carry no budget_ms"))?,
+    };
+
+    println!(
+        "# anytime curves from {path} at budget {budget} ms; \
+         blocks: solver/instance, columns: elapsed_ms lb ub"
+    );
+    let mut blocks = 0usize;
+    for run in runs {
+        let solver = run.get("solver").and_then(Value::as_str).unwrap_or("?");
+        if !solvers.is_empty() && !solvers.iter().any(|s| s == solver) {
+            continue;
+        }
+        if run.get("budget_ms").and_then(Value::as_u64) != Some(budget) {
+            continue;
+        }
+        let instance = run.get("instance").and_then(Value::as_str).unwrap_or("?");
+        let samples = run
+            .get("samples")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{path}: run {solver}/{instance} has no samples"))?;
+        if samples.is_empty() {
+            continue;
+        }
+        println!("\n# solver={solver} instance={instance} budget_ms={budget}");
+        for sample in samples {
+            let triple = sample
+                .as_array()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| format!("{path}: malformed sample in {solver}/{instance}"))?;
+            let t = triple[0].as_u64().unwrap_or(0);
+            let lb = triple[1].as_u64().unwrap_or(0);
+            let ub = triple[2]
+                .as_u64()
+                .map_or_else(|| "-".to_string(), |u| u.to_string());
+            println!("{t} {lb} {ub}");
+        }
+        blocks += 1;
+    }
+    println!("\n# {blocks} curve(s)");
+    Ok(())
+}
 
 fn main() {
     let mut scale = 1usize;
-    let mut budget_ms = 2_000u64;
+    let mut budget_ms: Option<u64> = None;
     let mut seed = 42u64;
+    let mut anytime: Option<String> = None;
     let mut solvers: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
             "--budget-ms" => {
-                budget_ms = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(budget_ms);
+                budget_ms = args.next().and_then(|v| v.parse().ok()).or(budget_ms);
             }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--anytime" => anytime = args.next(),
             other if !other.starts_with('-') => solvers.push(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
@@ -37,11 +105,21 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = anytime {
+        if let Err(e) = render_anytime(&path, budget_ms, &solvers) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
     if solvers.is_empty() {
         solvers = PAPER_SOLVERS.iter().map(|s| s.to_string()).collect();
     }
 
     let suite = full_suite(&SuiteConfig { scale, seed });
+    let budget_ms = budget_ms.unwrap_or(2_000);
     let budget = Duration::from_millis(budget_ms);
     println!(
         "# cactus data: {} instances, {budget_ms} ms budget; columns: solver k time_s",

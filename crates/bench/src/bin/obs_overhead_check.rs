@@ -1,0 +1,99 @@
+//! `obs_overhead_check` — guards the observability stack's zero-cost
+//! promise.
+//!
+//! Reads a `perf_baseline` JSON report (produced with every sink
+//! disabled — the default), sums raw propagation counts and wall time
+//! over the `maxsat_runs` and `sat_runs` sections into one overall
+//! propagations-per-second figure, and compares it against a reference
+//! figure measured before the event hooks were added. The run **fails**
+//! (exit 1) if throughput regressed by more than the tolerance — i.e.
+//! if the disabled-path atomic checks stopped being free.
+//!
+//! Usage:
+//! `obs_overhead_check --perf FILE --ref-pps N [--tolerance-pct P]`
+//!
+//! Prints a one-object JSON verdict on stdout so CI logs and
+//! `BENCH_pr8.json` can carry the numbers verbatim.
+
+use coremax_obs::json::{self, Value};
+
+fn value_of(args: &mut std::env::Args, name: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| panic!("missing value for {name}"))
+}
+
+/// Sums `propagations` and `time_ms` over one array-of-runs section;
+/// missing sections contribute nothing.
+fn section_totals(doc: &Value, key: &str) -> (u64, f64) {
+    let mut props = 0u64;
+    let mut time_ms = 0.0f64;
+    if let Some(runs) = doc.get(key).and_then(Value::as_array) {
+        for run in runs {
+            props += run.get("propagations").and_then(Value::as_u64).unwrap_or(0);
+            time_ms += run.get("time_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        }
+    }
+    (props, time_ms)
+}
+
+fn main() {
+    let mut perf: Option<String> = None;
+    let mut ref_pps: Option<f64> = None;
+    let mut tolerance_pct = 3.0f64;
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--perf" => perf = Some(value_of(&mut args, "--perf")),
+            "--ref-pps" => {
+                ref_pps = Some(value_of(&mut args, "--ref-pps").parse().expect("ref-pps"));
+            }
+            "--tolerance-pct" => {
+                tolerance_pct = value_of(&mut args, "--tolerance-pct")
+                    .parse()
+                    .expect("tolerance-pct");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let perf = perf.expect("--perf FILE is required");
+    let ref_pps = ref_pps.expect("--ref-pps N is required");
+
+    let text = std::fs::read_to_string(&perf).unwrap_or_else(|e| panic!("cannot read {perf}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{perf}: {e}"));
+
+    let (maxsat_props, maxsat_ms) = section_totals(&doc, "maxsat_runs");
+    let (sat_props, sat_ms) = section_totals(&doc, "sat_runs");
+    let props = maxsat_props + sat_props;
+    let time_ms = maxsat_ms + sat_ms;
+    assert!(props > 0 && time_ms > 0.0, "{perf}: no runs to measure");
+
+    let pps = props as f64 / (time_ms / 1e3);
+    let ratio = pps / ref_pps;
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let pass = ratio >= floor;
+
+    println!(
+        "{{\"propagations\": {props}, \"time_ms\": {time_ms:.3}, \
+         \"props_per_sec\": {pps:.0}, \"ref_props_per_sec\": {ref_pps:.0}, \
+         \"ratio\": {ratio:.4}, \"tolerance_pct\": {tolerance_pct}, \
+         \"pass\": {pass}}}"
+    );
+    if !pass {
+        eprintln!(
+            "obs_overhead_check: throughput regressed to {:.1}% of the \
+             reference (floor {:.1}%)",
+            ratio * 100.0,
+            floor * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "obs_overhead_check: {pps:.0} props/sec vs reference {ref_pps:.0} \
+         ({:+.1}%) — within tolerance",
+        (ratio - 1.0) * 100.0
+    );
+}

@@ -49,6 +49,11 @@ pub struct RunRecord {
     /// `verify_solution` verdict against the *original* instance —
     /// reconstructed models must check out exactly like direct ones.
     pub verified: bool,
+    /// Anytime time-series: the certified `[lb, ub]` staircase sampled
+    /// from the run's bounds/incumbent events, relative to the run's
+    /// start. Empty unless the run was captured by
+    /// [`run_solver_over_traced`].
+    pub samples: Vec<coremax_obs::BoundSample>,
 }
 
 impl RunRecord {
@@ -156,6 +161,56 @@ pub fn run_solver_over_opts(
                 sat_conflicts: solution.stats.sat.conflicts,
                 simp: solution.stats.simp,
                 verified,
+                samples: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// [`run_solver_over_opts`] with an observability collector attached to
+/// every run: each record's [`RunRecord::samples`] holds the certified
+/// anytime `(elapsed, lb, ub)` staircase reconstructed from the run's
+/// bounds and incumbent events.
+///
+/// Installs the process-wide event sink for the duration of each solve,
+/// so it must not run concurrently with other traced work.
+#[must_use]
+pub fn run_solver_over_traced(
+    solver_name: &str,
+    instances: &[Instance],
+    budget: Duration,
+    preprocess: bool,
+) -> Vec<RunRecord> {
+    let inner = solver_by_name(solver_name);
+    let mut solver: Box<dyn MaxSatSolver> = if preprocess {
+        Box::new(Preprocessed::new(inner))
+    } else {
+        inner
+    };
+    let static_name: &'static str = experiment_alias(solver_name);
+    instances
+        .iter()
+        .map(|instance| {
+            let collector = std::sync::Arc::new(coremax_obs::CollectorSink::new());
+            let guard = coremax_obs::install(collector.clone(), false);
+            solver.set_budget(Budget::new().with_timeout(budget));
+            let solution = solver.solve(&instance.wcnf);
+            drop(guard);
+            let verified = verify_solution(&instance.wcnf, &solution);
+            RunRecord {
+                instance: instance.name.clone(),
+                family: instance.family.name(),
+                solver: static_name,
+                preprocess,
+                status: solution.status,
+                cost: solution.cost,
+                lower_bound: solution.lower_bound,
+                time: solution.stats.wall_time,
+                sat_propagations: solution.stats.sat.propagations,
+                sat_conflicts: solution.stats.sat.conflicts,
+                simp: solution.stats.simp,
+                verified,
+                samples: collector.bound_samples(),
             }
         })
         .collect()
@@ -319,6 +374,7 @@ mod tests {
             sat_conflicts: 0,
             simp: SimpStats::default(),
             verified: true,
+            samples: Vec::new(),
         };
         let mut b = a.clone();
         b.solver = "b";

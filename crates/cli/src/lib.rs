@@ -37,6 +37,15 @@ pub struct Options {
     pub stats: bool,
     /// Print the model (`v` line).
     pub print_model: bool,
+    /// Print live anytime progress (`o` lines as incumbents improve,
+    /// throttled `c bounds` lines as the interval tightens).
+    pub progress: bool,
+    /// Write a JSONL event trace of the whole solve to this file.
+    pub trace: Option<String>,
+    /// Write a JSON snapshot of the full statistics tree (MaxSAT,
+    /// SAT-engine, preprocessing counters and per-phase times) to this
+    /// file after solving.
+    pub stats_json: Option<String>,
     /// Worker threads for batch-directory input and `--portfolio`
     /// racing (1 = sequential).
     pub jobs: usize,
@@ -65,6 +74,9 @@ impl Default for Options {
             preprocess: true,
             simp_stats: false,
             stats: false,
+            progress: false,
+            trace: None,
+            stats_json: None,
             print_model: false,
             jobs: 1,
             portfolio: false,
@@ -145,6 +157,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             }
             "--simp-stats" => options.simp_stats = true,
             "--stats" => options.stats = true,
+            "--progress" => options.progress = true,
+            "--trace" => {
+                options.trace = Some(
+                    iter.next()
+                        .ok_or_else(|| "missing file for --trace".to_string())?,
+                );
+            }
+            "--stats-json" => {
+                options.stats_json = Some(
+                    iter.next()
+                        .ok_or_else(|| "missing file for --stats-json".to_string())?,
+                );
+            }
             "-m" | "--model" => options.print_model = true,
             "-h" | "--help" => return Err(usage()),
             other if other.starts_with('-') && other != "-" => {
@@ -179,6 +204,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 pub fn usage() -> String {
     "usage: coremax-solve [-a ALGO] [-t MS] [--verify] [--stats] [-m]\n\
      \x20                    [--no-preprocess] [--simp-stats]\n\
+     \x20                    [--progress] [--trace FILE] [--stats-json FILE]\n\
      \x20                    [-j N] [--portfolio] FILE|DIR\n\
      \x20      coremax-solve --generate DIR [--family NAME] [--scale N] [--seed S]\n\
      \n\
@@ -199,6 +225,12 @@ pub fn usage() -> String {
      \x20                report the deterministic fixed-priority winner\n\
      --no-preprocess skips the simplifier (BVE/subsumption/probing);\n\
      --simp-stats prints its reduction counters\n\
+     --progress       live anytime output: `o <cost>` on every improved\n\
+     \x20                incumbent, throttled `c bounds lb=.. ub=..` lines\n\
+     --trace FILE     write every solve event as one JSON object per\n\
+     \x20                line (JSONL) with microsecond timestamps\n\
+     --stats-json FILE  write the full statistics tree (driver, SAT\n\
+     \x20                engine, preprocessing, per-phase times) as JSON\n\
      --generate writes the benchmark suite as .wcnf files into DIR\n\
      (families: bmc equiv atpg php xor rand3 debug weighted; `debug29`\n\
      for the Table-2 suite)"
@@ -334,6 +366,9 @@ pub struct BatchFileOutcome {
     pub verified: bool,
     /// Per-instance wall-clock milliseconds.
     pub time_ms: f64,
+    /// The instance's full solve statistics (driver, SAT engine,
+    /// preprocessing, per-phase times).
+    pub stats: coremax::MaxSatStats,
 }
 
 /// Results of a batch-directory run (input files in sorted order).
@@ -348,6 +383,12 @@ pub struct BatchRun {
     pub cpu_ms: f64,
     /// Worker threads used.
     pub jobs: usize,
+    /// Append a `stats=[..]` field to every `r` row and an aggregated
+    /// `c batch-stats:` block to the summary (`--stats`).
+    pub show_stats: bool,
+    /// Append a `simp=[..]` field to every `r` row and an aggregated
+    /// `c batch-simp-stats:` line to the summary (`--simp-stats`).
+    pub show_simp_stats: bool,
 }
 
 impl BatchRun {
@@ -372,13 +413,23 @@ impl BatchRun {
 /// and unknown algorithm names as display strings.
 pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
     // Batch output is the per-instance `r` summary; flags that promise
-    // extra per-run output would be silently ignored, so reject them
-    // (the same rule `--portfolio` applies to -a). `--verify` is fine:
-    // batch mode verifies every solution unconditionally.
-    if options.print_model || options.stats || options.simp_stats {
+    // extra per-run output that cannot be attached to a summary row are
+    // rejected (the same rule `--portfolio` applies to -a). `--stats`
+    // and `--simp-stats` DO apply: they add a per-row `stats=`/`simp=`
+    // field and an aggregated block to the `c batch` summary. `--verify`
+    // is fine: batch mode verifies every solution unconditionally.
+    if options.print_model {
         return Err(
             "batch (directory) mode prints per-instance summaries only; \
-             -m/--model, --stats and --simp-stats do not apply"
+             -m/--model does not apply"
+                .into(),
+        );
+    }
+    if options.stats_json.is_some() {
+        return Err(
+            "batch (directory) mode prints per-instance summaries only; \
+             --stats-json does not apply (use --stats for per-row and \
+             aggregated counters)"
                 .into(),
         );
     }
@@ -442,6 +493,7 @@ pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
             lower_bound: outcome.solution.lower_bound,
             verified: coremax::verify_solution(wcnf, &outcome.solution),
             time_ms: outcome.solution.stats.wall_time.as_secs_f64() * 1e3,
+            stats: outcome.solution.stats,
         })
         .collect();
     Ok(BatchRun {
@@ -449,22 +501,29 @@ pub fn run_batch_dir(options: &Options, dir: &str) -> Result<BatchRun, String> {
         wall_ms: report.wall_time.as_secs_f64() * 1e3,
         cpu_ms: report.cpu_time().as_secs_f64() * 1e3,
         jobs: options.jobs,
+        show_stats: options.stats,
+        show_simp_stats: options.simp_stats,
     })
 }
 
 /// Formats a batch run: one `r FILE STATUS COST` line per instance
 /// (`-` for no cost; aborted instances append their certified
-/// `lb=<lower bound>`) plus a `c batch:` summary.
+/// `lb=<lower bound>`) plus a `c batch:` summary. With `--stats` /
+/// `--simp-stats` each `r` row carries a `stats=[..]` / `simp=[..]`
+/// field and the summary gains aggregated counter lines (every
+/// per-instance [`coremax::MaxSatStats`] absorbed into one).
 #[must_use]
 pub fn format_batch(run: &BatchRun) -> String {
     let mut out = String::new();
     let mut counts = [0usize; 3];
+    let mut aggregate = coremax::MaxSatStats::default();
     for o in &run.outcomes {
         counts[match o.status {
             MaxSatStatus::Optimal => 0,
             MaxSatStatus::Infeasible => 1,
             MaxSatStatus::Unknown => 2,
         }] += 1;
+        aggregate.absorb(&o.stats);
         out.push_str(&format!(
             "r {} {} {}",
             o.file,
@@ -473,6 +532,12 @@ pub fn format_batch(run: &BatchRun) -> String {
         ));
         if o.status == MaxSatStatus::Unknown {
             out.push_str(&format!(" lb={}", o.lower_bound));
+        }
+        if run.show_stats {
+            out.push_str(&format!(" stats=[{}]", o.stats));
+        }
+        if run.show_simp_stats {
+            out.push_str(&format!(" simp=[{}]", o.stats.simp));
         }
         out.push('\n');
     }
@@ -487,6 +552,13 @@ pub fn format_batch(run: &BatchRun) -> String {
         run.wall_ms,
         run.cpu_ms,
     ));
+    if run.show_stats {
+        out.push_str(&format!("c batch-stats: {aggregate}\n"));
+        out.push_str(&format!("c batch-sat-stats: {}\n", aggregate.sat));
+    }
+    if run.show_simp_stats {
+        out.push_str(&format!("c batch-simp-stats: {}\n", aggregate.simp));
+    }
     out
 }
 
@@ -540,6 +612,71 @@ pub fn generate_suite(options: &Options, dir: &str) -> Result<Vec<String>, Strin
     std::fs::write(&index_path, index)
         .map_err(|e| format!("cannot write {}: {e}", index_path.display()))?;
     Ok(written)
+}
+
+/// Installs the observability sinks the options ask for and returns the
+/// guard keeping them alive (`None` when no event sink is needed —
+/// timing-only runs just raise the timing flag).
+///
+/// `--progress` attaches a live printer (`o <cost>` on every improved
+/// incumbent, `c bounds lb=.. ub=..` throttled to four lines a second),
+/// `--trace FILE` a JSONL trace writer; both at once fan out. `--stats`
+/// and `--stats-json` turn per-phase timing on so the phase breakdown
+/// in the reports is populated.
+///
+/// # Errors
+///
+/// Returns a message when the trace file cannot be created.
+pub fn install_observability(options: &Options) -> Result<Option<coremax_obs::SinkGuard>, String> {
+    use std::sync::Arc;
+    let mut sinks: Vec<Arc<dyn coremax_obs::EventSink>> = Vec::new();
+    if options.progress {
+        sinks.push(Arc::new(coremax_obs::ProgressSink::stdout(
+            Duration::from_millis(250),
+        )));
+    }
+    if let Some(path) = &options.trace {
+        let sink = coremax_obs::JsonlTraceSink::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    let timing = options.stats || options.stats_json.is_some();
+    if sinks.is_empty() {
+        if timing {
+            coremax_obs::set_timing(true);
+        }
+        return Ok(None);
+    }
+    let sink: Arc<dyn coremax_obs::EventSink> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(coremax_obs::FanoutSink::new(sinks))
+    };
+    Ok(Some(coremax_obs::install(sink, timing)))
+}
+
+/// Serializes a solution's verdict and full statistics tree (driver
+/// counters, SAT-engine counters, preprocessing counters, per-phase
+/// wall times) as a single JSON object — what `--stats-json FILE`
+/// writes.
+#[must_use]
+pub fn solution_stats_json(solution: &MaxSatSolution) -> String {
+    let mut out = String::from("{\"status\": \"");
+    out.push_str(match solution.status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    });
+    out.push_str("\", \"cost\": ");
+    match solution.cost {
+        Some(c) => out.push_str(&c.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(", \"lower_bound\": {}", solution.lower_bound));
+    out.push_str(", \"stats\": ");
+    solution.stats.to_json_into(&mut out);
+    out.push_str("}\n");
+    out
 }
 
 /// Formats a solution in MaxSAT-evaluation style (`o` cost line, `s`
@@ -727,23 +864,59 @@ mod tests {
 
     #[test]
     fn batch_dir_rejects_per_run_output_flags() {
+        // -m and --stats-json have no per-row form; --stats and
+        // --simp-stats are accepted (they become row fields and an
+        // aggregated summary block).
         for options in [
             Options {
                 print_model: true,
                 ..Options::default()
             },
             Options {
-                stats: true,
-                ..Options::default()
-            },
-            Options {
-                simp_stats: true,
+                stats_json: Some("/tmp/never.json".into()),
                 ..Options::default()
             },
         ] {
             let err = run_batch_dir(&options, "/tmp").unwrap_err();
-            assert!(err.contains("do not apply"), "{err}");
+            assert!(err.contains("does not apply"), "{err}");
         }
+    }
+
+    #[test]
+    fn batch_dir_stats_flags_add_row_fields_and_aggregate_block() {
+        let dir = std::env::temp_dir().join("coremax-batch-stats-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let gen = Options {
+            generate_dir: Some(dir.display().to_string()),
+            family: Some("php".into()),
+            ..Options::default()
+        };
+        generate_suite(&gen, &dir.display().to_string()).unwrap();
+        let batch = run_batch_dir(
+            &Options {
+                stats: true,
+                simp_stats: true,
+                ..Options::default()
+            },
+            &dir.display().to_string(),
+        )
+        .unwrap();
+        let text = format_batch(&batch);
+        for line in text.lines().filter(|l| l.starts_with("r ")) {
+            assert!(line.contains(" stats=["), "{line}");
+            assert!(line.contains(" simp=["), "{line}");
+        }
+        assert!(text.contains("c batch-stats: "), "{text}");
+        assert!(text.contains("c batch-sat-stats: "), "{text}");
+        assert!(text.contains("c batch-simp-stats: "), "{text}");
+        // The aggregated counters are the absorb of every row's stats.
+        let mut aggregate = coremax::MaxSatStats::default();
+        for o in &batch.outcomes {
+            aggregate.absorb(&o.stats);
+        }
+        assert!(aggregate.sat_calls >= batch.outcomes.len() as u64);
+        assert!(text.contains(&format!("c batch-stats: {aggregate}")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -755,6 +928,46 @@ mod tests {
         assert!(run_batch_dir(&options, &dir.display().to_string()).is_err());
         assert!(run_batch_dir(&options, "/nonexistent/coremax").is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let o = parse_args(
+            [
+                "--progress",
+                "--trace",
+                "/tmp/t.jsonl",
+                "--stats-json",
+                "/tmp/s.json",
+                "f.cnf",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(o.progress);
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(o.stats_json.as_deref(), Some("/tmp/s.json"));
+        assert!(parse_args(["--trace".to_string()]).is_err());
+        assert!(parse_args(["--stats-json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn stats_json_snapshot_is_wellformed_and_carries_the_tree() {
+        let wcnf = parse_problem("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let solution = run(&Options::default(), &wcnf).unwrap();
+        let text = solution_stats_json(&solution);
+        let value = coremax_obs::json::parse(&text).expect("snapshot parses");
+        assert_eq!(
+            value.get("status").and_then(|v| v.as_str()),
+            Some("optimal")
+        );
+        assert_eq!(value.get("cost").and_then(|v| v.as_u64()), Some(1));
+        let stats = value.get("stats").expect("stats subtree");
+        assert!(stats.get("sat_calls").is_some());
+        assert!(stats.get("phase_times").is_some());
+        assert!(stats.get("sat").and_then(|s| s.get("conflicts")).is_some());
+        assert!(stats.get("simp").and_then(|s| s.get("rounds")).is_some());
     }
 
     #[test]

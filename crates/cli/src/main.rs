@@ -8,7 +8,8 @@ use std::process::ExitCode;
 
 use coremax::verify_solution;
 use coremax_cli::{
-    format_batch, format_solution, generate_suite, parse_args, parse_problem, run, run_batch_dir,
+    format_batch, format_solution, generate_suite, install_observability, parse_args,
+    parse_problem, run, run_batch_dir, solution_stats_json,
 };
 
 fn main() -> ExitCode {
@@ -16,6 +17,16 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(message) => {
             eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Keep the sink guard alive for the whole run; dropping it flushes
+    // the trace file and restores the disabled state.
+    let _obs_guard = match install_observability(&options) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
@@ -118,6 +129,12 @@ fn main() -> ExitCode {
     if options.stats {
         println!("c stats: {}", solution.stats);
         println!("c sat-stats: {}", solution.stats.sat);
+    }
+    if let Some(path) = &options.stats_json {
+        if let Err(e) = std::fs::write(path, solution_stats_json(&solution)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::from(2);
+        }
     }
     print!("{}", format_solution(&wcnf, &solution, options.print_model));
 

@@ -248,6 +248,9 @@ impl SearchCtx {
                 if cost < self.best_cost {
                     self.best_cost = cost;
                     self.best_model = Some(assignment.clone());
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost });
+                    }
                 }
                 return;
             }

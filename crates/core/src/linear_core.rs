@@ -95,17 +95,26 @@ impl LinearCore {
                 if let Some(t) = bound_gate.take() {
                     engine.add_clause([t]);
                 }
+                let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                 let t = Lit::positive(engine.new_var());
                 let mut sink = CnfSink::new(engine.num_vars());
                 encode_at_most(&vb, k, self.encoding, &mut sink);
                 engine.ensure_vars(sink.num_vars());
                 let clauses = sink.into_clauses();
                 stats.cardinality_clauses += clauses.len() as u64;
+                let clauses_added = clauses.len() as u64;
                 for c in clauses {
                     engine.add_clause(c.into_iter().chain(std::iter::once(t)));
                 }
                 bound_gate = Some(t);
                 bound_key = (vb.len(), k);
+                encode_span.finish(&mut stats.phase);
+                if coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                        blocking_vars: 0,
+                        clauses: clauses_added,
+                    });
+                }
             } else if k >= vb.len() {
                 // The bound is vacuous; retire any active version.
                 if let Some(t) = bound_gate.take() {
@@ -126,6 +135,13 @@ impl LinearCore {
                     stats.sat_iterations += 1;
                     let model = engine.model().expect("model after SAT").clone();
                     stats.absorb_sat(&engine.stats());
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost: k as u64 });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: k as u64,
+                            ub: Some(k as u64),
+                        });
+                    }
                     return finish(MaxSatStatus::Optimal, Some(k), k, Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
@@ -139,6 +155,12 @@ impl LinearCore {
                         return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     stats.cores += 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: engine.failed_softs().len() as u64,
+                            weight: 1,
+                        });
+                    }
                     let touched_bound =
                         bound_gate.is_some_and(|t| engine.failed_assumptions().contains(&!t));
                     // Failed soft assumptions are exactly the unblocked
@@ -180,6 +202,12 @@ impl LinearCore {
                         // would extend to a model of the refuted working
                         // formula, so the refutation proves optimum > k.
                         k += 1;
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::Bounds {
+                                lb: k as u64,
+                                ub: None,
+                            });
+                        }
                         if k > num_soft {
                             // Cannot falsify more clauses than exist: the
                             // hard part must be inconsistent.

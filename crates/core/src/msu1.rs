@@ -151,6 +151,13 @@ impl MaxSatSolver for Msu1 {
                 SolveOutcome::Sat => {
                     let model = engine.model().expect("model after SAT").clone();
                     stats.absorb_sat(&engine.stats());
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost: cost as u64 });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: cost as u64,
+                            ub: Some(cost as u64),
+                        });
+                    }
                     return finish(MaxSatStatus::Optimal, Some(cost), cost, Some(model), stats);
                 }
                 SolveOutcome::Unsat => {
@@ -173,6 +180,12 @@ impl MaxSatSolver for Msu1 {
                         stats.absorb_sat(&engine.stats());
                         return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: in_core.len() as u64,
+                            weight: 1,
+                        });
+                    }
                     // Fresh blocking variable per soft core clause. The
                     // stored clause cannot be mutated in place, so the old
                     // copy is retired and the extended clause registered as
@@ -187,15 +200,28 @@ impl MaxSatSolver for Msu1 {
                         handles[i] = engine.add_soft(soft[i].iter().copied());
                     }
                     // Exactly one of the fresh variables is spent.
+                    let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                     let mut sink = CnfSink::new(engine.num_vars());
                     encode_exactly(&fresh, 1, self.encoding, &mut sink);
                     engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
+                    let clauses_added = new_clauses.len() as u64;
                     for c in new_clauses {
                         engine.add_clause(c);
                     }
+                    encode_span.finish(&mut stats.phase);
                     cost += 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                            blocking_vars: fresh.len() as u64,
+                            clauses: clauses_added,
+                        });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: cost as u64,
+                            ub: None,
+                        });
+                    }
                 }
             }
             if child_budget.interrupted() {

@@ -263,6 +263,12 @@ impl MaxSatSolver for Msu4 {
                     } else {
                         engine.failed_assumptions().to_vec()
                     };
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: core.len() as u64,
+                            weight: 1,
+                        });
+                    }
                     // φI: unblocked soft clauses in the core (the paper's
                     // "initial clauses"). Failed soft assumptions are
                     // active by construction, so all of them are fresh.
@@ -300,6 +306,12 @@ impl MaxSatSolver for Msu4 {
                     }
                     // Lines 23–24: every such core lifts the lower bound.
                     lb += 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: lb as u64,
+                            ub: best_model.is_some().then_some(ub as u64),
+                        });
+                    }
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
@@ -322,6 +334,13 @@ impl MaxSatSolver for Msu4 {
                     if f < ub || best_model.is_none() {
                         ub = f;
                         best_model = Some(model);
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::Incumbent { cost: ub as u64 });
+                            coremax_obs::emit(coremax_obs::Event::Bounds {
+                                lb: lb as u64,
+                                ub: Some(ub as u64),
+                            });
+                        }
                     }
                     if ub == 0 {
                         // No soft clause needed blocking: cost 0 optimum.
@@ -331,6 +350,7 @@ impl MaxSatSolver for Msu4 {
                     // Lines 30–31: demand strictly fewer blocking vars.
                     // The previous bound version is retired for good and
                     // the new, tighter one activated under a fresh gate.
+                    let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                     if let Some(t) = bound_gate.take() {
                         engine.add_clause([t]);
                     }
@@ -340,10 +360,18 @@ impl MaxSatSolver for Msu4 {
                     engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
+                    let clauses_added = new_clauses.len() as u64;
                     for c in new_clauses {
                         engine.add_clause(c.into_iter().chain(std::iter::once(t)));
                     }
                     bound_gate = Some(t);
+                    encode_span.finish(&mut stats.phase);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                            blocking_vars: 0,
+                            clauses: clauses_added,
+                        });
+                    }
                 }
             }
             // Line 32: bounds met.

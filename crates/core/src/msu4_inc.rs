@@ -183,6 +183,12 @@ impl MaxSatSolver for Msu4Incremental {
                         return finish(MaxSatStatus::Optimal, Some(ub), ub, best_model, stats);
                     }
                     stats.cores += 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: engine.failed_softs().len() as u64,
+                            weight: 1,
+                        });
+                    }
                     // Failed softs name the core's clauses directly, all
                     // unblocked by construction.
                     let mut fresh = 0usize;
@@ -201,6 +207,12 @@ impl MaxSatSolver for Msu4Incremental {
                         return finish(MaxSatStatus::Infeasible, None, 0, None, stats);
                     }
                     lb += 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: lb as u64,
+                            ub: best_model.is_some().then_some(ub as u64),
+                        });
+                    }
                 }
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
@@ -215,6 +227,13 @@ impl MaxSatSolver for Msu4Incremental {
                     if f < ub || best_model.is_none() {
                         ub = f;
                         best_model = Some(model);
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::Incumbent { cost: ub as u64 });
+                            coremax_obs::emit(coremax_obs::Event::Bounds {
+                                lb: lb as u64,
+                                ub: Some(ub as u64),
+                            });
+                        }
                     }
                     if ub == 0 {
                         stats.absorb_sat(&engine.stats());
@@ -222,14 +241,23 @@ impl MaxSatSolver for Msu4Incremental {
                     }
                     // Tighten: Σ_vb s ≤ ub − 1 (added permanently; bounds
                     // only tighten so stale ones are merely redundant).
+                    let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                     let mut sink = CnfSink::new(engine.num_vars());
                     encode_at_most(&vb, ub - 1, self.encoding, &mut sink);
                     engine.ensure_vars(sink.num_vars());
                     let clauses = sink.into_clauses();
                     stats.cardinality_clauses += clauses.len() as u64;
                     bounds_added |= !clauses.is_empty();
+                    let clauses_added = clauses.len() as u64;
                     for c in clauses {
                         engine.add_clause(c);
+                    }
+                    encode_span.finish(&mut stats.phase);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                            blocking_vars: 0,
+                            clauses: clauses_added,
+                        });
                     }
                 }
             }

@@ -122,25 +122,32 @@ impl<S: MaxSatSolver> MaxSatSolver for Preprocessed<S> {
         }
         let mut simplifier = Simplifier::with_config(self.config.clone());
         simplifier.set_budget(inner_budget.clone());
+        let simp_span = coremax_obs::span(coremax_obs::Phase::SimpPass);
         let simp = simplifier.simplify(wcnf);
         let simp_stats = *simplifier.stats();
+        let mut pre_phase = coremax_obs::PhaseTimes::default();
+        simp_span.finish(&mut pre_phase);
         if inner_budget.interrupted() {
             // A completed (or partially completed) pipeline has already
             // charged `cost_offset` for soft clauses it proved falsified
             // in every feasible assignment — a sound lower bound on its
             // own, even with no residual solve.
-            return abort(simp_stats, simp.cost_offset, start);
+            let mut solution = abort(simp_stats, simp.cost_offset, start);
+            solution.stats.phase.absorb(&pre_phase);
+            return solution;
         }
         if simp.infeasible {
             let mut stats = MaxSatStats {
                 simp: simp_stats,
                 ..MaxSatStats::default()
             };
+            stats.phase.absorb(&pre_phase);
             stats.wall_time = start.elapsed();
             return MaxSatSolution::infeasible(stats);
         }
         let mut solution = self.inner.solve(&simp.formula);
         solution.stats.simp = simp_stats;
+        solution.stats.phase.absorb(&pre_phase);
         solution.stats.wall_time = start.elapsed();
         // Costs on the residual formula miss what preprocessing already
         // charged; models live in the compacted space. The lower bound

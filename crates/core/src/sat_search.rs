@@ -141,16 +141,32 @@ impl MaxSatSolver for LinearSearchSat {
                     let m = engine.model().expect("model after SAT").clone();
                     let cost = model_cost(wcnf, &m);
                     best = Some((m, cost));
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost: cost as u64 });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: 0,
+                            ub: Some(cost as u64),
+                        });
+                    }
                     if cost == 0 {
                         break;
                     }
+                    let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                     let mut sink = CnfSink::new(engine.num_vars());
                     encode_at_most(&blockers, cost - 1, self.encoding, &mut sink);
                     engine.ensure_vars(sink.num_vars());
                     let clauses = sink.into_clauses();
                     stats.cardinality_clauses += clauses.len() as u64;
+                    let clauses_added = clauses.len() as u64;
                     for c in clauses {
                         engine.add_clause(c);
+                    }
+                    encode_span.finish(&mut stats.phase);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                            blocking_vars: 0,
+                            clauses: clauses_added,
+                        });
                     }
                 }
                 SolveOutcome::Unsat => {
@@ -286,6 +302,13 @@ impl MaxSatSolver for BinarySearchSat {
                 stats.sat_iterations += 1;
                 let m = engine.model().expect("model after SAT").clone();
                 let cost = model_cost(wcnf, &m);
+                if coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(coremax_obs::Event::Incumbent { cost: cost as u64 });
+                    coremax_obs::emit(coremax_obs::Event::Bounds {
+                        lb: 0,
+                        ub: Some(cost as u64),
+                    });
+                }
                 (m, cost)
             }
         };
@@ -301,17 +324,26 @@ impl MaxSatSolver for BinarySearchSat {
             if let Some(t) = gate.take() {
                 engine.add_clause([t]);
             }
+            let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
             let t = Lit::positive(engine.new_var());
             let mut sink = CnfSink::new(engine.num_vars());
             encode_at_most(&blockers, mid, self.encoding, &mut sink);
             engine.ensure_vars(sink.num_vars());
             let clauses = sink.into_clauses();
             stats.cardinality_clauses += clauses.len() as u64;
+            let clauses_added = clauses.len() as u64;
             for mut c in clauses {
                 c.push(t);
                 engine.add_clause(c);
             }
             gate = Some(t);
+            encode_span.finish(&mut stats.phase);
+            if coremax_obs::tracing_enabled() {
+                coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                    blocking_vars: 0,
+                    clauses: clauses_added,
+                });
+            }
 
             stats.sat_calls += 1;
             match engine.solve(&[!t]) {
@@ -322,10 +354,23 @@ impl MaxSatSolver for BinarySearchSat {
                     debug_assert!(cost <= mid);
                     hi = cost.min(mid);
                     best = (m, hi);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost: hi as u64 });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: lo as u64,
+                            ub: Some(hi as u64),
+                        });
+                    }
                 }
                 SolveOutcome::Unsat => {
                     stats.unsat_iterations += 1;
                     lo = mid + 1;
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: lo as u64,
+                            ub: Some(hi as u64),
+                        });
+                    }
                 }
                 SolveOutcome::Unknown => {
                     stats.absorb_sat(&engine.stats());

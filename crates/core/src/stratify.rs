@@ -241,6 +241,13 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
         for (gi, group) in groups.into_iter().enumerate() {
             stats.strata += 1;
             let g = group.gcd.max(1);
+            if coremax_obs::tracing_enabled() {
+                coremax_obs::emit(coremax_obs::Event::StratumOpened {
+                    index: gi as u64,
+                    weight: g,
+                    softs: group.clauses.len() as u64,
+                });
+            }
             let uniform = group.clauses.iter().all(|&(_, w)| w == group.clauses[0].1);
             let normalised_total: Weight = group
                 .clauses
@@ -298,6 +305,16 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
             let k_units = solution.cost.expect("optimal stage carries a cost");
             total_cost = total_cost.saturating_add(k_units.saturating_mul(g));
             model = solution.model;
+            if coremax_obs::tracing_enabled() {
+                coremax_obs::emit(coremax_obs::Event::StratumClosed {
+                    index: gi as u64,
+                    cost: k_units.saturating_mul(g),
+                });
+                coremax_obs::emit(coremax_obs::Event::Bounds {
+                    lb: total_cost,
+                    ub: None,
+                });
+            }
 
             if gi + 1 == num_groups {
                 break;

@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use coremax_cnf::{Assignment, WcnfFormula, Weight};
+use coremax_obs::PhaseTimes;
 use coremax_sat::{Budget, SolverStats};
 use coremax_simp::SimpStats;
 
@@ -65,6 +66,11 @@ pub struct MaxSatStats {
     /// Preprocessing counters (all zero unless the solve went through
     /// [`crate::Preprocessed`]).
     pub simp: SimpStats,
+    /// Driver-level per-phase wall time (encoding, preprocessing
+    /// passes). The CDCL-engine phases live under [`Self::sat`]'s own
+    /// breakdown; [`Self::phase_times`] merges the two. All zero
+    /// unless `coremax_obs` timing was enabled during the solve.
+    pub phase: PhaseTimes,
 }
 
 impl MaxSatStats {
@@ -92,6 +98,56 @@ impl MaxSatStats {
         self.strata += other.strata;
         self.hardened += other.hardened;
         self.sat.absorb(&other.sat);
+        self.phase.absorb(&other.phase);
+    }
+
+    /// The complete per-phase wall-time breakdown of the run: the
+    /// driver-level phases (encode, preprocessing) merged with the
+    /// aggregated CDCL-engine phases (propagate, analyze, reductions,
+    /// GC, SAT calls).
+    #[must_use]
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase.merged(&self.sat.phase)
+    }
+
+    /// Serializes the full stats tree — MaxSAT counters, the merged
+    /// [`PhaseTimes`] breakdown, the aggregated [`SolverStats`] (with
+    /// its own phase breakdown), and the [`SimpStats`] — as one JSON
+    /// object. Hand-rolled (no serde), like the BENCH artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.to_json_into(&mut out);
+        out
+    }
+
+    /// [`Self::to_json`], appending into an existing buffer.
+    pub fn to_json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"sat_calls\": {}, \"unsat_iterations\": {}, \"sat_iterations\": {}, \
+             \"cores\": {}, \"blocking_vars\": {}, \"cardinality_clauses\": {}, \
+             \"nodes\": {}, \"weight_splits\": {}, \"strata\": {}, \"hardened\": {}, \
+             \"wall_time_ms\": {:.3}, \"phase_times\": ",
+            self.sat_calls,
+            self.unsat_iterations,
+            self.sat_iterations,
+            self.cores,
+            self.blocking_vars,
+            self.cardinality_clauses,
+            self.nodes,
+            self.weight_splits,
+            self.strata,
+            self.hardened,
+            self.wall_time.as_secs_f64() * 1e3,
+        );
+        self.phase_times().to_json_into(out);
+        out.push_str(", \"sat\": ");
+        self.sat.to_json_into(out);
+        out.push_str(", \"simp\": ");
+        self.simp.to_json_into(out);
+        out.push('}');
     }
 }
 
@@ -111,7 +167,12 @@ impl fmt::Display for MaxSatStats {
             self.strata,
             self.hardened,
             self.wall_time
-        )
+        )?;
+        let phase = self.phase_times();
+        if !phase.is_zero() {
+            write!(f, " phase=[{phase}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -312,6 +373,31 @@ mod tests {
         let s = MaxSatSolution::infeasible(MaxSatStats::default());
         let w = WcnfFormula::new();
         assert_eq!(s.num_satisfied(&w), None);
+    }
+
+    #[test]
+    fn stats_json_is_wellformed_and_nested() {
+        let mut st = MaxSatStats {
+            sat_calls: 7,
+            cores: 3,
+            wall_time: Duration::from_millis(12),
+            ..MaxSatStats::default()
+        };
+        st.phase
+            .add(coremax_obs::Phase::Encode, Duration::from_micros(5));
+        let v = coremax_obs::json::parse(&st.to_json()).expect("valid json");
+        assert_eq!(v.get("sat_calls").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            v.get("phase_times")
+                .unwrap()
+                .get("encode_us")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        assert!(v.get("sat").unwrap().get("decisions").is_some());
+        assert!(v.get("sat").unwrap().get("phase_times").is_some());
+        assert!(v.get("simp").unwrap().get("rounds").is_some());
     }
 
     #[test]

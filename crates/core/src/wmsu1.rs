@@ -163,6 +163,13 @@ impl MaxSatSolver for Wmsu1 {
                 SolveOutcome::Sat => {
                     stats.sat_iterations += 1;
                     let model = engine.model().expect("model after SAT").clone();
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Incumbent { cost });
+                        coremax_obs::emit(coremax_obs::Event::Bounds {
+                            lb: cost,
+                            ub: Some(cost),
+                        });
+                    }
                     stats.absorb_sat(&engine.stats());
                     return finish(MaxSatStatus::Optimal, Some(cost), cost, Some(model), stats);
                 }
@@ -192,6 +199,12 @@ impl MaxSatSolver for Wmsu1 {
                         .map(|&i| soft[i].weight)
                         .min()
                         .expect("non-empty core");
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: in_core.len() as u64,
+                            weight: w_min,
+                        });
+                    }
                     // Relax the w_min share of every core clause with a
                     // fresh blocking variable; clauses heavier than
                     // w_min keep a residual un-relaxed copy (registered
@@ -215,15 +228,25 @@ impl MaxSatSolver for Wmsu1 {
                         engine.retire(handles[i]);
                         handles[i] = engine.add_soft(soft[i].lits.iter().copied());
                     }
+                    let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
                     let mut sink = CnfSink::new(engine.num_vars());
                     encode_exactly(&fresh, 1, self.encoding, &mut sink);
                     engine.ensure_vars(sink.num_vars());
                     let new_clauses = sink.into_clauses();
                     stats.cardinality_clauses += new_clauses.len() as u64;
+                    let clauses_added = new_clauses.len() as u64;
                     for c in new_clauses {
                         engine.add_clause(c);
                     }
+                    encode_span.finish(&mut stats.phase);
                     cost = cost.saturating_add(w_min);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                            blocking_vars: fresh.len() as u64,
+                            clauses: clauses_added,
+                        });
+                        coremax_obs::emit(coremax_obs::Event::Bounds { lb: cost, ub: None });
+                    }
                 }
             }
             if child_budget.interrupted() {

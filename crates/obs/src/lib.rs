@@ -1,0 +1,266 @@
+//! `coremax_obs` — zero-cost-when-disabled observability for the
+//! coremax stack.
+//!
+//! Every layer of the solver (CDCL engine, core-guided drivers,
+//! preprocessing, portfolio) emits structured [`Event`]s through a
+//! single process-global sink. The design contract is that the
+//! *disabled* path — no sink installed — costs exactly one relaxed
+//! atomic load per potential emission point, so instrumentation can
+//! live inside hot loops without a measurable footprint:
+//!
+//! - [`emit`] checks one [`AtomicU8`] flag word and returns
+//!   immediately when tracing is off; only then is the sink registry
+//!   lock touched.
+//! - [`span`] returns an inert [`Span`] (no clock read, no event) when
+//!   neither tracing nor timing is enabled.
+//!
+//! Sinks implement [`EventSink`] and are installed with [`install`],
+//! which returns an RAII [`SinkGuard`]; dropping the guard restores
+//! the disabled state. Three concrete sinks ship with the crate:
+//! [`ProgressSink`] (live MaxSAT-Evaluation-style `o <cost>` /
+//! `c bounds` lines), [`JsonlTraceSink`] (one JSON object per event)
+//! and [`CollectorSink`] (in-memory capture for benchmarks and tests).
+//! [`FanoutSink`] composes several of them.
+//!
+//! Wall-time attribution is aggregated per [`Phase`] into
+//! [`PhaseTimes`] via [`Span`]s; coarse phases (SAT call, encoding,
+//! preprocessing pass) additionally emit [`Event::SpanEnter`] /
+//! [`Event::SpanExit`] pairs into the trace, while the fine CDCL
+//! phases (propagate/analyze/reduce/GC) only aggregate, keeping trace
+//! volume bounded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod phase;
+mod sinks;
+
+pub use event::Event;
+pub use phase::{Phase, PhaseTimes, Span, PHASE_COUNT};
+pub use sinks::{BoundSample, CollectorSink, FanoutSink, JsonlTraceSink, ProgressSink};
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Receives every [`Event`] the stack emits while tracing is enabled.
+///
+/// Implementations must be cheap and must never panic: sinks run
+/// inline on solver threads (including portfolio workers), and an
+/// event is delivered on whichever thread produced it.
+pub trait EventSink: Send + Sync {
+    /// Called once per emitted event, on the emitting thread.
+    fn on_event(&self, event: &Event);
+}
+
+/// Flag bit: a sink is installed and events are dispatched.
+const TRACE_BIT: u8 = 1;
+/// Flag bit: phase timing (clock reads in [`span`]) is enabled.
+const TIMING_BIT: u8 = 2;
+
+/// The single process-global flag word: the only state the disabled
+/// fast path ever touches.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+/// The installed sink. Locked only on the enabled path (install,
+/// uninstall, dispatch); never on the fast path.
+static SINK: Mutex<Option<Arc<dyn EventSink>>> = Mutex::new(None);
+
+/// Whether a sink is installed and [`emit`] dispatches events.
+#[inline]
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & TRACE_BIT != 0
+}
+
+/// Whether phase timing is enabled ([`span`] reads the clock and
+/// aggregates into [`PhaseTimes`]).
+#[inline]
+#[must_use]
+pub fn timing_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & TIMING_BIT != 0
+}
+
+pub(crate) fn flags() -> u8 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
+pub(crate) const fn trace_bit() -> u8 {
+    TRACE_BIT
+}
+
+pub(crate) const fn timing_bit() -> u8 {
+    TIMING_BIT
+}
+
+/// Emits an event to the installed sink, if any.
+///
+/// When tracing is disabled this is one relaxed atomic load and a
+/// branch; hot call sites may additionally pre-guard event
+/// construction with [`tracing_enabled`].
+#[inline]
+pub fn emit(event: Event) {
+    if tracing_enabled() {
+        dispatch(&event);
+    }
+}
+
+/// The enabled-path dispatch: clones the sink handle out of the
+/// registry lock, then delivers outside it so sinks on different
+/// threads run concurrently.
+#[cold]
+pub(crate) fn dispatch(event: &Event) {
+    let sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(sink) = sink {
+        sink.on_event(event);
+    }
+}
+
+/// RAII handle for an installed sink: dropping it uninstalls the sink
+/// and clears every flag, restoring the zero-cost disabled state.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub struct SinkGuard {
+    _private: (),
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        FLAGS.store(0, Ordering::SeqCst);
+        *SINK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+}
+
+/// Installs `sink` as the process-global event sink and enables
+/// tracing; with `timing` also enables phase-time aggregation.
+///
+/// There is one global slot: installing replaces any previous sink.
+/// Tests that install sinks must serialize among themselves.
+pub fn install(sink: Arc<dyn EventSink>, timing: bool) -> SinkGuard {
+    *SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sink);
+    let flags = TRACE_BIT | if timing { TIMING_BIT } else { 0 };
+    FLAGS.store(flags, Ordering::SeqCst);
+    SinkGuard { _private: () }
+}
+
+/// Enables or disables phase timing without installing a sink: spans
+/// aggregate wall time into [`PhaseTimes`] but no events are
+/// dispatched. Used by `--stats`-style consumers that want the
+/// breakdown without a trace.
+pub fn set_timing(on: bool) {
+    if on {
+        FLAGS.fetch_or(TIMING_BIT, Ordering::SeqCst);
+    } else {
+        FLAGS.fetch_and(!TIMING_BIT, Ordering::SeqCst);
+    }
+}
+
+/// Opens a timing span for `phase`; see [`Phase`] for which phases
+/// also emit trace span events. Returns an inert span (no clock read)
+/// when both tracing and timing are disabled.
+#[inline]
+pub fn span(phase: Phase) -> Span {
+    Span::open(phase)
+}
+
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small stable per-thread integer used to correlate span events
+/// emitted by different threads (portfolio members) in one trace.
+#[must_use]
+pub fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    // The registry is process-global; tests that install sinks
+    // serialize through this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    struct Counting(AtomicUsize);
+    impl EventSink for Counting {
+        fn on_event(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_guard_restores() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(!tracing_enabled());
+        emit(Event::Incumbent { cost: 1 }); // goes nowhere, must not panic
+        let sink = Arc::new(Counting(AtomicUsize::new(0)));
+        {
+            let _guard = install(sink.clone(), false);
+            assert!(tracing_enabled());
+            assert!(!timing_enabled());
+            emit(Event::Incumbent { cost: 1 });
+            emit(Event::Bounds { lb: 0, ub: None });
+            assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+        }
+        assert!(!tracing_enabled());
+        emit(Event::Incumbent { cost: 2 });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2, "uninstalled sink fed");
+    }
+
+    #[test]
+    fn spans_aggregate_only_when_timing_on() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut times = PhaseTimes::default();
+        let sp = span(Phase::Propagate);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        sp.finish(&mut times);
+        assert!(times.is_zero(), "disabled span must not read the clock");
+
+        let sink = Arc::new(Counting(AtomicUsize::new(0)));
+        let _guard = install(sink, true);
+        let sp = span(Phase::Propagate);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        sp.finish(&mut times);
+        assert!(!times.is_zero());
+        assert!(times.get(Phase::Propagate) >= std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn coarse_spans_emit_balanced_events() {
+        let _l = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let collector = Arc::new(CollectorSink::new());
+        let _guard = install(collector.clone(), true);
+        let mut times = PhaseTimes::default();
+        let sp = span(Phase::SatCall);
+        span(Phase::Analyze).finish(&mut times); // fine phase: no events
+        sp.finish(&mut times);
+        let events = collector.events();
+        let kinds: Vec<&'static str> = events.iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(kinds, vec!["span_enter", "span_exit"]);
+    }
+
+    #[test]
+    fn thread_tags_are_distinct() {
+        let here = thread_tag();
+        let there = std::thread::spawn(thread_tag).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, thread_tag(), "stable within a thread");
+    }
+}

@@ -1,0 +1,274 @@
+//! Phases, per-phase wall-time aggregation, and RAII timing spans.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::{dispatch, flags, thread_tag, timing_bit, trace_bit, Event};
+
+/// The solve phases wall time is attributed to.
+///
+/// *Fine* phases (`Propagate`, `Analyze`, `ReduceDb`, `Gc`) live in
+/// the CDCL hot loop: their spans aggregate into [`PhaseTimes`] when
+/// timing is on but never emit trace events. *Coarse* phases
+/// (`SatCall`, `Encode`, `SimpPass`) are rare enough to also emit
+/// [`Event::SpanEnter`]/[`Event::SpanExit`] pairs when tracing is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Unit propagation inside the CDCL search loop.
+    Propagate,
+    /// Conflict analysis (first-UIP learning and minimisation).
+    Analyze,
+    /// Learned-clause database reduction.
+    ReduceDb,
+    /// Clause-arena garbage collection.
+    Gc,
+    /// One full SAT-solver invocation (assumptions in, verdict out).
+    SatCall,
+    /// Cardinality/relaxation constraint encoding in a MaxSAT driver.
+    Encode,
+    /// A preprocessing pipeline run in `coremax_simp`.
+    SimpPass,
+}
+
+/// Number of [`Phase`] variants (the length of [`PhaseTimes`]).
+pub const PHASE_COUNT: usize = 7;
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Propagate,
+        Phase::Analyze,
+        Phase::ReduceDb,
+        Phase::Gc,
+        Phase::SatCall,
+        Phase::Encode,
+        Phase::SimpPass,
+    ];
+
+    /// Stable lower-case identifier used in traces and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Propagate => "propagate",
+            Phase::Analyze => "analyze",
+            Phase::ReduceDb => "reduce_db",
+            Phase::Gc => "gc",
+            Phase::SatCall => "sat_call",
+            Phase::Encode => "encode",
+            Phase::SimpPass => "simp_pass",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Propagate => 0,
+            Phase::Analyze => 1,
+            Phase::ReduceDb => 2,
+            Phase::Gc => 3,
+            Phase::SatCall => 4,
+            Phase::Encode => 5,
+            Phase::SimpPass => 6,
+        }
+    }
+
+    /// Whether spans of this phase emit trace events (coarse phases
+    /// only; the fine CDCL phases would flood the trace).
+    #[must_use]
+    pub fn traced(self) -> bool {
+        matches!(self, Phase::SatCall | Phase::Encode | Phase::SimpPass)
+    }
+}
+
+/// Cumulative wall time attributed to each [`Phase`].
+///
+/// All zero unless timing was enabled (see [`crate::set_timing`] /
+/// [`crate::install`]) while the work ran. Embedded in the solver and
+/// MaxSAT stats structs, so it keeps their `Copy + Eq + Default`
+/// contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    totals: [Duration; PHASE_COUNT],
+}
+
+impl PhaseTimes {
+    /// Adds `d` to the total for `phase`.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        self.totals[phase.index()] += d;
+    }
+
+    /// Cumulative time attributed to `phase`.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// Sums another breakdown into this one (stats aggregation).
+    pub fn absorb(&mut self, other: &PhaseTimes) {
+        for (a, b) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// A new breakdown holding the per-phase sums of `self` and
+    /// `other`.
+    #[must_use]
+    pub fn merged(&self, other: &PhaseTimes) -> PhaseTimes {
+        let mut out = *self;
+        out.absorb(other);
+        out
+    }
+
+    /// Sum over all phases. Phases nest (a SAT call contains
+    /// propagation), so this can exceed real wall time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// `true` when no time has been recorded (timing was off).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.totals.iter().all(|d| d.is_zero())
+    }
+
+    /// Appends this breakdown as a JSON object (`{"propagate_us": …}`,
+    /// microsecond integers, every phase present).
+    pub fn to_json_into(&self, out: &mut String) {
+        out.push('{');
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let us = self.get(*phase).as_micros();
+            out.push_str(&format!("\"{}_us\": {us}", phase.name()));
+        }
+        out.push('}');
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    /// `propagate=1.2ms analyze=0.3ms …`, zero phases skipped.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for phase in Phase::ALL {
+            let d = self.get(phase);
+            if d.is_zero() {
+                continue;
+            }
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{}={:.1}ms", phase.name(), d.as_secs_f64() * 1e3)?;
+        }
+        if first {
+            f.write_str("(untimed)")?;
+        }
+        Ok(())
+    }
+}
+
+/// An open timing span; created by [`crate::span`], closed by
+/// [`Span::finish`], which attributes the elapsed time to the span's
+/// phase in a caller-supplied [`PhaseTimes`].
+///
+/// Inert (no clock read, no events) when neither tracing nor timing
+/// is enabled, so it is safe in hot loops.
+#[must_use = "a span measures nothing unless finished"]
+pub struct Span {
+    phase: Phase,
+    start: Option<Instant>,
+    traced: bool,
+}
+
+impl Span {
+    #[inline]
+    pub(crate) fn open(phase: Phase) -> Span {
+        let flags = flags();
+        let traced = phase.traced() && flags & trace_bit() != 0;
+        if !traced && flags & timing_bit() == 0 {
+            return Span {
+                phase,
+                start: None,
+                traced: false,
+            };
+        }
+        if traced {
+            dispatch(&Event::SpanEnter {
+                phase,
+                tid: thread_tag(),
+            });
+        }
+        Span {
+            phase,
+            start: Some(Instant::now()),
+            traced,
+        }
+    }
+
+    /// Closes the span, adding its elapsed wall time to `times` (and
+    /// emitting the matching [`Event::SpanExit`] for traced phases).
+    #[inline]
+    pub fn finish(self, times: &mut PhaseTimes) {
+        if let Some(start) = self.start {
+            let d = start.elapsed();
+            times.add(self.phase, d);
+            if self.traced {
+                dispatch(&Event::SpanExit {
+                    phase: self.phase,
+                    tid: thread_tag(),
+                    dur_us: u64::try_from(d.as_micros()).unwrap_or(u64::MAX),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_cover_all() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn phase_times_add_absorb_total() {
+        let mut a = PhaseTimes::default();
+        assert!(a.is_zero());
+        a.add(Phase::Propagate, Duration::from_micros(5));
+        a.add(Phase::SatCall, Duration::from_micros(7));
+        let mut b = PhaseTimes::default();
+        b.add(Phase::Propagate, Duration::from_micros(3));
+        a.absorb(&b);
+        assert_eq!(a.get(Phase::Propagate), Duration::from_micros(8));
+        assert_eq!(a.total(), Duration::from_micros(15));
+        let m = a.merged(&b);
+        assert_eq!(m.get(Phase::Propagate), Duration::from_micros(11));
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn display_skips_zero_phases() {
+        let mut t = PhaseTimes::default();
+        assert_eq!(t.to_string(), "(untimed)");
+        t.add(Phase::Analyze, Duration::from_millis(2));
+        let s = t.to_string();
+        assert!(s.contains("analyze=2.0ms"), "{s}");
+        assert!(!s.contains("propagate"), "{s}");
+    }
+
+    #[test]
+    fn json_has_every_phase() {
+        let mut t = PhaseTimes::default();
+        t.add(Phase::Gc, Duration::from_micros(9));
+        let mut s = String::new();
+        t.to_json_into(&mut s);
+        assert!(s.contains("\"gc_us\": 9"), "{s}");
+        assert!(s.contains("\"propagate_us\": 0"), "{s}");
+        crate::json::parse(&s).expect("valid json");
+    }
+}

@@ -1,0 +1,393 @@
+//! The concrete sinks: live progress printer, JSONL trace writer,
+//! in-memory collector, and a fan-out combinator.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::{Event, EventSink};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One `(elapsed, lb, ub)` sample of the certified interval, as
+/// captured from [`Event::Bounds`] / [`Event::Incumbent`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundSample {
+    /// Milliseconds since the sink was created.
+    pub elapsed_ms: u64,
+    /// Proven lower bound at that moment.
+    pub lb: u64,
+    /// Incumbent cost at that moment (`None` before the first model).
+    pub ub: Option<u64>,
+}
+
+// ---------------------------------------------------------------------
+// ProgressSink
+// ---------------------------------------------------------------------
+
+struct ProgressState {
+    best_cost: Option<u64>,
+    best_lb: u64,
+    best_ub: Option<u64>,
+    last_bounds_print: Option<Instant>,
+    bounds_dirty: bool,
+}
+
+/// Live progress printer following the MaxSAT-Evaluation output
+/// conventions: an `o <cost>` line the moment a strictly better
+/// incumbent is found, and throttled `c bounds lb=<n> ub=<n>` lines
+/// as the certified interval tightens (`ub=-` while no model is
+/// known).
+///
+/// Incumbent lines are globally monotone even when events arrive out
+/// of order from racing portfolio members: a cost not strictly better
+/// than the best already printed is suppressed. Bound lines likewise
+/// only report the tightest interval seen so far.
+pub struct ProgressSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    state: Mutex<ProgressState>,
+    /// Minimum spacing of `c bounds` lines; zero prints every update.
+    interval: Duration,
+}
+
+impl ProgressSink {
+    /// A progress printer writing to standard output, spacing
+    /// `c bounds` lines at least `interval` apart.
+    #[must_use]
+    pub fn stdout(interval: Duration) -> Self {
+        Self::to_writer(Box::new(std::io::stdout()), interval)
+    }
+
+    /// A progress printer writing to an arbitrary writer (tests).
+    pub fn to_writer(out: Box<dyn Write + Send>, interval: Duration) -> Self {
+        ProgressSink {
+            out: Mutex::new(out),
+            state: Mutex::new(ProgressState {
+                best_cost: None,
+                best_lb: 0,
+                best_ub: None,
+                last_bounds_print: None,
+                bounds_dirty: false,
+            }),
+            interval,
+        }
+    }
+}
+
+impl EventSink for ProgressSink {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::Incumbent { cost } => {
+                let mut st = lock(&self.state);
+                if st.best_cost.is_none_or(|b| *cost < b) {
+                    st.best_cost = Some(*cost);
+                    drop(st);
+                    let mut out = lock(&self.out);
+                    let _ = writeln!(out, "o {cost}");
+                    let _ = out.flush();
+                }
+            }
+            Event::Bounds { lb, ub } => {
+                let mut st = lock(&self.state);
+                let new_lb = st.best_lb.max(*lb);
+                let new_ub = match (st.best_ub, *ub) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if new_lb != st.best_lb || new_ub != st.best_ub {
+                    st.best_lb = new_lb;
+                    st.best_ub = new_ub;
+                    st.bounds_dirty = true;
+                }
+                let due = st.bounds_dirty
+                    && st
+                        .last_bounds_print
+                        .is_none_or(|t| t.elapsed() >= self.interval);
+                if due {
+                    st.last_bounds_print = Some(Instant::now());
+                    st.bounds_dirty = false;
+                    let (lb, ub) = (st.best_lb, st.best_ub);
+                    drop(st);
+                    let ub = ub.map_or_else(|| "-".to_string(), |u| u.to_string());
+                    let mut out = lock(&self.out);
+                    let _ = writeln!(out, "c bounds lb={lb} ub={ub}");
+                    let _ = out.flush();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JsonlTraceSink
+// ---------------------------------------------------------------------
+
+/// Structured trace writer: one JSON object per line per event —
+/// `{"t_us": <since sink creation>, "ev": "<kind>", …}` — hand-rolled
+/// (no serde), buffered, flushed on drop.
+pub struct JsonlTraceSink {
+    start: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlTraceSink {
+    /// Creates (truncates) `path` and writes the trace there.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// A trace writer over an arbitrary writer (tests).
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlTraceSink {
+            start: Instant::now(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = lock(&self.out).flush();
+    }
+}
+
+impl EventSink for JsonlTraceSink {
+    fn on_event(&self, event: &Event) {
+        let t_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t_us\": ");
+        line.push_str(&t_us.to_string());
+        line.push_str(", ");
+        event.fields_to_json_into(&mut line);
+        line.push_str("}\n");
+        let _ = lock(&self.out).write_all(line.as_bytes());
+    }
+}
+
+impl Drop for JsonlTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// CollectorSink
+// ---------------------------------------------------------------------
+
+/// In-memory event capture for benchmarks and tests: every event is
+/// stored with its elapsed time since the sink was created.
+pub struct CollectorSink {
+    start: Instant,
+    events: Mutex<Vec<(Duration, Event)>>,
+}
+
+impl CollectorSink {
+    /// An empty collector; the clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectorSink {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A snapshot of everything captured so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<(Duration, Event)> {
+        lock(&self.events).clone()
+    }
+
+    /// Drains and returns everything captured so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<(Duration, Event)> {
+        std::mem::take(&mut lock(&self.events))
+    }
+
+    /// The anytime trajectory: one [`BoundSample`] per captured
+    /// [`Event::Bounds`], with lower bounds monotonically tightened
+    /// and incumbents folded in (so the series is a valid
+    /// `(elapsed, lb, ub)` staircase even with interleaved sources).
+    #[must_use]
+    pub fn bound_samples(&self) -> Vec<BoundSample> {
+        let mut out = Vec::new();
+        let mut best_lb = 0u64;
+        let mut best_ub: Option<u64> = None;
+        for (t, ev) in lock(&self.events).iter() {
+            let changed = match ev {
+                Event::Bounds { lb, ub } => {
+                    let prev = (best_lb, best_ub);
+                    best_lb = best_lb.max(*lb);
+                    best_ub = match (best_ub, *ub) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    (best_lb, best_ub) != prev
+                }
+                Event::Incumbent { cost } => {
+                    let prev = best_ub;
+                    best_ub = Some(best_ub.map_or(*cost, |u| u.min(*cost)));
+                    best_ub != prev
+                }
+                _ => false,
+            };
+            if changed {
+                out.push(BoundSample {
+                    elapsed_ms: u64::try_from(t.as_millis()).unwrap_or(u64::MAX),
+                    lb: best_lb,
+                    ub: best_ub,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Default for CollectorSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSink for CollectorSink {
+    fn on_event(&self, event: &Event) {
+        let t = self.start.elapsed();
+        lock(&self.events).push((t, event.clone()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// FanoutSink
+// ---------------------------------------------------------------------
+
+/// Delivers every event to each of several sinks in order (e.g. a
+/// live progress printer plus a JSONL trace).
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    /// A fan-out over `sinks`.
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn on_event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn progress_prints_monotone_o_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = ProgressSink::to_writer(Box::new(SharedBuf(buf.clone())), Duration::ZERO);
+        for cost in [7, 9, 5, 5, 3] {
+            sink.on_event(&Event::Incumbent { cost });
+        }
+        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        assert_eq!(text, "o 7\no 5\no 3\n");
+    }
+
+    #[test]
+    fn progress_bounds_tighten_and_format() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = ProgressSink::to_writer(Box::new(SharedBuf(buf.clone())), Duration::ZERO);
+        sink.on_event(&Event::Bounds { lb: 1, ub: None });
+        sink.on_event(&Event::Bounds { lb: 0, ub: Some(9) }); // lb must not regress
+        sink.on_event(&Event::Bounds { lb: 3, ub: Some(4) });
+        sink.on_event(&Event::Bounds { lb: 3, ub: Some(4) }); // unchanged: no line
+        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        assert_eq!(
+            text,
+            "c bounds lb=1 ub=-\nc bounds lb=1 ub=9\nc bounds lb=3 ub=4\n"
+        );
+    }
+
+    #[test]
+    fn progress_throttles_bounds_but_never_o_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink =
+            ProgressSink::to_writer(Box::new(SharedBuf(buf.clone())), Duration::from_secs(3600));
+        sink.on_event(&Event::Bounds { lb: 1, ub: None }); // first: prints
+        sink.on_event(&Event::Bounds { lb: 2, ub: None }); // throttled
+        sink.on_event(&Event::Incumbent { cost: 5 }); // immediate
+        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        assert_eq!(text, "c bounds lb=1 ub=-\no 5\n");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_timestamps() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlTraceSink::to_writer(Box::new(SharedBuf(buf.clone())));
+        sink.on_event(&Event::Incumbent { cost: 2 });
+        sink.on_event(&Event::Gc {
+            bytes_reclaimed: 10,
+        });
+        sink.flush();
+        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::parse(line).expect("well-formed");
+            assert!(v.get("t_us").unwrap().as_u64().is_some());
+            assert!(v.get("ev").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn collector_builds_interval_staircase() {
+        let sink = CollectorSink::new();
+        sink.on_event(&Event::Bounds { lb: 1, ub: None });
+        sink.on_event(&Event::Restart {
+            restarts: 1,
+            conflicts: 2,
+            learned: 3,
+        }); // ignored by samples
+        sink.on_event(&Event::Incumbent { cost: 6 });
+        sink.on_event(&Event::Bounds { lb: 2, ub: Some(6) });
+        sink.on_event(&Event::Bounds { lb: 2, ub: Some(6) }); // no change
+        let samples = sink.bound_samples();
+        let key: Vec<(u64, Option<u64>)> = samples.iter().map(|s| (s.lb, s.ub)).collect();
+        assert_eq!(key, vec![(1, None), (1, Some(6)), (2, Some(6))]);
+        for w in samples.windows(2) {
+            assert!(w[0].elapsed_ms <= w[1].elapsed_ms);
+        }
+        assert_eq!(sink.events().len(), 5);
+        assert_eq!(sink.take().len(), 5);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(CollectorSink::new());
+        let b = Arc::new(CollectorSink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.on_event(&Event::Incumbent { cost: 1 });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -227,6 +227,12 @@ impl Portfolio {
                     if race_stop.load(Ordering::Relaxed) {
                         break; // a winner committed: skip unstarted members
                     }
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::MemberStarted {
+                            index: i as u64,
+                            name: members[i].name,
+                        });
+                    }
                     let mut solver = members[i].build(weighted);
                     solver.set_budget(member_budget.clone());
                     let solution = solver.solve(wcnf);
@@ -234,6 +240,23 @@ impl Portfolio {
                         solution.status,
                         MaxSatStatus::Optimal | MaxSatStatus::Infeasible
                     );
+                    if coremax_obs::tracing_enabled() {
+                        if exact {
+                            coremax_obs::emit(coremax_obs::Event::MemberFinished {
+                                index: i as u64,
+                                name: members[i].name,
+                                status: match solution.status {
+                                    MaxSatStatus::Optimal => "optimal",
+                                    _ => "infeasible",
+                                },
+                            });
+                        } else {
+                            coremax_obs::emit(coremax_obs::Event::MemberCancelled {
+                                index: i as u64,
+                                name: members[i].name,
+                            });
+                        }
+                    }
                     *slots[i].lock().expect("no poisoned slot") = Some(solution);
                     if exact {
                         race_stop.store(true, Ordering::Relaxed);
@@ -271,6 +294,15 @@ impl Portfolio {
                 matches!(s.status, MaxSatStatus::Optimal | MaxSatStatus::Infeasible)
             })
         });
+
+        if let Some(i) = winner_index {
+            if coremax_obs::tracing_enabled() {
+                coremax_obs::emit(coremax_obs::Event::WinnerChosen {
+                    index: i as u64,
+                    name: members[i].name,
+                });
+            }
+        }
 
         let mut solution = match winner_index {
             Some(i) => results[i].clone().expect("winner slot is filled"),

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use coremax_cnf::{Assignment, CnfFormula, Lit, Var};
+use coremax_obs::{Event, Phase};
 
 use crate::budget::Budget;
 use crate::clause_db::{CRef, ClauseDb, ClauseId};
@@ -550,6 +551,16 @@ impl Solver {
                 "assumption over unknown variable"
             );
         }
+        // One coarse span per SAT call: every driver's invocations are
+        // covered here, whichever entry path (bare solver, incremental
+        // engine, probe-free solve) they use.
+        let sat_span = coremax_obs::span(Phase::SatCall);
+        let outcome = self.solve_inner(assumptions);
+        sat_span.finish(&mut self.stats.phase);
+        outcome
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveOutcome {
         self.solve_calls += 1;
         if self.solve_calls > 1 {
             self.stats.incremental_solves += 1;
@@ -607,6 +618,13 @@ impl Solver {
                     match self.config.restart_mode {
                         RestartMode::Luby => self.stats.restarts_luby += 1,
                         RestartMode::Glucose => self.stats.restarts_glucose += 1,
+                    }
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(Event::Restart {
+                            restarts: self.stats.restarts,
+                            conflicts: self.stats.conflicts,
+                            learned: self.db.num_learned() as u64,
+                        });
                     }
                     // A fresh restart starts a fresh recent-LBD window.
                     self.lbd_queue_len = 0;
@@ -1338,6 +1356,8 @@ impl Solver {
     /// never deleted. Runs the arena garbage collector afterwards when
     /// enough literals are reclaimable.
     fn reduce_db(&mut self) {
+        let reduce_span = coremax_obs::span(Phase::ReduceDb);
+        let learned_before = self.db.num_learned() as u64;
         let mut refs = std::mem::take(&mut self.reduce_scratch);
         let cap_before = refs.capacity();
         refs.clear();
@@ -1367,6 +1387,13 @@ impl Solver {
             self.stats.scratch_reallocs += 1;
         }
         self.reduce_scratch = refs;
+        reduce_span.finish(&mut self.stats.phase);
+        if coremax_obs::tracing_enabled() {
+            coremax_obs::emit(Event::ReduceDb {
+                learned_before,
+                learned_after: self.db.num_learned() as u64,
+            });
+        }
         self.maybe_collect_garbage();
     }
 
@@ -1391,6 +1418,8 @@ impl Solver {
     /// redundant by construction.
     fn reduce_db_aggressive(&mut self) {
         self.stats.watermark_reductions += 1;
+        let reduce_span = coremax_obs::span(Phase::ReduceDb);
+        let learned_before = self.db.num_learned() as u64;
         let mut refs = std::mem::take(&mut self.reduce_scratch);
         refs.clear();
         refs.extend(self.db.learned_refs());
@@ -1403,6 +1432,13 @@ impl Solver {
         }
         self.reduce_scratch = refs;
         self.max_learnts = (self.db.num_learned() as f64).max(self.config.min_learnts);
+        reduce_span.finish(&mut self.stats.phase);
+        if coremax_obs::tracing_enabled() {
+            coremax_obs::emit(Event::WatermarkReduction {
+                learned_before,
+                learned_after: self.db.num_learned() as u64,
+            });
+        }
         self.collect_garbage_now();
     }
 
@@ -1424,6 +1460,7 @@ impl Solver {
         if self.db.wasted_words() == 0 {
             return;
         }
+        let gc_span = coremax_obs::span(Phase::Gc);
         let remap = self.db.collect_garbage();
         for ws in &mut self.watches {
             ws.retain_mut(|w| {
@@ -1447,6 +1484,10 @@ impl Solver {
         }
         self.stats.gc_runs += 1;
         self.stats.gc_bytes_reclaimed += remap.bytes_reclaimed;
+        gc_span.finish(&mut self.stats.phase);
+        coremax_obs::emit(Event::Gc {
+            bytes_reclaimed: remap.bytes_reclaimed,
+        });
     }
 
     fn search(
@@ -1471,7 +1512,12 @@ impl Solver {
         let check_interval = self.config.timeout_check_interval.max(1);
         let mut until_time_check = check_interval;
         loop {
-            if let Some(confl) = self.propagate() {
+            // Phase spans in the hot loop are inert (one relaxed load,
+            // no clock read) unless `coremax_obs` timing is enabled.
+            let prop_span = coremax_obs::span(Phase::Propagate);
+            let propagated = self.propagate();
+            prop_span.finish(&mut self.stats.phase);
+            if let Some(confl) = propagated {
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     let core = self.final_conflict_core(confl);
@@ -1479,9 +1525,17 @@ impl Solver {
                     self.unsat_core = Some(core);
                     return SearchResult::Unsat;
                 }
+                let analyze_span = coremax_obs::span(Phase::Analyze);
                 let backtrack = self.analyze(confl);
                 self.cancel_until(backtrack);
                 self.record_learnt();
+                analyze_span.finish(&mut self.stats.phase);
+                if self.stats.conflicts.is_multiple_of(1024) && coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(Event::ConflictRate {
+                        conflicts: self.stats.conflicts,
+                        propagations: self.stats.propagations,
+                    });
+                }
                 if let Some(cap) = conflict_cap {
                     if self.stats.conflicts >= cap {
                         return SearchResult::BudgetExhausted;

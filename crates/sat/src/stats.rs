@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use coremax_obs::PhaseTimes;
+
 /// Number of buckets in the learned-clause LBD histogram:
 /// `[1..=2, 3..=5, 6..=9, 10..]`.
 pub const LBD_HIST_BUCKETS: usize = 4;
@@ -68,6 +70,10 @@ pub struct SolverStats {
     /// memory pressure handled by shedding learned clauses instead of
     /// growing towards allocation failure.
     pub watermark_reductions: u64,
+    /// Per-phase wall-time breakdown (propagate / analyze / reduce_db
+    /// / gc / sat_call). All zero unless `coremax_obs` timing was
+    /// enabled while the solver ran.
+    pub phase: PhaseTimes,
 }
 
 impl SolverStats {
@@ -109,6 +115,50 @@ impl SolverStats {
         self.clauses_retained += other.clauses_retained;
         self.solver_rebuilds += other.solver_rebuilds;
         self.watermark_reductions += other.watermark_reductions;
+        self.phase.absorb(&other.phase);
+    }
+
+    /// Appends the full counter tree as a JSON object (hand-rolled, no
+    /// serde; used by `--stats-json` and the bench artifacts).
+    pub fn to_json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"decisions\": {}, \"propagations\": {}, \"bin_propagations\": {}, \
+             \"conflicts\": {}, \"restarts\": {}, \"restarts_luby\": {}, \
+             \"restarts_glucose\": {}, \"learned_clauses\": {}, \"deleted_clauses\": {}, \
+             \"peak_learned\": {}, \"glue_clauses\": {}, \"lbd_hist\": [{}, {}, {}, {}], \
+             \"gc_runs\": {}, \"gc_bytes_reclaimed\": {}, \"scratch_reallocs\": {}, \
+             \"max_literals\": {}, \"tot_literals\": {}, \"incremental_solves\": {}, \
+             \"clauses_retained\": {}, \"solver_rebuilds\": {}, \"watermark_reductions\": {}, \
+             \"phase_times\": ",
+            self.decisions,
+            self.propagations,
+            self.bin_propagations,
+            self.conflicts,
+            self.restarts,
+            self.restarts_luby,
+            self.restarts_glucose,
+            self.learned_clauses,
+            self.deleted_clauses,
+            self.peak_learned,
+            self.glue_clauses,
+            self.lbd_hist[0],
+            self.lbd_hist[1],
+            self.lbd_hist[2],
+            self.lbd_hist[3],
+            self.gc_runs,
+            self.gc_bytes_reclaimed,
+            self.scratch_reallocs,
+            self.max_literals,
+            self.tot_literals,
+            self.incremental_solves,
+            self.clauses_retained,
+            self.solver_rebuilds,
+            self.watermark_reductions,
+        );
+        self.phase.to_json_into(out);
+        out.push('}');
     }
 }
 
@@ -142,7 +192,11 @@ impl fmt::Display for SolverStats {
             self.clauses_retained,
             self.solver_rebuilds,
             self.watermark_reductions
-        )
+        )?;
+        if !self.phase.is_zero() {
+            write!(f, " phase=[{}]", self.phase)?;
+        }
+        Ok(())
     }
 }
 

@@ -506,14 +506,39 @@ impl<'a> Engine<'a> {
             self.stats.rounds += 1;
             let before = self.change_marker();
             if self.cfg.subsumption {
+                let subsumed0 = self.stats.subsumed + self.stats.strengthened;
                 self.subsume_round();
                 self.propagate();
+                if coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(coremax_obs::Event::SimpPass {
+                        pass: "subsume",
+                        round: round as u64,
+                        removed: self.stats.subsumed + self.stats.strengthened - subsumed0,
+                    });
+                }
             }
             if self.cfg.probing && round == 1 && !self.budget.interrupted() {
+                let failed0 = self.stats.failed_literals;
                 self.probe_round();
+                if coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(coremax_obs::Event::SimpPass {
+                        pass: "probe",
+                        round: round as u64,
+                        removed: self.stats.failed_literals - failed0,
+                    });
+                }
             }
             if self.cfg.bve && !self.budget.interrupted() {
+                let eliminated0 = self.stats.eliminated_vars + self.stats.pure_literals;
                 self.bve_round();
+                if coremax_obs::tracing_enabled() {
+                    coremax_obs::emit(coremax_obs::Event::SimpPass {
+                        pass: "bve",
+                        round: round as u64,
+                        removed: self.stats.eliminated_vars + self.stats.pure_literals
+                            - eliminated0,
+                    });
+                }
             }
             self.propagate();
             if self.change_marker() == before {

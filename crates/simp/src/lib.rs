@@ -137,6 +137,38 @@ pub struct SimpStats {
     pub vars_out: u64,
 }
 
+impl SimpStats {
+    /// Appends the counters as a JSON object (hand-rolled, no serde;
+    /// used by `--stats-json` and the bench artifacts).
+    pub fn to_json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"rounds\": {}, \"facts\": {}, \"probes\": {}, \"failed_literals\": {}, \
+             \"eliminated_vars\": {}, \"pure_literals\": {}, \"subsumed\": {}, \
+             \"strengthened\": {}, \"soft_dropped\": {}, \"soft_falsified\": {}, \
+             \"hard_in\": {}, \"hard_out\": {}, \"soft_in\": {}, \"soft_out\": {}, \
+             \"vars_in\": {}, \"vars_out\": {}}}",
+            self.rounds,
+            self.facts,
+            self.probes,
+            self.failed_literals,
+            self.eliminated_vars,
+            self.pure_literals,
+            self.subsumed,
+            self.strengthened,
+            self.soft_dropped,
+            self.soft_falsified,
+            self.hard_in,
+            self.hard_out,
+            self.soft_in,
+            self.soft_out,
+            self.vars_in,
+            self.vars_out,
+        );
+    }
+}
+
 impl std::fmt::Display for SimpStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
