@@ -52,6 +52,7 @@ impl Default for Args {
                 "msu4v2".into(),
                 "msu3".into(),
                 "wmsu1".into(),
+                "oll".into(),
                 "maxsatz".into(),
             ],
         }

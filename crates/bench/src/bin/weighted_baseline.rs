@@ -3,9 +3,9 @@
 //!
 //! Writes a JSON trajectory (`BENCH_pr4.json` at the repo root by
 //! convention) comparing the clause-replication baseline against the
-//! native weight-aware solvers (`wmsu1`, `strat-msu3`, `strat-msu4`),
-//! each measured with preprocessing off and on. Every solution is
-//! verified against the original instance.
+//! native weight-aware solvers (`wmsu1`, `strat-msu3`, `strat-msu4`,
+//! `oll`, `strat-oll`), each measured with preprocessing off and on.
+//! Every solution is verified against the original instance.
 //!
 //! Replication is *expected* to fail on the heavy-skew family: an
 //! instance whose total soft weight exceeds the replication cap comes
@@ -142,6 +142,7 @@ fn main() {
     let mut aborted_total = 0usize;
     let mut capped_total = 0usize;
     let mut verify_failures = 0usize;
+    let mut totalizer_extensions_total = 0u64;
     let mut all_records: Vec<RunRecord> = Vec::new();
     // instance → did any native (non-replication) solver prove optimal?
     let mut native_optimal: HashMap<String, bool> = HashMap::new();
@@ -197,6 +198,7 @@ fn main() {
                 if !is_replication && r.status == MaxSatStatus::Optimal {
                     native_optimal.insert(r.instance.clone(), true);
                 }
+                totalizer_extensions_total += r.totalizer_extensions;
                 if !first {
                     out.push_str(",\n");
                 }
@@ -206,7 +208,7 @@ fn main() {
                     "    {{\"solver\": \"{}\", \"preprocess\": {}, \"instance\": \"{}\", \
                      \"family\": \"{}\", \"status\": \"{}\", \"capped\": {}, \"cost\": {}, \
                      \"verified\": {}, \"time_ms\": {:.3}, \"propagations\": {}, \
-                     \"conflicts\": {}}}",
+                     \"conflicts\": {}, \"totalizer_extensions\": {}}}",
                     json_escape(&label),
                     r.preprocess,
                     json_escape(&r.instance),
@@ -218,6 +220,7 @@ fn main() {
                     r.time.as_secs_f64() * 1e3,
                     r.sat_propagations,
                     r.sat_conflicts,
+                    r.totalizer_extensions,
                 );
             }
             all_records.extend(records);
@@ -266,6 +269,10 @@ fn main() {
             .map(|n| format!("\"{}\"", json_escape(n)))
             .collect::<Vec<_>>()
             .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"totalizer_extensions\": {totalizer_extensions_total},"
     );
     let _ = writeln!(out, "  \"weighted_aborted\": {aborted_total},");
     let _ = writeln!(out, "  \"verify_failures\": {verify_failures}");

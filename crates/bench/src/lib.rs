@@ -14,7 +14,8 @@ use std::time::Duration;
 
 use coremax::{
     verify_solution, BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolver, MaxSatStatus,
-    Msu1, Msu2, Msu3, Msu4, PboBaseline, Preprocessed, Stratified, WeightedByReplication, Wmsu1,
+    Msu1, Msu2, Msu3, Msu4, Oll, PboBaseline, Preprocessed, Stratified, WeightedByReplication,
+    Wmsu1,
 };
 use coremax_instances::Instance;
 use coremax_sat::Budget;
@@ -44,6 +45,9 @@ pub struct RunRecord {
     pub sat_propagations: u64,
     /// CDCL conflicts aggregated over the run's SAT calls.
     pub sat_conflicts: u64,
+    /// Incremental totalizer bound extensions (OLL-style solvers;
+    /// zero for the rebuild-per-core drivers).
+    pub totalizer_extensions: u64,
     /// Preprocessing counters (zeros when `preprocess` is false).
     pub simp: SimpStats,
     /// `verify_solution` verdict against the *original* instance —
@@ -97,8 +101,10 @@ pub fn solver_by_name_send(name: &str) -> Box<dyn MaxSatSolver + Send> {
         "linear" => Box::new(LinearSearchSat::new()),
         "binary" => Box::new(BinarySearchSat::new()),
         "wmsu1" => Box::new(Wmsu1::new()),
+        "oll" => Box::new(Oll::new()),
         "strat-msu3" => Box::new(Stratified::new(Msu3::new())),
         "strat-msu4" => Box::new(Stratified::new(Msu4::v2())),
+        "strat-oll" => Box::new(Stratified::new(Oll::new())),
         "replication" => Box::new(WeightedByReplication::new(Msu3::new())),
         other => panic!("unknown experiment solver `{other}`"),
     }
@@ -108,8 +114,16 @@ pub fn solver_by_name_send(name: &str) -> Box<dyn MaxSatSolver + Send> {
 pub const PAPER_SOLVERS: [&str; 4] = ["maxsatz", "pbo", "msu4v1", "msu4v2"];
 
 /// The weighted-evaluation line-up: the replication baseline against
-/// the native weight-aware paths.
-pub const WEIGHTED_SOLVERS: [&str; 4] = ["replication", "wmsu1", "strat-msu3", "strat-msu4"];
+/// the native weight-aware paths, including the OLL/RC2-class solver
+/// bare and behind the stratified wrapper.
+pub const WEIGHTED_SOLVERS: [&str; 6] = [
+    "replication",
+    "wmsu1",
+    "strat-msu3",
+    "strat-msu4",
+    "oll",
+    "strat-oll",
+];
 
 /// Runs `solver_name` over `instances` with `budget` per instance
 /// (no preprocessing).
@@ -159,6 +173,7 @@ pub fn run_solver_over_opts(
                 time: solution.stats.wall_time,
                 sat_propagations: solution.stats.sat.propagations,
                 sat_conflicts: solution.stats.sat.conflicts,
+                totalizer_extensions: solution.stats.totalizer_extensions,
                 simp: solution.stats.simp,
                 verified,
                 samples: Vec::new(),
@@ -208,6 +223,7 @@ pub fn run_solver_over_traced(
                 time: solution.stats.wall_time,
                 sat_propagations: solution.stats.sat.propagations,
                 sat_conflicts: solution.stats.sat.conflicts,
+                totalizer_extensions: solution.stats.totalizer_extensions,
                 simp: solution.stats.simp,
                 verified,
                 samples: collector.bound_samples(),
@@ -229,8 +245,10 @@ fn experiment_alias(name: &str) -> &'static str {
         "linear" => "linear",
         "binary" => "binary",
         "wmsu1" => "wmsu1",
+        "oll" => "oll",
         "strat-msu3" => "strat-msu3",
         "strat-msu4" => "strat-msu4",
+        "strat-oll" => "strat-oll",
         "replication" => "replication",
         _ => "unknown",
     }
@@ -372,6 +390,7 @@ mod tests {
             time: Duration::ZERO,
             sat_propagations: 0,
             sat_conflicts: 0,
+            totalizer_extensions: 0,
             simp: SimpStats::default(),
             verified: true,
             samples: Vec::new(),

@@ -18,8 +18,8 @@
 use std::time::Duration;
 
 use coremax::{
-    BranchBound, MaxSatSolver, MaxSatStatus, Msu3, Msu4, Msu4Incremental, Preprocessed, Stratified,
-    Wmsu1,
+    BranchBound, MaxSatSolver, MaxSatStatus, Msu3, Msu4, Msu4Incremental, Oll, Preprocessed,
+    Stratified, Wmsu1,
 };
 use coremax_bench::fi::{armed_budget, check_anytime_sound, exhaustive_optimum, Fault};
 use coremax_cnf::WcnfFormula;
@@ -34,14 +34,17 @@ use proptest::prelude::*;
 fn lineup() -> Vec<(&'static str, Box<dyn MaxSatSolver>)> {
     vec![
         ("wmsu1", Box::new(Wmsu1::new())),
+        ("oll", Box::new(Oll::new())),
         ("stratified<msu3>", Box::new(Stratified::new(Msu3::new()))),
         ("stratified<msu4>", Box::new(Stratified::new(Msu4::v2()))),
         (
             "stratified<msu4-inc>",
             Box::new(Stratified::new(Msu4Incremental::new())),
         ),
+        ("stratified<oll>", Box::new(Stratified::new(Oll::new()))),
         ("maxsatz-bb", Box::new(BranchBound::new())),
         ("pre(wmsu1)", Box::new(Preprocessed::new(Wmsu1::new()))),
+        ("pre(oll)", Box::new(Preprocessed::new(Oll::new()))),
         (
             "pre(stratified<msu3>)",
             Box::new(Preprocessed::new(Stratified::new(Msu3::new()))),
@@ -201,5 +204,45 @@ fn pre_raised_stop_flag_is_deterministic() {
         assert_eq!(first.status, second.status, "{label} status");
         assert_eq!(first.cost, second.cost, "{label} incumbent cost");
         assert_eq!(first.lower_bound, second.lower_bound, "{label} lower bound");
+    }
+}
+
+/// Cancellation landing around an in-place totalizer bound raise. The
+/// at-most-2-of-4 instance forces the OLL driver through at least one
+/// `increase_bound` extension on the unfaulted path (every core has ≥ 3
+/// members, and the optimum exceeds what the bound-1 outputs allow).
+/// Sweeping the per-call conflict and propagation caps lands the stop
+/// at every budget poll point — before the first core, between a core
+/// and its extension, and right after the raised output becomes an
+/// assumption — and each truncated run must still return a certified
+/// interval, never a wrong verdict.
+#[test]
+fn cancellation_mid_totalizer_extension_keeps_the_interval_certified() {
+    let w = coremax_cnf::dimacs::parse_wcnf(
+        "p wcnf 4 8 9\n9 -1 -2 -3 0\n9 -1 -2 -4 0\n9 -1 -3 -4 0\n9 -2 -3 -4 0\n\
+         1 1 0\n1 2 0\n1 3 0\n1 4 0\n",
+    )
+    .expect("instance parses");
+    let optimum = exhaustive_optimum(&w);
+    assert_eq!(optimum, Some(2));
+    // Unfaulted control: this instance really drives the extension path.
+    let control = Oll::new().solve(&w);
+    assert_eq!(control.cost, Some(2));
+    assert!(
+        control.stats.totalizer_extensions >= 1,
+        "instance must force a totalizer extension"
+    );
+    for cap in 0..=24u64 {
+        for fault in [Fault::ConflictCap(cap), Fault::PropagationCap(cap)] {
+            let (budget, thread) = armed_budget(&fault);
+            let mut solver = Oll::new();
+            solver.set_budget(budget);
+            let s = solver.solve(&w);
+            if let Some(t) = thread {
+                t.join();
+            }
+            check_anytime_sound(&w, &s, optimum)
+                .unwrap_or_else(|violation| panic!("oll under {fault:?}: {violation}"));
+        }
     }
 }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use coremax::{
     BinarySearchSat, BranchBound, LinearSearchSat, MaxSatSolution, MaxSatSolver, MaxSatStatus,
-    Msu1, Msu2, Msu3, Msu4, Msu4Incremental, PboBaseline, Preprocessed, Stratified,
+    Msu1, Msu2, Msu3, Msu4, Msu4Incremental, Oll, PboBaseline, Preprocessed, Stratified,
     WeightedByReplication, Wmsu1,
 };
 use coremax_cnf::{dimacs, WcnfFormula, Weight};
@@ -210,8 +210,8 @@ pub fn usage() -> String {
      \n\
      ALGO: msu4-v2 (default), msu4-v1, msu4-inc, msu1, msu2, msu3, pbo,\n\
      \x20      maxsatz-bb, linear-sat, binary-sat,\n\
-     \x20      wmsu1, strat-msu3 (alias: stratified), strat-msu4,\n\
-     \x20      strat-wmsu1, replication\n\
+     \x20      oll, wmsu1, strat-msu3 (alias: stratified), strat-msu4,\n\
+     \x20      strat-oll, strat-wmsu1, replication\n\
      \x20      Weighted input is solved natively: unweighted-only\n\
      \x20      algorithms are stratified automatically (never replicated).\n\
      FILE: DIMACS .cnf (treated as unweighted MaxSAT) or .wcnf (classic\n\
@@ -261,9 +261,11 @@ pub fn make_solver_send(name: &str) -> Result<Box<dyn MaxSatSolver + Send>, Stri
         "msu1" => Box::new(Msu1::new()),
         "msu2" => Box::new(Msu2::new()),
         "msu3" => Box::new(Msu3::new()),
+        "oll" => Box::new(Oll::new()),
         "wmsu1" => Box::new(Wmsu1::new()),
         "stratified" | "strat-msu3" => Box::new(Stratified::new(Msu3::new())),
         "strat-msu4" => Box::new(Stratified::new(Msu4::v2())),
+        "strat-oll" => Box::new(Stratified::new(Oll::new())),
         "strat-wmsu1" => Box::new(Stratified::new(Wmsu1::new())),
         "replication" => Box::new(WeightedByReplication::new(Msu3::new())),
         "pbo" => Box::new(PboBaseline::new()),
@@ -398,6 +400,18 @@ impl BatchRun {
         self.outcomes
             .iter()
             .filter(|o| o.status == MaxSatStatus::Unknown)
+            .count()
+    }
+
+    /// Number of instances that aborted without an incumbent: no `o`
+    /// value was ever certified, only the lower bound. These are the
+    /// batch counterpart of single-file exit code 30 (hard abort), as
+    /// opposed to 10 (abort with a certified incumbent).
+    #[must_use]
+    pub fn hard_aborts(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == MaxSatStatus::Unknown && o.cost.is_none())
             .count()
     }
 }
@@ -542,12 +556,13 @@ pub fn format_batch(run: &BatchRun) -> String {
         out.push('\n');
     }
     out.push_str(&format!(
-        "c batch: {} instances, {} optimal, {} infeasible, {} aborted, \
-         jobs={}, wall {:.1} ms, cpu {:.1} ms\n",
+        "c batch: {} instances, {} optimal, {} infeasible, {} aborted \
+         ({} without incumbent), jobs={}, wall {:.1} ms, cpu {:.1} ms\n",
         run.outcomes.len(),
         counts[0],
         counts[1],
         counts[2],
+        run.hard_aborts(),
         run.jobs,
         run.wall_ms,
         run.cpu_ms,
@@ -995,10 +1010,12 @@ mod tests {
             "msu1",
             "msu2",
             "msu3",
+            "oll",
             "wmsu1",
             "stratified",
             "strat-msu3",
             "strat-msu4",
+            "strat-oll",
             "strat-wmsu1",
             "replication",
             "pbo",
@@ -1016,6 +1033,8 @@ mod tests {
         for (name, expected) in [
             ("msu4-v2", false),
             ("msu1", false),
+            ("oll", true),
+            ("strat-oll", true),
             ("wmsu1", true),
             ("stratified", true),
             ("strat-msu4", true),
@@ -1188,6 +1207,39 @@ mod tests {
             ..Options::default()
         };
         assert!(generate_suite(&options, "/tmp/never").is_err());
+    }
+
+    #[test]
+    fn hard_aborts_exclude_incumbent_carrying_unknowns() {
+        let outcome = |status, cost| BatchFileOutcome {
+            file: "f.cnf".into(),
+            status,
+            cost,
+            lower_bound: 1,
+            verified: true,
+            time_ms: 0.0,
+            stats: coremax::MaxSatStats::default(),
+        };
+        let run = BatchRun {
+            outcomes: vec![
+                outcome(MaxSatStatus::Optimal, Some(2)),
+                outcome(MaxSatStatus::Unknown, Some(5)), // exit-10 class
+                outcome(MaxSatStatus::Unknown, None),    // exit-30 class
+            ],
+            wall_ms: 0.0,
+            cpu_ms: 0.0,
+            jobs: 1,
+            show_stats: false,
+            show_simp_stats: false,
+        };
+        assert_eq!(run.unknown(), 2);
+        assert_eq!(
+            run.hard_aborts(),
+            1,
+            "an abort with a certified incumbent is not a hard abort"
+        );
+        let text = format_batch(&run);
+        assert!(text.contains("2 aborted (1 without incumbent)"), "{text}");
     }
 
     #[test]

@@ -66,7 +66,13 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::from(3);
                 }
-                if batch.unknown() > 0 {
+                // Mirror the single-file exit codes: 30 when some
+                // instance aborted with no incumbent at all (nothing
+                // but its lower bound is certified), 10 when every
+                // abort still carries a certified incumbent.
+                if batch.hard_aborts() > 0 {
+                    ExitCode::from(30)
+                } else if batch.unknown() > 0 {
                     ExitCode::from(10)
                 } else {
                     ExitCode::SUCCESS

@@ -86,6 +86,80 @@ fn batch_jobs4_matches_sequential_single_file_runs() {
 }
 
 #[test]
+fn single_file_hard_abort_exits_30() {
+    // A zero-millisecond budget is exhausted before the first SAT
+    // call: no incumbent exists, only the (trivial) lower bound — the
+    // hard-abort exit code, not the incumbent-carrying 10.
+    let dir = std::env::temp_dir().join("coremax-abort-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("example2.cnf");
+    std::fs::write(
+        &path,
+        "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+    )
+    .unwrap();
+    let output = Command::new(binary())
+        .args(["--timeout-ms", "0"])
+        .arg(path.display().to_string())
+        .output()
+        .expect("run single with exhausted budget");
+    assert_eq!(
+        output.status.code(),
+        Some(30),
+        "hard abort must exit 30: {output:?}"
+    );
+    let (status, cost) = parse_single(&String::from_utf8(output.stdout).expect("utf8"));
+    assert_eq!(status, "UNKNOWN");
+    assert_eq!(cost, None, "no o line without an incumbent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_hard_abort_exits_30_not_10() {
+    // Batch counterpart of the single-file distinction: an aborted
+    // instance with no incumbent anywhere in the directory must exit
+    // 30 (previously any abort exited 10, claiming a certified
+    // incumbent that does not exist).
+    let dir = std::env::temp_dir().join("coremax-batch-abort-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("a.cnf"),
+        "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("b.cnf"), "p cnf 1 2\n1 0\n-1 0\n").unwrap();
+    let output = Command::new(binary())
+        .args(["--timeout-ms", "0", "--jobs", "2"])
+        .arg(dir.display().to_string())
+        .output()
+        .expect("run batch with exhausted budget");
+    assert_eq!(
+        output.status.code(),
+        Some(30),
+        "batch hard abort must exit 30: {output:?}"
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    for line in stdout.lines().filter(|l| l.starts_with("r ")) {
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some("r"));
+        let _file = parts.next().expect("file column");
+        assert_eq!(parts.next(), Some("UNKNOWN"), "{line}");
+        assert_eq!(parts.next(), Some("-"), "no incumbent column: {line}");
+        assert!(
+            parts.next().is_some_and(|p| p.starts_with("lb=")),
+            "aborted rows carry their certified lower bound: {line}"
+        );
+    }
+    assert!(
+        stdout.contains("aborted (2 without incumbent)"),
+        "summary counts hard aborts: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn portfolio_flag_solves_single_instance() {
     let dir = std::env::temp_dir().join("coremax-portfolio-cli-test");
     let _ = std::fs::remove_dir_all(&dir);

@@ -25,11 +25,14 @@
 //!
 //! Beyond the paper, the crate carries the weighted successor line:
 //! [`Wmsu1`] (Fu–Malik with weight splitting, WPM1-style) solves
-//! weighted partial MaxSAT natively, and [`Stratified`] turns *any*
-//! solver — including the unweighted msu3/msu4 — into an exact weighted
-//! solver by solving weight strata heaviest-first and freezing each
-//! stratum's optimum. [`WeightedByReplication`] remains as the
-//! historical baseline they subsume.
+//! weighted partial MaxSAT natively, [`Oll`] is the OLL/RC2-class
+//! driver (soft cardinality constraints per core, incremental totalizer
+//! bound raises, core exhaustion, weight-aware hardening), and
+//! [`Stratified`] turns *any* solver — including the unweighted
+//! msu3/msu4 — into an exact weighted solver by solving weight strata
+//! heaviest-first and freezing each stratum's optimum.
+//! [`WeightedByReplication`] remains as the historical baseline they
+//! subsume.
 //!
 //! All solvers implement [`MaxSatSolver`] and accept weighted partial
 //! WCNF input where the algorithm supports it (see each type's docs and
@@ -67,6 +70,7 @@ mod linear_core;
 mod msu1;
 mod msu4;
 mod msu4_inc;
+mod oll;
 mod pbo_baseline;
 mod preprocess;
 mod sat_search;
@@ -83,6 +87,7 @@ pub use linear_core::{Msu2, Msu3};
 pub use msu1::Msu1;
 pub use msu4::{Msu4, Msu4Config};
 pub use msu4_inc::Msu4Incremental;
+pub use oll::Oll;
 pub use pbo_baseline::PboBaseline;
 pub use preprocess::Preprocessed;
 pub use sat_search::{BinarySearchSat, LinearSearchSat};

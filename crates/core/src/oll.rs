@@ -1,0 +1,677 @@
+//! OLL/RC2-class core-guided MaxSAT with incremental totalizers.
+//!
+//! The msu* lineage of the DATE'08 paper relaxes every core with fresh
+//! blocking variables and re-encodes its cardinality bound from
+//! scratch. The OLL family (Andres–Kaufmann–Matheis–Schaub for ASP,
+//! Morgado–Dodaro–Marques-Silva for MaxSAT, and the RC2 solver of the
+//! MaxSAT Evaluations) instead keeps a *soft cardinality constraint*
+//! per core: the core's relaxation literals feed a truncated totalizer
+//! whose output `o(1)` ("two or more violated") becomes a new soft
+//! literal. When a later core contains that output, the totalizer's
+//! bound is raised **in place** — [`IncrementalTotalizer::increase_bound`]
+//! emits only the new layers into the persistent engine — and the next
+//! output becomes the next soft. Weights are handled RC2-style: a core
+//! charges its minimum weight `w_min` to the certified lower bound,
+//! members heavier than `w_min` keep their assumption at the residual
+//! weight (a fresh relaxation literal joins the totalizer in their
+//! stead), and members at exactly `w_min` are deactivated with their
+//! selector counted directly.
+//!
+//! On top of the core loop sit the two RC2 refinements named by the
+//! ROADMAP: *core exhaustion* (a totalizer whose bound reaches its
+//! input count can never overflow again and stops producing softs) and
+//! *weight-aware hardening* (once an incumbent exists, any working
+//! soft whose residual weight exceeds the certified gap `ub − lb` is
+//! made permanently hard — falsifying it would already cost more than
+//! the incumbent). Incumbents arise from an internal Boolean-
+//! lexicographic schedule: softs are activated stratum by stratum
+//! (distinct weights, heaviest first), and every SAT answer before the
+//! last stratum yields a model whose exact cost is a certified upper
+//! bound — so the solver is natively anytime on weighted input.
+//!
+//! Every intermediate state is a certified interval: `lb` is the sum
+//! of per-core charges (sound by the OLL transformation), and the
+//! incumbent cost is exact by construction. Budget exhaustion at any
+//! point — including between a core and its totalizer extension —
+//! returns `[lb, incumbent]`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use coremax_cards::{CnfSink, IncrementalTotalizer};
+use coremax_cnf::{Lit, WcnfFormula, Weight};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+
+use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
+
+/// OLL/RC2-class solver: soft cardinality constraints with
+/// incrementally extended totalizers, core exhaustion and weight-aware
+/// hardening. Handles arbitrary weighted partial MaxSAT natively.
+///
+/// # Examples
+///
+/// ```
+/// use coremax::{MaxSatSolver, Oll};
+/// use coremax_cnf::{Lit, WcnfFormula};
+///
+/// let mut w = WcnfFormula::new();
+/// let x = w.new_var();
+/// w.add_soft([Lit::positive(x)], 1_000_000);
+/// w.add_soft([Lit::negative(x)], 7);
+/// let s = Oll::new().solve(&w);
+/// assert_eq!(s.cost, Some(7));
+/// assert!(coremax::verify_solution(&w, &s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oll {
+    budget: Budget,
+    engine_mode: EngineMode,
+}
+
+impl Default for Oll {
+    fn default() -> Self {
+        Oll::new()
+    }
+}
+
+impl Oll {
+    /// OLL on a persistent incremental engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Oll {
+            budget: Budget::new(),
+            engine_mode: EngineMode::Persistent,
+        }
+    }
+
+    /// Selects how the SAT engine services iterations; the rebuilding
+    /// mode reconstructs a fresh solver per call (benchmark baseline).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
+    }
+}
+
+/// Where a working soft came from.
+#[derive(Debug, Clone, Copy)]
+enum Origin {
+    /// One of the instance's original soft clauses.
+    Original,
+    /// Output `level` of totalizer `tot`: the unit `¬o(level)` asserts
+    /// "at most `level` of that totalizer's inputs are true".
+    TotOutput {
+        /// Index into the solver's totalizer arena.
+        tot: usize,
+        /// The output index this soft bounds.
+        level: usize,
+    },
+}
+
+/// One working soft: its current (residual) weight and provenance.
+#[derive(Debug, Clone, Copy)]
+struct Working {
+    weight: Weight,
+    origin: Origin,
+}
+
+/// Moves a sink's fresh variables and clauses into the engine,
+/// returning the clause count.
+fn drain_sink(engine: &mut IncrementalSolver, sink: CnfSink, stats: &mut MaxSatStats) -> u64 {
+    engine.ensure_vars(sink.num_vars());
+    let clauses = sink.into_clauses();
+    let added = clauses.len() as u64;
+    stats.cardinality_clauses += added;
+    for c in clauses {
+        engine.add_clause(c);
+    }
+    added
+}
+
+impl MaxSatSolver for Oll {
+    fn name(&self) -> &'static str {
+        "oll"
+    }
+
+    fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn supports_weights(&self) -> bool {
+        true
+    }
+
+    fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
+        let start = Instant::now();
+        let child_budget = self.budget.child(start);
+        let mut stats = MaxSatStats::default();
+
+        let finish = |status: MaxSatStatus,
+                      cost: Option<Weight>,
+                      lower_bound: Weight,
+                      model: Option<coremax_cnf::Assignment>,
+                      mut stats: MaxSatStats| {
+            stats.wall_time = start.elapsed();
+            MaxSatSolution {
+                status,
+                cost,
+                model,
+                lower_bound,
+                stats,
+            }
+        };
+
+        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        engine.ensure_vars(wcnf.num_vars());
+        engine.set_budget(child_budget.clone());
+        for h in wcnf.hard_clauses() {
+            engine.add_clause(h.lits().iter().copied());
+        }
+
+        // Every original soft is registered up front but starts
+        // deactivated; the stratified schedule below activates them
+        // heaviest-distinct-weight first.
+        let mut working: HashMap<SoftId, Working> = HashMap::new();
+        let mut pending: Vec<(SoftId, Weight)> = Vec::new();
+        for s in wcnf.soft_clauses() {
+            let id = engine.add_soft(s.clause.lits().iter().copied());
+            engine.deactivate(id);
+            pending.push((id, s.weight));
+        }
+
+        // Opens the next stratum: activates every pending soft at the
+        // heaviest remaining weight.
+        let open_stratum = |pending: &mut Vec<(SoftId, Weight)>,
+                            working: &mut HashMap<SoftId, Working>,
+                            engine: &mut IncrementalSolver,
+                            stats: &mut MaxSatStats| {
+            let Some(threshold) = pending.iter().map(|&(_, w)| w).max() else {
+                return;
+            };
+            pending.retain(|&(id, w)| {
+                if w >= threshold {
+                    engine.activate(id);
+                    working.insert(
+                        id,
+                        Working {
+                            weight: w,
+                            origin: Origin::Original,
+                        },
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+            let index = stats.strata;
+            stats.strata += 1;
+            if coremax_obs::tracing_enabled() {
+                coremax_obs::emit(coremax_obs::Event::StratumOpened {
+                    index,
+                    weight: threshold,
+                    softs: working.len() as u64,
+                });
+            }
+        };
+        open_stratum(&mut pending, &mut working, &mut engine, &mut stats);
+
+        let mut tots: Vec<IncrementalTotalizer> = Vec::new();
+        let mut lb: Weight = 0;
+        let mut best_cost: Option<Weight> = None;
+        let mut best_model: Option<coremax_cnf::Assignment> = None;
+
+        loop {
+            stats.sat_calls += 1;
+            match engine.solve(&[]) {
+                SolveOutcome::Unknown => {
+                    stats.absorb_sat(&engine.stats());
+                    return finish(MaxSatStatus::Unknown, best_cost, lb, best_model, stats);
+                }
+                SolveOutcome::Sat => {
+                    stats.sat_iterations += 1;
+                    let model = engine.model().expect("model after SAT").clone();
+                    let cost = wcnf
+                        .cost(&model)
+                        .expect("hard clauses hold under a SAT model");
+                    if best_cost.is_none_or(|b| cost < b) {
+                        best_cost = Some(cost);
+                        best_model = Some(model);
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::Incumbent { cost });
+                            coremax_obs::emit(coremax_obs::Event::Bounds { lb, ub: Some(cost) });
+                        }
+                    }
+                    if pending.is_empty() {
+                        // SAT under every working assumption: the OLL
+                        // invariant makes this model's cost equal the
+                        // accumulated per-core charges.
+                        let best = best_cost.expect("incumbent just recorded");
+                        debug_assert_eq!(best, lb, "final model cost must equal the core charges");
+                        stats.absorb_sat(&engine.stats());
+                        return finish(MaxSatStatus::Optimal, Some(best), best, best_model, stats);
+                    }
+                    // Weight-aware hardening: with a certified interval
+                    // [lb, ub], falsifying any working soft of residual
+                    // weight > ub − lb costs more than the incumbent —
+                    // make it permanently hard.
+                    let ub = best_cost.expect("incumbent exists past the first SAT");
+                    let gap = ub.saturating_sub(lb);
+                    let to_harden: Vec<SoftId> = working
+                        .iter()
+                        .filter(|(_, meta)| meta.weight > gap)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in to_harden {
+                        let meta = working.remove(&id).expect("listed above");
+                        engine.harden(id);
+                        stats.hardened += 1;
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::SoftHardened {
+                                weight: meta.weight,
+                                gap,
+                            });
+                        }
+                    }
+                    pending.retain(|&(id, w)| {
+                        if w > gap {
+                            engine.harden(id);
+                            stats.hardened += 1;
+                            if coremax_obs::tracing_enabled() {
+                                coremax_obs::emit(coremax_obs::Event::SoftHardened {
+                                    weight: w,
+                                    gap,
+                                });
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    open_stratum(&mut pending, &mut working, &mut engine, &mut stats);
+                }
+                SolveOutcome::Unsat => {
+                    stats.unsat_iterations += 1;
+                    if engine.formula_refuted() {
+                        stats.absorb_sat(&engine.stats());
+                        // Refuted independently of every assumption.
+                        // Before any hardening this can only cite hard
+                        // clauses (totalizer definitions and relaxation
+                        // links are satisfiable with free selectors):
+                        // the instance is infeasible. After hardening it
+                        // is unreachable (the incumbent satisfies every
+                        // hardened unit); keep the certified interval.
+                        return if stats.hardened == 0 && best_cost.is_none() {
+                            finish(MaxSatStatus::Infeasible, None, 0, None, stats)
+                        } else {
+                            finish(MaxSatStatus::Unknown, best_cost, lb, best_model, stats)
+                        };
+                    }
+                    let members: Vec<SoftId> = engine
+                        .failed_softs()
+                        .into_iter()
+                        .filter(|id| working.contains_key(id))
+                        .collect();
+                    if members.is_empty() {
+                        stats.absorb_sat(&engine.stats());
+                        return if stats.hardened == 0 && best_cost.is_none() {
+                            finish(MaxSatStatus::Infeasible, None, 0, None, stats)
+                        } else {
+                            finish(MaxSatStatus::Unknown, best_cost, lb, best_model, stats)
+                        };
+                    }
+                    let minw = members
+                        .iter()
+                        .map(|id| working[id].weight)
+                        .min()
+                        .expect("non-empty core");
+                    stats.cores += 1;
+                    lb = lb.saturating_add(minw);
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::CoreExtracted {
+                            size: members.len() as u64,
+                            weight: minw,
+                        });
+                    }
+
+                    // RC2-style core processing. Members heavier than
+                    // w_min keep their assumption at the residual weight
+                    // and contribute a fresh relaxation literal (true
+                    // whenever the member's selector is); members at
+                    // exactly w_min are deactivated and contribute their
+                    // selector directly.
+                    let mut rels: Vec<Lit> = Vec::with_capacity(members.len());
+                    let mut extensions: Vec<(usize, usize)> = Vec::new();
+                    for &id in &members {
+                        let weight = working[&id].weight;
+                        if weight > minw {
+                            working.get_mut(&id).expect("member is working").weight =
+                                weight.saturating_sub(minw);
+                            let relax = Lit::positive(engine.new_var());
+                            let selector = engine.selector(id);
+                            engine.add_clause([!selector, relax]);
+                            rels.push(relax);
+                            stats.blocking_vars += 1;
+                            stats.weight_splits += 1;
+                        } else {
+                            engine.deactivate(id);
+                            let meta = working.remove(&id).expect("member is working");
+                            rels.push(engine.selector(id));
+                            if let Origin::TotOutput { tot, level } = meta.origin {
+                                extensions.push((tot, level));
+                            }
+                        }
+                    }
+
+                    // A fully relaxed totalizer output raises its
+                    // totalizer's bound in place: only the new layers
+                    // are emitted, and the next output becomes the next
+                    // soft. A bound reaching the input count is
+                    // exhausted — the count can never overflow again.
+                    for (tot, level) in extensions {
+                        let next = level + 1;
+                        if next >= tots[tot].num_inputs() {
+                            continue;
+                        }
+                        let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
+                        let mut sink = CnfSink::new(engine.num_vars());
+                        tots[tot].increase_bound(next, &mut sink);
+                        let clauses = drain_sink(&mut engine, sink, &mut stats);
+                        encode_span.finish(&mut stats.phase);
+                        let out = tots[tot].output(next).expect("bound just materialised");
+                        let id = engine.add_soft([!out]);
+                        working.insert(
+                            id,
+                            Working {
+                                weight: minw,
+                                origin: Origin::TotOutput { tot, level: next },
+                            },
+                        );
+                        stats.totalizer_extensions += 1;
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::TotalizerExtended {
+                                bound: next as u64,
+                                clauses,
+                            });
+                        }
+                    }
+
+                    // New soft cardinality constraint over this core's
+                    // relaxation literals (a singleton core needs none:
+                    // its violation is simply allowed).
+                    if rels.len() >= 2 {
+                        let encode_span = coremax_obs::span(coremax_obs::Phase::Encode);
+                        let mut sink = CnfSink::new(engine.num_vars());
+                        let tot = IncrementalTotalizer::new(&rels, 1, &mut sink);
+                        let aux_vars = (sink.num_vars() - engine.num_vars()) as u64;
+                        let clauses = drain_sink(&mut engine, sink, &mut stats);
+                        encode_span.finish(&mut stats.phase);
+                        let out = tot.output(1).expect("two or more inputs");
+                        let id = engine.add_soft([!out]);
+                        tots.push(tot);
+                        working.insert(
+                            id,
+                            Working {
+                                weight: minw,
+                                origin: Origin::TotOutput {
+                                    tot: tots.len() - 1,
+                                    level: 1,
+                                },
+                            },
+                        );
+                        if coremax_obs::tracing_enabled() {
+                            coremax_obs::emit(coremax_obs::Event::RelaxationEncoded {
+                                blocking_vars: aux_vars,
+                                clauses,
+                            });
+                        }
+                    }
+                    if coremax_obs::tracing_enabled() {
+                        coremax_obs::emit(coremax_obs::Event::Bounds { lb, ub: best_cost });
+                    }
+                }
+            }
+            if child_budget.interrupted() {
+                stats.absorb_sat(&engine.stats());
+                return finish(MaxSatStatus::Unknown, best_cost, lb, best_model, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_solution, BranchBound, Msu1, Wmsu1};
+    use coremax_cnf::dimacs;
+
+    fn weighted(text: &str) -> WcnfFormula {
+        dimacs::parse_wcnf(text).unwrap()
+    }
+
+    #[test]
+    fn trivially_satisfiable_costs_zero() {
+        let w = weighted("p wcnf 2 2 9\n5 1 2 0\n3 -1 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(0));
+        assert_eq!(s.stats.cores, 0);
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn picks_the_lighter_side_of_a_conflict() {
+        let w = weighted("p wcnf 1 2\n4 1 0\n9 -1 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(4));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn totalizer_extension_fires_on_deep_cores() {
+        // At most two of four vars true (every triple of negations is
+        // hard), all four positives soft: every core has at least three
+        // members, and a single relaxation per totalizer is never
+        // enough — the bound must be raised in place.
+        let w = weighted(
+            "p wcnf 4 8 9\n9 -1 -2 -3 0\n9 -1 -2 -4 0\n9 -1 -3 -4 0\n9 -2 -3 -4 0\n\
+             1 1 0\n1 2 0\n1 3 0\n1 4 0\n",
+        );
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(2));
+        assert!(verify_solution(&w, &s));
+        assert!(
+            s.stats.totalizer_extensions >= 1,
+            "deep cores must reuse the totalizer incrementally: {:?}",
+            s.stats
+        );
+    }
+
+    #[test]
+    fn core_exhaustion_stops_producing_softs() {
+        // At most one of three vars true, all three positives soft:
+        // optimum 2. Depending on which cores the engine reports, a
+        // two-input totalizer can be driven to its input count — the
+        // exhaustion path must not produce an out-of-range output.
+        let w = weighted("p wcnf 3 6 9\n9 -1 -2 0\n9 -1 -3 0\n9 -2 -3 0\n1 1 0\n1 2 0\n1 3 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(2));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn weight_splitting_keeps_residuals() {
+        // Stratum 1 (weight 2) yields an incumbent of cost 2, so the
+        // gap is exactly 2 and the heavy soft survives hardening; the
+        // weight-1 stratum then puts it in a mixed core, which must
+        // split its weight rather than charge the full 2.
+        let w = weighted("p wcnf 2 4 9\n9 -2 0\n2 1 0\n1 -1 0\n1 2 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(2));
+        assert!(verify_solution(&w, &s));
+        assert!(s.stats.weight_splits >= 1, "{:?}", s.stats);
+    }
+
+    #[test]
+    fn degenerates_to_msu_results_on_unweighted_input() {
+        let text = "p cnf 4 8\n1 0\n-1 -2 0\n2 0\n-1 -3 0\n3 0\n-2 -3 0\n1 -4 0\n-1 4 0\n";
+        let w = WcnfFormula::from_cnf_all_soft(&dimacs::parse_cnf(text).unwrap());
+        let oll = Oll::new().solve(&w);
+        let msu1 = Msu1::new().solve(&w);
+        assert_eq!(oll.cost, msu1.cost);
+        assert_eq!(oll.cost, Some(2));
+        assert!(verify_solution(&w, &oll));
+    }
+
+    #[test]
+    fn partial_infeasible() {
+        let w = weighted("p wcnf 1 3 9\n9 1 0\n9 -1 0\n5 1 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Infeasible);
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn huge_weights_without_replication() {
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        let y = w.new_var();
+        w.add_hard([Lit::negative(x), Lit::negative(y)]);
+        w.add_soft([Lit::positive(x)], 1_000_000_000_000);
+        w.add_soft([Lit::positive(y)], 2_000_000_000_000);
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(1_000_000_000_000));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn duplicate_soft_clauses_with_different_weights() {
+        let w = weighted("p wcnf 1 3 9\n9 -1 0\n3 1 0\n5 1 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(8));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn near_sentinel_weights_stay_saturating() {
+        use coremax_cnf::HARD_WEIGHT;
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_hard([Lit::positive(x)]);
+        w.add_soft([Lit::negative(x)], HARD_WEIGHT - 1);
+        w.add_soft([Lit::positive(x)], 3);
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.cost, Some(HARD_WEIGHT - 1));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn agrees_with_branch_bound_on_random_weighted() {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..25 {
+            let num_vars = 3 + (next() % 3) as usize;
+            let mut w = WcnfFormula::with_vars(num_vars);
+            for _ in 0..(next() % 3) {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        Lit::new(
+                            coremax_cnf::Var::new((next() % num_vars as u64) as u32),
+                            next() & 1 == 0,
+                        )
+                    })
+                    .collect();
+                w.add_hard(lits);
+            }
+            for _ in 0..(4 + next() % 6) {
+                let len = 1 + (next() % 2) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        Lit::new(
+                            coremax_cnf::Var::new((next() % num_vars as u64) as u32),
+                            next() & 1 == 0,
+                        )
+                    })
+                    .collect();
+                w.add_soft(lits, 1 + next() % 9);
+            }
+            let oracle = BranchBound::new().solve(&w);
+            let s = Oll::new().solve(&w);
+            assert_eq!(s.status, oracle.status, "oll status wrong on round {round}");
+            assert_eq!(s.cost, oracle.cost, "oll wrong on round {round}");
+            assert!(verify_solution(&w, &s));
+        }
+    }
+
+    #[test]
+    fn agrees_with_wmsu1_on_mixed_strata() {
+        // Three weight levels force the stratified schedule through
+        // multiple SAT answers before the optimum.
+        let w =
+            weighted("p wcnf 3 7 99\n99 -1 -2 0\n99 -2 -3 0\n8 1 0\n8 2 0\n2 3 0\n1 1 0\n1 3 0\n");
+        let a = Oll::new().solve(&w);
+        let b = Wmsu1::new().solve(&w);
+        assert_eq!(a.cost, b.cost);
+        assert!(verify_solution(&w, &a));
+    }
+
+    #[test]
+    fn budget_abort_returns_certified_interval() {
+        use std::time::Duration;
+        let w = weighted("p wcnf 2 4\n3 1 0\n4 -1 0\n2 2 0\n5 -2 0\n");
+        let mut solver = Oll::new();
+        solver.set_budget(Budget::new().with_timeout(Duration::from_nanos(1)));
+        let s = solver.solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Unknown);
+        assert!(s.lower_bound <= 5, "lb never exceeds the optimum");
+        if let (Some(cost), Some(model)) = (s.cost, s.model.as_ref()) {
+            assert_eq!(w.cost(model), Some(cost), "incumbent certifies its cost");
+            assert!(s.lower_bound <= cost);
+        }
+    }
+
+    #[test]
+    fn optimal_lower_bound_equals_cost() {
+        let w = weighted("p wcnf 1 2\n4 1 0\n9 -1 0\n");
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.lower_bound, 4);
+        assert_eq!(s.gap(), Some(0));
+    }
+
+    #[test]
+    fn rebuild_mode_agrees() {
+        let w = weighted("p wcnf 3 6 9\n9 -1 0\n9 -2 0\n9 -3 0\n2 1 0\n3 2 0\n4 3 0\n");
+        let persistent = Oll::new().solve(&w);
+        let rebuild = Oll::new().with_engine_mode(EngineMode::Rebuild).solve(&w);
+        assert_eq!(persistent.cost, rebuild.cost);
+        assert_eq!(persistent.cost, Some(9));
+        assert!(verify_solution(&w, &rebuild));
+    }
+
+    #[test]
+    fn hardening_fires_on_wide_weight_spread() {
+        // Heavy stratum solved first yields an incumbent; the light
+        // soft (weight 1) is far under the gap, but the heavy pending
+        // one (weight 50 > gap) must be hardened.
+        let w = weighted("p wcnf 3 6 999\n999 -1 -2 0\n100 1 0\n100 2 0\n50 3 0\n1 -3 0\n1 1 0\n");
+        let s = Oll::new().solve(&w);
+        let oracle = BranchBound::new().solve(&w);
+        assert_eq!(s.cost, oracle.cost);
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn empty_formula_is_optimal_at_zero() {
+        let w = WcnfFormula::new();
+        let s = Oll::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(0));
+    }
+}

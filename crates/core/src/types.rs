@@ -56,8 +56,14 @@ pub struct MaxSatStats {
     /// pass-through, 0 for solvers that do not stratify).
     pub strata: u64,
     /// Soft clauses promoted to hard ones by stratification (a stratum
-    /// solved at cost 0 is frozen by hardening instead of cardinality).
+    /// solved at cost 0 is frozen by hardening instead of cardinality)
+    /// or by OLL's gap rule (residual weight exceeds `ub − lb`).
     pub hardened: u64,
+    /// Incremental totalizer bound extensions performed by OLL-style
+    /// solvers: a core containing a totalizer output raised that
+    /// totalizer's bound in place (new layers only) instead of
+    /// re-encoding it from scratch.
+    pub totalizer_extensions: u64,
     /// Total wall-clock time.
     pub wall_time: Duration,
     /// Aggregated CDCL-engine counters across every SAT solver this run
@@ -97,6 +103,7 @@ impl MaxSatStats {
         self.weight_splits += other.weight_splits;
         self.strata += other.strata;
         self.hardened += other.hardened;
+        self.totalizer_extensions += other.totalizer_extensions;
         self.sat.absorb(&other.sat);
         self.phase.absorb(&other.phase);
     }
@@ -129,7 +136,7 @@ impl MaxSatStats {
             "{{\"sat_calls\": {}, \"unsat_iterations\": {}, \"sat_iterations\": {}, \
              \"cores\": {}, \"blocking_vars\": {}, \"cardinality_clauses\": {}, \
              \"nodes\": {}, \"weight_splits\": {}, \"strata\": {}, \"hardened\": {}, \
-             \"wall_time_ms\": {:.3}, \"phase_times\": ",
+             \"totalizer_extensions\": {}, \"wall_time_ms\": {:.3}, \"phase_times\": ",
             self.sat_calls,
             self.unsat_iterations,
             self.sat_iterations,
@@ -140,6 +147,7 @@ impl MaxSatStats {
             self.weight_splits,
             self.strata,
             self.hardened,
+            self.totalizer_extensions,
             self.wall_time.as_secs_f64() * 1e3,
         );
         self.phase_times().to_json_into(out);
@@ -155,7 +163,7 @@ impl fmt::Display for MaxSatStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sat_calls={} unsat_iters={} sat_iters={} cores={} blocking_vars={} card_clauses={} nodes={} weight_splits={} strata={} hardened={} time={:?}",
+            "sat_calls={} unsat_iters={} sat_iters={} cores={} blocking_vars={} card_clauses={} nodes={} weight_splits={} strata={} hardened={} tot_ext={} time={:?}",
             self.sat_calls,
             self.unsat_iterations,
             self.sat_iterations,
@@ -166,6 +174,7 @@ impl fmt::Display for MaxSatStats {
             self.weight_splits,
             self.strata,
             self.hardened,
+            self.totalizer_extensions,
             self.wall_time
         )?;
         let phase = self.phase_times();
@@ -385,8 +394,10 @@ mod tests {
         };
         st.phase
             .add(coremax_obs::Phase::Encode, Duration::from_micros(5));
+        st.totalizer_extensions = 2;
         let v = coremax_obs::json::parse(&st.to_json()).expect("valid json");
         assert_eq!(v.get("sat_calls").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("totalizer_extensions").unwrap().as_u64(), Some(2));
         assert_eq!(
             v.get("phase_times")
                 .unwrap()
@@ -406,11 +417,13 @@ mod tests {
             sat_calls: 7,
             weight_splits: 3,
             strata: 2,
+            totalizer_extensions: 4,
             ..MaxSatStats::default()
         };
         assert!(st.to_string().contains("sat_calls=7"));
         assert!(st.to_string().contains("weight_splits=3"));
         assert!(st.to_string().contains("strata=2"));
+        assert!(st.to_string().contains("tot_ext=4"));
     }
 
     /// The `Send` audit behind `coremax_par`: every solver a portfolio
@@ -431,6 +444,7 @@ mod tests {
         assert_send::<crate::Msu4>();
         assert_send::<crate::Msu4Incremental>();
         assert_send::<crate::Wmsu1>();
+        assert_send::<crate::Oll>();
         assert_send::<crate::BranchBound>();
         assert_send::<crate::Stratified<crate::Msu3>>();
         assert_send::<crate::Preprocessed<crate::Msu4>>();
@@ -466,6 +480,7 @@ mod tests {
             cores: 2,
             weight_splits: 4,
             hardened: 1,
+            totalizer_extensions: 2,
             wall_time: Duration::from_secs(7),
             ..MaxSatStats::default()
         };
@@ -475,6 +490,7 @@ mod tests {
         assert_eq!(a.weight_splits, 4);
         assert_eq!(a.strata, 1);
         assert_eq!(a.hardened, 1);
+        assert_eq!(a.totalizer_extensions, 2);
         assert_eq!(a.wall_time, Duration::from_secs(5));
     }
 }

@@ -214,7 +214,7 @@ impl MaxSatSolver for Wmsu1 {
                         if soft[i].weight > w_min {
                             soft.push(WorkingSoft {
                                 lits: soft[i].lits.clone(),
-                                weight: soft[i].weight - w_min,
+                                weight: soft[i].weight.saturating_sub(w_min),
                             });
                             let residual = engine.add_soft(soft[i].lits.iter().copied());
                             handles.push(residual);
@@ -328,6 +328,23 @@ mod tests {
         w.add_soft([Lit::positive(y)], 2_000_000_000_000);
         let s = Wmsu1::new().solve(&w);
         assert_eq!(s.cost, Some(1_000_000_000_000));
+        assert!(verify_solution(&w, &s));
+    }
+
+    #[test]
+    fn sentinel_adjacent_weights_split_without_overflow() {
+        // HARD_WEIGHT − 1 is the largest legal soft weight; a core
+        // pairing it with a tiny clause splits at w_min = 3 and must
+        // compute the residual HARD_WEIGHT − 4 without wrapping.
+        use coremax_cnf::HARD_WEIGHT;
+        let mut w = WcnfFormula::new();
+        let x = w.new_var();
+        w.add_soft([Lit::positive(x)], HARD_WEIGHT - 1);
+        w.add_soft([Lit::negative(x)], 3);
+        let s = Wmsu1::new().solve(&w);
+        assert_eq!(s.status, MaxSatStatus::Optimal);
+        assert_eq!(s.cost, Some(3));
+        assert!(s.stats.weight_splits >= 1);
         assert!(verify_solution(&w, &s));
     }
 

@@ -18,7 +18,7 @@
 #![recursion_limit = "256"]
 
 use coremax::{
-    verify_solution, BranchBound, MaxSatSolver, MaxSatStatus, Msu1, Msu3, Msu4, Preprocessed,
+    verify_solution, BranchBound, MaxSatSolver, MaxSatStatus, Msu1, Msu3, Msu4, Oll, Preprocessed,
     Stratified, WeightedByReplication, Wmsu1,
 };
 use coremax_cnf::{dimacs, Assignment, WcnfFormula, Weight};
@@ -47,14 +47,17 @@ fn exhaustive_optimum(w: &WcnfFormula) -> Option<Weight> {
 fn lineup() -> Vec<(&'static str, Box<dyn MaxSatSolver>)> {
     vec![
         ("wmsu1", Box::new(Wmsu1::new())),
+        ("oll", Box::new(Oll::new())),
         ("stratified<msu3>", Box::new(Stratified::new(Msu3::new()))),
         ("stratified<msu4>", Box::new(Stratified::new(Msu4::v2()))),
+        ("stratified<oll>", Box::new(Stratified::new(Oll::new()))),
         (
             "replication<msu1>",
             Box::new(WeightedByReplication::new(Msu1::new())),
         ),
         ("maxsatz-bb", Box::new(BranchBound::new())),
         ("pre(wmsu1)", Box::new(Preprocessed::new(Wmsu1::new()))),
+        ("pre(oll)", Box::new(Preprocessed::new(Oll::new()))),
         (
             "pre(stratified<msu3>)",
             Box::new(Preprocessed::new(Stratified::new(Msu3::new()))),
@@ -208,6 +211,7 @@ fn near_sentinel_weights_solve_natively() {
     w.add_soft([Lit::positive(x)], 3);
     for (label, mut solver) in [
         ("wmsu1", Box::new(Wmsu1::new()) as Box<dyn MaxSatSolver>),
+        ("oll", Box::new(Oll::new())),
         ("stratified<msu3>", Box::new(Stratified::new(Msu3::new()))),
         ("maxsatz-bb", Box::new(BranchBound::new())),
     ] {

@@ -101,6 +101,24 @@ pub enum Event {
         /// The incumbent's exact cost.
         cost: u64,
     },
+    /// An OLL-style solver raised an existing totalizer's bound in
+    /// place, reusing its internal nodes and emitting only the new
+    /// layers.
+    TotalizerExtended {
+        /// The totalizer's new bound (outputs `0..=bound` exist).
+        bound: u64,
+        /// CNF clauses the extension added (the new layers only).
+        clauses: u64,
+    },
+    /// A soft clause was made permanently hard because its residual
+    /// weight exceeded the certified gap `ub − lb` (OLL weight-aware
+    /// hardening).
+    SoftHardened {
+        /// Residual weight of the hardened soft clause.
+        weight: u64,
+        /// The certified gap that justified the hardening.
+        gap: u64,
+    },
     /// A stratification driver opened a weight stratum.
     StratumOpened {
         /// 0-based stratum index (heaviest first).
@@ -181,6 +199,8 @@ impl Event {
             Event::RelaxationEncoded { .. } => "relax",
             Event::Bounds { .. } => "bounds",
             Event::Incumbent { .. } => "incumbent",
+            Event::TotalizerExtended { .. } => "totalizer_extended",
+            Event::SoftHardened { .. } => "soft_hardened",
             Event::StratumOpened { .. } => "stratum_opened",
             Event::StratumClosed { .. } => "stratum_closed",
             Event::SimpPass { .. } => "simp_pass",
@@ -259,6 +279,14 @@ impl Event {
                 }
             }
             Event::Incumbent { cost } => num(out, "cost", *cost),
+            Event::TotalizerExtended { bound, clauses } => {
+                num(out, "bound", *bound);
+                num(out, "clauses", *clauses);
+            }
+            Event::SoftHardened { weight, gap } => {
+                num(out, "weight", *weight);
+                num(out, "gap", *gap);
+            }
             Event::StratumOpened {
                 index,
                 weight,
@@ -353,6 +381,11 @@ mod tests {
             Event::Bounds { lb: 1, ub: Some(4) },
             Event::Bounds { lb: 0, ub: None },
             Event::Incumbent { cost: 4 },
+            Event::TotalizerExtended {
+                bound: 2,
+                clauses: 11,
+            },
+            Event::SoftHardened { weight: 9, gap: 3 },
             Event::StratumOpened {
                 index: 0,
                 weight: 8,

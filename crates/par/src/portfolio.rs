@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use coremax::{
-    MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus, Msu3, Msu4, Msu4Incremental,
+    MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus, Msu3, Msu4, Msu4Incremental, Oll,
     Preprocessed, Stratified, Wmsu1,
 };
 use coremax_cnf::{WcnfFormula, Weight};
@@ -20,6 +20,7 @@ enum BaseAlgo {
     Msu4Inc,
     Msu3,
     Wmsu1,
+    Oll,
     StratMsu4,
 }
 
@@ -52,6 +53,7 @@ impl PortfolioMember {
             BaseAlgo::Msu4Inc => Box::new(Msu4Incremental::new()),
             BaseAlgo::Msu3 => Box::new(Msu3::new()),
             BaseAlgo::Wmsu1 => Box::new(Wmsu1::new()),
+            BaseAlgo::Oll => Box::new(Oll::new()),
             BaseAlgo::StratMsu4 => Box::new(Stratified::new(Msu4::v2())),
         };
         if weighted && !solver.supports_weights() {
@@ -144,9 +146,10 @@ impl Portfolio {
     /// each bare and behind the `coremax_simp` pipeline.
     #[must_use]
     pub fn default_members() -> Vec<PortfolioMember> {
-        let bases: [(&'static str, &'static str, BaseAlgo); 6] = [
+        let bases: [(&'static str, &'static str, BaseAlgo); 7] = [
             ("msu4-v2", "msu4-v2+simp", BaseAlgo::Msu4V2),
             ("msu4-inc", "msu4-inc+simp", BaseAlgo::Msu4Inc),
+            ("oll", "oll+simp", BaseAlgo::Oll),
             ("msu4-v1", "msu4-v1+simp", BaseAlgo::Msu4V1),
             ("msu3", "msu3+simp", BaseAlgo::Msu3),
             ("wmsu1", "wmsu1+simp", BaseAlgo::Wmsu1),
@@ -306,38 +309,7 @@ impl Portfolio {
 
         let mut solution = match winner_index {
             Some(i) => results[i].clone().expect("winner slot is filled"),
-            None => {
-                // Everything aborted: merge the members' certified
-                // intervals — incumbent from the member with the lowest
-                // upper bound (lowest member index on ties, so the
-                // reported incumbent is deterministic for any thread
-                // count given the same member results), lower bound the
-                // tightest any member proved. Every member lb is sound
-                // for the same instance, so their max is too.
-                let tightest_lb = results
-                    .iter()
-                    .flatten()
-                    .map(|s| s.lower_bound)
-                    .max()
-                    .unwrap_or(0);
-                let best = results
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, r)| r.as_ref().and_then(|s| s.cost.map(|c| (c, i, s))))
-                    .min_by_key(|&(c, i, _)| (c, i));
-                let mut merged = match best {
-                    Some((_, _, s)) => s.clone(),
-                    None => MaxSatSolution {
-                        status: MaxSatStatus::Unknown,
-                        cost: None,
-                        model: None,
-                        lower_bound: 0,
-                        stats: MaxSatStats::default(),
-                    },
-                };
-                merged.lower_bound = merged.lower_bound.max(tightest_lb);
-                merged
-            }
+            None => merge_aborted_intervals(&results),
         };
         solution.stats.wall_time = start.elapsed();
         total_stats.wall_time = solution.stats.wall_time;
@@ -350,6 +322,43 @@ impl Portfolio {
             total_stats,
         }
     }
+}
+
+/// Merges the certified intervals of an all-aborted race: incumbent
+/// from the member with the lowest upper bound (lowest member index on
+/// cost ties, so the reported incumbent is deterministic for any
+/// thread count given the same member results), lower bound the
+/// tightest any member proved. Every member lb is sound for the same
+/// instance, so their max is too — but the lb and the incumbent come
+/// from *different* members, so the lb is clamped to the incumbent's
+/// cost: a merged interval must never be crossed.
+fn merge_aborted_intervals(results: &[Option<MaxSatSolution>]) -> MaxSatSolution {
+    let tightest_lb = results
+        .iter()
+        .flatten()
+        .map(|s| s.lower_bound)
+        .max()
+        .unwrap_or(0);
+    let best = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().and_then(|s| s.cost.map(|c| (c, i, s))))
+        .min_by_key(|&(c, i, _)| (c, i));
+    let mut merged = match best {
+        Some((_, _, s)) => s.clone(),
+        None => MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost: None,
+            model: None,
+            lower_bound: 0,
+            stats: MaxSatStats::default(),
+        },
+    };
+    merged.lower_bound = merged.lower_bound.max(tightest_lb);
+    if let Some(cost) = merged.cost {
+        merged.lower_bound = merged.lower_bound.min(cost);
+    }
+    merged
 }
 
 impl MaxSatSolver for Portfolio {
@@ -386,9 +395,11 @@ mod tests {
     #[test]
     fn default_members_cover_bare_and_simp() {
         let members = Portfolio::default_members();
-        assert_eq!(members.len(), 12);
+        assert_eq!(members.len(), 14);
         assert!(members.iter().any(|m| m.name() == "msu4-v2"));
         assert!(members.iter().any(|m| m.name() == "msu4-v2+simp"));
+        assert!(members.iter().any(|m| m.name() == "oll"));
+        assert!(members.iter().any(|m| m.name() == "oll+simp"));
         let names: std::collections::HashSet<_> = members.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), members.len(), "member names unique");
     }
@@ -517,9 +528,14 @@ mod tests {
                 .filter_map(|r| r.lower_bound)
                 .max()
                 .unwrap_or(0);
+            let expected_lb = match outcome.solution.cost {
+                Some(cost) => member_max_lb.min(cost),
+                None => member_max_lb,
+            };
             assert_eq!(
-                outcome.solution.lower_bound, member_max_lb,
-                "jobs={jobs}: lower bound must be the tightest any member proved"
+                outcome.solution.lower_bound, expected_lb,
+                "jobs={jobs}: lower bound must be the tightest any member \
+                 proved, clamped to the incumbent"
             );
             if let Some(cost) = outcome.solution.cost {
                 let model = outcome.solution.model.as_ref().expect("incumbent model");
@@ -531,6 +547,63 @@ mod tests {
                 assert!(outcome.solution.lower_bound <= cost, "jobs={jobs}");
             }
         }
+    }
+
+    /// Synthetic aborted member: an Unknown with the given interval.
+    fn aborted_member(
+        cost: Option<coremax_cnf::Weight>,
+        lower_bound: coremax_cnf::Weight,
+        model_bits: &[bool],
+    ) -> Option<MaxSatSolution> {
+        Some(MaxSatSolution {
+            status: MaxSatStatus::Unknown,
+            cost,
+            model: cost.map(|_| coremax_cnf::Assignment::from_bools(model_bits)),
+            lower_bound,
+            stats: MaxSatStats::default(),
+        })
+    }
+
+    #[test]
+    fn aborted_merge_clamps_the_lower_bound_to_the_incumbent() {
+        // The tightest lb (7, from a member without an incumbent) and
+        // the best incumbent (cost 5) come from different members; the
+        // merged interval must not be crossed.
+        let results = vec![
+            aborted_member(Some(5), 1, &[true]),
+            aborted_member(None, 7, &[]),
+        ];
+        let merged = merge_aborted_intervals(&results);
+        assert_eq!(merged.cost, Some(5));
+        assert_eq!(
+            merged.lower_bound, 5,
+            "lb must be clamped to the incumbent cost, not reported as 7"
+        );
+    }
+
+    #[test]
+    fn aborted_merge_breaks_cost_ties_by_lowest_member_index() {
+        let results = vec![
+            aborted_member(None, 2, &[]),
+            aborted_member(Some(4), 3, &[true, false]),
+            aborted_member(Some(4), 1, &[false, true]),
+        ];
+        let merged = merge_aborted_intervals(&results);
+        assert_eq!(merged.cost, Some(4));
+        assert_eq!(
+            merged.model,
+            Some(coremax_cnf::Assignment::from_bools(&[true, false])),
+            "equal costs must resolve to the lowest member index"
+        );
+        assert_eq!(merged.lower_bound, 3, "tightest sound lb, not crossed");
+    }
+
+    #[test]
+    fn aborted_merge_without_any_result_is_a_bare_unknown() {
+        let merged = merge_aborted_intervals(&[None, None]);
+        assert_eq!(merged.status, MaxSatStatus::Unknown);
+        assert_eq!(merged.cost, None);
+        assert_eq!(merged.lower_bound, 0);
     }
 
     #[test]

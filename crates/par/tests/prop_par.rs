@@ -227,6 +227,35 @@ proptest! {
         prop_assert!(verify_solution(&w, &fresh));
     }
 
+    // Merged-interval certification: whatever point the deadline lands
+    // on — before any member starts, mid-race, or after some members
+    // found incumbents — the portfolio's answer is a certified,
+    // *uncrossed* interval: lb ≤ incumbent cost, and the incumbent's
+    // model attains its cost on the original instance.
+    #[test]
+    fn aborted_portfolio_reports_an_uncrossed_certified_interval(
+        w in arb_instance(),
+        timeout_us in 50u64..5_000,
+    ) {
+        let mut portfolio = Portfolio::new(2);
+        portfolio.set_budget(
+            Budget::new().with_timeout(std::time::Duration::from_micros(timeout_us)),
+        );
+        let outcome = portfolio.solve(&w);
+        let s = &outcome.solution;
+        if let Some(cost) = s.cost {
+            prop_assert!(
+                s.lower_bound <= cost,
+                "crossed interval: lb {} > ub {}",
+                s.lower_bound,
+                cost
+            );
+            let model = s.model.as_ref().expect("an incumbent carries its model");
+            prop_assert_eq!(w.cost(model), Some(cost), "incumbent does not certify");
+        }
+        prop_assert!(verify_solution(&w, s));
+    }
+
     // Batch driver determinism: per-instance answers and their order
     // are independent of the worker count.
     #[test]

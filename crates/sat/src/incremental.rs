@@ -264,11 +264,21 @@ impl IncrementalSolver {
     }
 
     /// Makes a soft clause permanently hard by adding the unit `¬s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause was retired: retiring added the unit `s`,
+    /// so hardening would assert the contradictory `¬s` and silently
+    /// refute the whole formula.
     pub fn harden(&mut self, id: SoftId) {
-        if self.states[id.0] != SoftState::Hardened {
-            self.states[id.0] = SoftState::Hardened;
-            let unit = !self.selectors[id.0];
-            self.add_clause([unit]);
+        match self.states[id.0] {
+            SoftState::Hardened => {}
+            SoftState::Retired => panic!("cannot harden a retired soft clause"),
+            SoftState::Active | SoftState::Inactive => {
+                self.states[id.0] = SoftState::Hardened;
+                let unit = !self.selectors[id.0];
+                self.add_clause([unit]);
+            }
         }
     }
 
@@ -438,6 +448,18 @@ mod tests {
             assert_eq!(e.solve(&[]), SolveOutcome::Sat);
             assert!(!e.is_active(s1) && e.is_ok());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot harden a retired soft clause")]
+    fn harden_after_retire_is_a_contract_violation() {
+        // Retiring added the unit `s`; hardening would add `¬s` and
+        // silently refute the formula — the engine must refuse.
+        let mut e = IncrementalSolver::new();
+        let x = e.new_var();
+        let s = e.add_soft([lit(x, true)]);
+        e.retire(s);
+        e.harden(s);
     }
 
     #[test]
