@@ -1,0 +1,364 @@
+//! `sharing_baseline` — cooperative clause sharing measured against the
+//! plain portfolio race (`BENCH_pr10.json` at the repo root by
+//! convention).
+//!
+//! The suite mixes families where sharing has real traffic with ones
+//! where it is provably inert:
+//!
+//! - `php-hard` / `rand3-hard` — pigeonhole and random-UNSAT clauses as
+//!   *hard* constraints plus soft units: every member grinds through
+//!   conflicts whose antecedents are pure (hard-implied), so low-LBD
+//!   learnts are exported, imported, and deduplicated across workers.
+//! - `chain-partial` — hard implication chains with soft endpoints:
+//!   easy optima, near-zero exchange traffic (a sanity family).
+//! - `equiv-soft` — all-soft miters: *no* hard clauses, hence nothing
+//!   is hard-implied and the exchange must stay empty. Sharing being
+//!   harmlessly inert here is part of the soundness claim.
+//!
+//! For every instance the harness runs the race at `jobs ∈ {1, 2, 4,
+//! 8}` with sharing off and on (one fixed answer key per instance —
+//! all eight runs must agree on exact status and cost), then measures
+//! wall-clock at `--jobs` for the speedup figure and records the
+//! exchange totals (exported / imported / duplicate deliveries) of the
+//! sharing run. Every solution is verified against its instance; any
+//! verification failure exits 1 unconditionally. `--fail-on-disagreement`
+//! exits 1 on any sharing-on/off or cross-jobs divergence. The speedup
+//! figure is reported but never enforced on hosts with fewer than 4
+//! cores, where racing threads just time-slice.
+//!
+//! Usage:
+//! `sharing_baseline [--out FILE] [--scale N] [--seed S] [--budget-ms MS]
+//!                   [--jobs N] [--share-lbd N] [--fail-on-disagreement]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use coremax::{verify_solution, MaxSatStatus};
+use coremax_cnf::{CnfFormula, Lit, Var, WcnfFormula, Weight};
+use coremax_instances::{equiv_instance, pigeonhole, random_unsat_3cnf};
+use coremax_par::Portfolio;
+use coremax_sat::{Budget, ExchangeTotals, SharingConfig};
+
+struct Args {
+    out: String,
+    scale: usize,
+    seed: u64,
+    budget_ms: u64,
+    jobs: usize,
+    share_lbd: u32,
+    fail_on_disagreement: bool,
+}
+
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_pr10.json".into(),
+            scale: 2,
+            seed: 42,
+            budget_ms: 20_000,
+            // At least 4 workers even on small hosts: a single-worker
+            // race ends before anyone can import, and measuring the
+            // exchange is the point. Oversubscription just time-slices.
+            jobs: detected_cores().clamp(4, 8),
+            share_lbd: SharingConfig::default().max_lbd,
+            fail_on_disagreement: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--budget-ms" => args.budget_ms = value("--budget-ms").parse().expect("budget-ms"),
+            "--jobs" => args.jobs = value("--jobs").parse::<usize>().expect("jobs").max(1),
+            "--share-lbd" => args.share_lbd = value("--share-lbd").parse().expect("share-lbd"),
+            "--fail-on-disagreement" => args.fail_on_disagreement = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Row {
+    name: String,
+    family: &'static str,
+    wcnf: WcnfFormula,
+}
+
+/// Every clause of `cnf` as a hard clause, plus `softs` soft units on
+/// the first variables — the shape where purity tracking has material
+/// to export.
+fn hardened(cnf: &CnfFormula, softs: usize) -> WcnfFormula {
+    let mut w = WcnfFormula::new();
+    for _ in 0..cnf.num_vars() {
+        w.new_var();
+    }
+    for c in cnf.clauses() {
+        w.add_hard(c.iter().copied());
+    }
+    for i in 0..softs.min(cnf.num_vars()) {
+        w.add_soft([Lit::positive(Var::new(i as u32))], 1);
+    }
+    w
+}
+
+/// Hard implication chain `x1 → x2 → … → xn` with soft endpoints
+/// (optimum 1): trivial for every member, so the exchange stays quiet.
+fn chain(n: usize) -> WcnfFormula {
+    let mut w = WcnfFormula::new();
+    for _ in 0..n {
+        w.new_var();
+    }
+    for i in 0..n - 1 {
+        w.add_hard([
+            Lit::negative(Var::new(i as u32)),
+            Lit::positive(Var::new(i as u32 + 1)),
+        ]);
+    }
+    w.add_soft([Lit::positive(Var::new(0))], 1);
+    w.add_soft([Lit::negative(Var::new(n as u32 - 1))], 1);
+    w
+}
+
+fn suite(scale: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for holes in 5..=(5 + scale.min(3)) {
+        rows.push(Row {
+            name: format!("php-hard-{holes}"),
+            family: "php-hard",
+            wcnf: hardened(&pigeonhole(holes), 3),
+        });
+    }
+    for (i, vars) in [24usize, 28].iter().enumerate() {
+        rows.push(Row {
+            name: format!("rand3-hard-{vars}"),
+            family: "rand3-hard",
+            wcnf: hardened(&random_unsat_3cnf(*vars, seed.wrapping_add(i as u64)), 3),
+        });
+    }
+    rows.push(Row {
+        name: "chain-partial-64".into(),
+        family: "chain-partial",
+        wcnf: chain(64),
+    });
+    rows.push(Row {
+        name: "equiv-soft-1-6".into(),
+        family: "equiv-soft",
+        wcnf: WcnfFormula::from_cnf_all_soft(&equiv_instance(1, 6)),
+    });
+    rows
+}
+
+fn status_name(status: MaxSatStatus) -> &'static str {
+    match status {
+        MaxSatStatus::Optimal => "optimal",
+        MaxSatStatus::Infeasible => "infeasible",
+        MaxSatStatus::Unknown => "unknown",
+    }
+}
+
+fn is_exact(status: MaxSatStatus) -> bool {
+    matches!(status, MaxSatStatus::Optimal | MaxSatStatus::Infeasible)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn race(
+    wcnf: &WcnfFormula,
+    jobs: usize,
+    sharing: Option<SharingConfig>,
+    budget_ms: u64,
+) -> (coremax::MaxSatSolution, Option<ExchangeTotals>, f64) {
+    let mut portfolio = Portfolio::new(jobs);
+    if let Some(cfg) = sharing {
+        portfolio = portfolio.with_sharing(cfg);
+    }
+    portfolio.set_budget(Budget::new().with_timeout(Duration::from_millis(budget_ms)));
+    let t = Instant::now();
+    let outcome = portfolio.solve(wcnf);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (outcome.solution, outcome.sharing, ms)
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = detected_cores();
+    let rows = suite(args.scale, args.seed);
+    let config = SharingConfig {
+        max_lbd: args.share_lbd,
+        ..SharingConfig::default()
+    };
+    eprintln!(
+        "sharing_baseline: {} instances, jobs {}, {} cores, lbd<={}, {} ms budget",
+        rows.len(),
+        args.jobs,
+        cores,
+        args.share_lbd,
+        args.budget_ms
+    );
+
+    let mut out_rows = String::new();
+    let mut disagreements = 0usize;
+    let mut verify_failures = 0usize;
+    let mut totals = ExchangeTotals::default();
+    let mut plain_ms_total = 0.0f64;
+    let mut shared_ms_total = 0.0f64;
+
+    for (i, row) in rows.iter().enumerate() {
+        // Differential sweep: jobs × sharing, one answer key. Exact
+        // verdicts must be identical everywhere; `Unknown` is a budget
+        // abort, gated by verification only (which run aborts first on
+        // a loaded host is timing noise).
+        let mut key: Option<(MaxSatStatus, Option<Weight>)> = None;
+        for jobs in [1usize, 2, 4, 8] {
+            for share in [false, true] {
+                let (solution, _, _) =
+                    race(&row.wcnf, jobs, share.then_some(config), args.budget_ms);
+                if !verify_solution(&row.wcnf, &solution) {
+                    verify_failures += 1;
+                    eprintln!("  VERIFY FAIL: {} jobs={jobs} share={share}", row.name);
+                }
+                if !is_exact(solution.status) {
+                    continue;
+                }
+                let this = (solution.status, solution.cost);
+                match &key {
+                    None => key = Some(this),
+                    Some(expected) => {
+                        if *expected != this {
+                            disagreements += 1;
+                            eprintln!(
+                                "  DISAGREEMENT: {} jobs={jobs} share={share}: \
+                                 ({}, {:?}) vs ({}, {:?})",
+                                row.name,
+                                status_name(this.0),
+                                this.1,
+                                status_name(expected.0),
+                                expected.1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Timed pair at the measurement job count.
+        let (plain, _, plain_ms) = race(&row.wcnf, args.jobs, None, args.budget_ms);
+        let (shared, exchange, shared_ms) =
+            race(&row.wcnf, args.jobs, Some(config), args.budget_ms);
+        let exchange = exchange.expect("sharing race reports totals");
+        totals.exported += exchange.exported;
+        totals.imported += exchange.imported;
+        totals.duplicates += exchange.duplicates;
+        plain_ms_total += plain_ms;
+        shared_ms_total += shared_ms;
+
+        if i > 0 {
+            out_rows.push_str(",\n");
+        }
+        let _ = write!(
+            out_rows,
+            "    {{\"instance\": \"{}\", \"family\": \"{}\", \
+             \"status\": \"{}\", \"cost\": {}, \
+             \"plain_ms\": {plain_ms:.3}, \"shared_ms\": {shared_ms:.3}, \
+             \"exported\": {}, \"imported\": {}, \"duplicates\": {}}}",
+            json_escape(&row.name),
+            row.family,
+            status_name(shared.status),
+            shared.cost.map_or("null".into(), |c| c.to_string()),
+            exchange.exported,
+            exchange.imported,
+            exchange.duplicates,
+        );
+        eprintln!(
+            "  {}: {} plain {plain_ms:.0} ms, shared {shared_ms:.0} ms, \
+             exported {} imported {} dup {}",
+            row.name,
+            status_name(plain.status),
+            exchange.exported,
+            exchange.imported,
+            exchange.duplicates
+        );
+    }
+
+    let speedup = plain_ms_total / shared_ms_total.max(1e-9);
+    let import_rate = totals.imported as f64 / (totals.exported as f64).max(1.0);
+    let dup_rate =
+        totals.duplicates as f64 / ((totals.imported + totals.duplicates) as f64).max(1.0);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"scale\": {}, \"seed\": {}, \"instances\": {}}},",
+        args.scale,
+        args.seed,
+        rows.len()
+    );
+    let _ = writeln!(out, "  \"budget_ms\": {},", args.budget_ms);
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"jobs\": {},", args.jobs);
+    let _ = writeln!(
+        out,
+        "  \"sharing\": {{\"max_lbd\": {}, \"max_len\": {}}},",
+        config.max_lbd, config.max_len
+    );
+    out.push_str("  \"runs\": [\n");
+    out.push_str(&out_rows);
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"exchange\": {{\"exported\": {}, \"imported\": {}, \"duplicates\": {}, \
+         \"import_rate\": {import_rate:.3}, \"duplicate_rate\": {dup_rate:.3}}},",
+        totals.exported, totals.imported, totals.duplicates
+    );
+    let _ = writeln!(
+        out,
+        "  \"race\": {{\"plain_ms\": {plain_ms_total:.3}, \"shared_ms\": {shared_ms_total:.3}, \
+         \"speedup\": {speedup:.3}, \"speedup_meaningful\": {}}},",
+        cores >= 4
+    );
+    let _ = writeln!(out, "  \"verify_failures\": {verify_failures},");
+    let _ = writeln!(out, "  \"disagreements\": {disagreements}");
+    out.push_str("}\n");
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+
+    println!(
+        "exchange: {} exported, {} imported ({:.2} imports/export), {} duplicates",
+        totals.exported, totals.imported, import_rate, totals.duplicates
+    );
+    println!(
+        "race: plain {plain_ms_total:.1} ms, shared {shared_ms_total:.1} ms, \
+         speedup {speedup:.2}x (jobs={}, cores={cores})",
+        args.jobs
+    );
+    println!("checks: {disagreements} disagreements, {verify_failures} verify failures");
+    println!("wrote {}", args.out);
+
+    if verify_failures > 0 {
+        eprintln!("FAIL: {verify_failures} solutions failed verification");
+        std::process::exit(1);
+    }
+    if args.fail_on_disagreement && disagreements > 0 {
+        eprintln!("FAIL: {disagreements} sharing/jobs disagreements");
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, WcnfFormula};
-use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SharedContext, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -32,6 +32,7 @@ struct LinearCore {
     core_at_least_one: bool,
     budget: Budget,
     engine_mode: EngineMode,
+    shared: Option<SharedContext>,
 }
 
 impl LinearCore {
@@ -65,11 +66,12 @@ impl LinearCore {
         // their selector assumptions; *blocking* clause `i` just
         // deactivates it, so its selector becomes the blocking variable
         // the global bound ranges over — no clause is ever re-added.
-        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        let mut engine =
+            IncrementalSolver::with_mode_and_shared(self.engine_mode, self.shared.clone());
         engine.ensure_vars(wcnf.num_vars());
         engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            engine.add_clause(h.lits().iter().copied());
+            engine.add_clause_shared(h.lits().iter().copied());
         }
         let handles: Vec<SoftId> = wcnf
             .soft_clauses()
@@ -268,6 +270,7 @@ impl Msu3 {
                 core_at_least_one: false,
                 budget: Budget::new(),
                 engine_mode: EngineMode::Persistent,
+                shared: None,
             },
         }
     }
@@ -289,6 +292,7 @@ impl Msu3 {
                 core_at_least_one: false,
                 budget: Budget::new(),
                 engine_mode: EngineMode::Persistent,
+                shared: None,
             },
         }
     }
@@ -301,6 +305,10 @@ impl MaxSatSolver for Msu3 {
 
     fn set_budget(&mut self, budget: Budget) {
         self.inner.budget = budget;
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.inner.shared = Some(ctx);
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
@@ -336,6 +344,7 @@ impl Msu2 {
                 core_at_least_one: true,
                 budget: Budget::new(),
                 engine_mode: EngineMode::Persistent,
+                shared: None,
             },
         }
     }
@@ -358,6 +367,10 @@ impl MaxSatSolver for Msu2 {
 
     fn set_budget(&mut self, budget: Budget) {
         self.inner.budget = budget;
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.inner.shared = Some(ctx);
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {

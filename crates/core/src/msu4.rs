@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, WcnfFormula};
-use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SharedContext, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -80,6 +80,7 @@ pub struct Msu4 {
     config: Msu4Config,
     budget: Budget,
     engine_mode: EngineMode,
+    shared: Option<SharedContext>,
 }
 
 impl Msu4 {
@@ -114,6 +115,7 @@ impl Msu4 {
             config,
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -143,6 +145,10 @@ impl MaxSatSolver for Msu4 {
 
     fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.shared = Some(ctx);
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
@@ -179,11 +185,12 @@ impl MaxSatSolver for Msu4 {
         };
 
         // One engine for the whole run.
-        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        let mut engine =
+            IncrementalSolver::with_mode_and_shared(self.engine_mode, self.shared.clone());
         engine.ensure_vars(wcnf.num_vars());
         engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            engine.add_clause(h.lits().iter().copied());
+            engine.add_clause_shared(h.lits().iter().copied());
         }
 
         // Feasibility pre-check: cores are not guaranteed minimal, so a

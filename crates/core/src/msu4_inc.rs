@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, WcnfFormula};
-use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SharedContext, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -52,6 +52,7 @@ pub struct Msu4Incremental {
     encoding: CardEncoding,
     budget: Budget,
     engine_mode: EngineMode,
+    shared: Option<SharedContext>,
 }
 
 impl Default for Msu4Incremental {
@@ -68,6 +69,7 @@ impl Msu4Incremental {
             encoding: CardEncoding::SortingNetwork,
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -78,6 +80,7 @@ impl Msu4Incremental {
             encoding,
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -97,6 +100,10 @@ impl MaxSatSolver for Msu4Incremental {
 
     fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.shared = Some(ctx);
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
@@ -127,11 +134,12 @@ impl MaxSatSolver for Msu4Incremental {
         // One engine for the whole run; the selector-per-soft-clause
         // bookkeeping this module used to do by hand now lives in
         // `IncrementalSolver`.
-        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        let mut engine =
+            IncrementalSolver::with_mode_and_shared(self.engine_mode, self.shared.clone());
         engine.ensure_vars(wcnf.num_vars());
         engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            engine.add_clause(h.lits().iter().copied());
+            engine.add_clause_shared(h.lits().iter().copied());
         }
         let handles: Vec<SoftId> = wcnf
             .soft_clauses()

@@ -40,7 +40,7 @@ use std::time::Instant;
 
 use coremax_cards::{CnfSink, IncrementalTotalizer};
 use coremax_cnf::{Lit, WcnfFormula, Weight};
-use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SharedContext, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -66,6 +66,7 @@ use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 pub struct Oll {
     budget: Budget,
     engine_mode: EngineMode,
+    shared: Option<SharedContext>,
 }
 
 impl Default for Oll {
@@ -81,6 +82,7 @@ impl Oll {
         Oll {
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -137,6 +139,10 @@ impl MaxSatSolver for Oll {
         self.budget = budget;
     }
 
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.shared = Some(ctx);
+    }
+
     fn supports_weights(&self) -> bool {
         true
     }
@@ -161,11 +167,12 @@ impl MaxSatSolver for Oll {
             }
         };
 
-        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        let mut engine =
+            IncrementalSolver::with_mode_and_shared(self.engine_mode, self.shared.clone());
         engine.ensure_vars(wcnf.num_vars());
         engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            engine.add_clause(h.lits().iter().copied());
+            engine.add_clause_shared(h.lits().iter().copied());
         }
 
         // Every original soft is registered up front but starts

@@ -35,7 +35,7 @@ use std::time::Instant;
 use coremax_cards::{encode_at_most, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, Var, WcnfFormula, Weight};
 use coremax_pbo::{encode_pb, PbConstraint, PbOp, PbTerm};
-use coremax_sat::Budget;
+use coremax_sat::{Budget, SharedContext};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 use crate::wmsu1::Wmsu1;
@@ -70,6 +70,7 @@ pub struct Stratified<S> {
     encoding: CardEncoding,
     replication_cap: Weight,
     budget: Budget,
+    shared: Option<SharedContext>,
 }
 
 impl<S: MaxSatSolver> Stratified<S> {
@@ -85,6 +86,7 @@ impl<S: MaxSatSolver> Stratified<S> {
             encoding: CardEncoding::Totalizer,
             replication_cap: 10_000,
             budget: Budget::new(),
+            shared: None,
         }
     }
 
@@ -172,6 +174,17 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
 
     fn supports_weights(&self) -> bool {
         true
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        // Stage sub-instances carry *extra* hard clauses (stratum
+        // freezes, hardened softs), so clauses learned here are not in
+        // general implied by the canonical hards — exporting would be
+        // unsound. Importing stays sound: the sub-instance hards
+        // subsume the canonical ones.
+        let ctx = ctx.import_only();
+        self.inner.set_shared_context(ctx.clone());
+        self.shared = Some(ctx);
     }
 
     fn solve(&mut self, wcnf: &WcnfFormula) -> MaxSatSolution {
@@ -283,6 +296,9 @@ impl<S: MaxSatSolver> MaxSatSolver for Stratified<S> {
             } else {
                 let mut fallback = Wmsu1::new();
                 fallback.set_budget(stage_budget.clone());
+                if let Some(ctx) = &self.shared {
+                    fallback.set_shared_context(ctx.clone());
+                }
                 fallback.solve(&sub)
             };
             stats.absorb(&solution.stats);

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use coremax_cards::{encode_exactly, CardEncoding, CnfSink};
 use coremax_cnf::{Lit, WcnfFormula, Weight};
-use coremax_sat::{Budget, EngineMode, IncrementalSolver, SoftId, SolveOutcome};
+use coremax_sat::{Budget, EngineMode, IncrementalSolver, SharedContext, SoftId, SolveOutcome};
 
 use crate::types::{MaxSatSolution, MaxSatSolver, MaxSatStats, MaxSatStatus};
 
@@ -43,6 +43,7 @@ pub struct Wmsu1 {
     encoding: CardEncoding,
     budget: Budget,
     engine_mode: EngineMode,
+    shared: Option<SharedContext>,
 }
 
 impl Default for Wmsu1 {
@@ -60,6 +61,7 @@ impl Wmsu1 {
             encoding: CardEncoding::Pairwise,
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -70,6 +72,7 @@ impl Wmsu1 {
             encoding,
             budget: Budget::new(),
             engine_mode: EngineMode::Persistent,
+            shared: None,
         }
     }
 
@@ -97,6 +100,10 @@ impl MaxSatSolver for Wmsu1 {
 
     fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    fn set_shared_context(&mut self, ctx: SharedContext) {
+        self.shared = Some(ctx);
     }
 
     fn supports_weights(&self) -> bool {
@@ -130,11 +137,12 @@ impl MaxSatSolver for Wmsu1 {
         // enforced through its selector assumption. Extending a clause
         // with a blocking literal retires the old copy and registers the
         // extended one under a fresh selector.
-        let mut engine = IncrementalSolver::with_mode(self.engine_mode);
+        let mut engine =
+            IncrementalSolver::with_mode_and_shared(self.engine_mode, self.shared.clone());
         engine.ensure_vars(wcnf.num_vars());
         engine.set_budget(child_budget.clone());
         for h in wcnf.hard_clauses() {
-            engine.add_clause(h.lits().iter().copied());
+            engine.add_clause_shared(h.lits().iter().copied());
         }
         // Soft clauses gain blocking literals and shed weight over time;
         // splitting appends residual copies.

@@ -173,12 +173,30 @@ pub enum Event {
         /// Member solver name.
         name: &'static str,
     },
+    /// A worker claimed member `index` but the race had already been
+    /// won; the member was skipped without ever building a solver.
+    MemberSkipped {
+        /// Member slot index.
+        index: u64,
+        /// Member solver name.
+        name: &'static str,
+    },
     /// The portfolio chose its answer.
     WinnerChosen {
         /// Winning member slot index.
         index: u64,
         /// Winning member solver name.
         name: &'static str,
+    },
+    /// Final clause-exchange totals for a sharing-enabled race.
+    ClausesShared {
+        /// Clauses published into the exchange across all workers.
+        exported: u64,
+        /// Clause deliveries into importing solvers (one export can be
+        /// imported by many workers).
+        imported: u64,
+        /// Deliveries dropped as duplicates by receivers.
+        duplicates: u64,
     },
 }
 
@@ -207,7 +225,9 @@ impl Event {
             Event::MemberStarted { .. } => "member_started",
             Event::MemberFinished { .. } => "member_finished",
             Event::MemberCancelled { .. } => "member_cancelled",
+            Event::MemberSkipped { .. } => "member_skipped",
             Event::WinnerChosen { .. } => "winner_chosen",
+            Event::ClausesShared { .. } => "clauses_shared",
         }
     }
 
@@ -311,7 +331,9 @@ impl Event {
                 num(out, "round", *round);
                 num(out, "removed", *removed);
             }
-            Event::MemberStarted { index, name } | Event::MemberCancelled { index, name } => {
+            Event::MemberStarted { index, name }
+            | Event::MemberCancelled { index, name }
+            | Event::MemberSkipped { index, name } => {
                 num(out, "index", *index);
                 let mut s = String::new();
                 escape_into(&mut s, name);
@@ -332,6 +354,15 @@ impl Event {
                 let mut s = String::new();
                 escape_into(&mut s, name);
                 let _ = write!(out, ", \"name\": \"{s}\"");
+            }
+            Event::ClausesShared {
+                exported,
+                imported,
+                duplicates,
+            } => {
+                num(out, "exported", *exported);
+                num(out, "imported", *imported);
+                num(out, "duplicates", *duplicates);
             }
         }
     }
@@ -410,9 +441,18 @@ mod tests {
                 index: 4,
                 name: "msu1",
             },
+            Event::MemberSkipped {
+                index: 5,
+                name: "oll",
+            },
             Event::WinnerChosen {
                 index: 2,
                 name: "msu3",
+            },
+            Event::ClausesShared {
+                exported: 120,
+                imported: 340,
+                duplicates: 16,
             },
         ];
         for ev in &samples {

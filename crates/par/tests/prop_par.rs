@@ -25,7 +25,7 @@ use coremax::{verify_solution, MaxSatSolver, MaxSatStatus, Msu3, Stratified};
 use coremax_cnf::{Assignment, WcnfFormula, Weight};
 use coremax_instances::{random_weighted_wcnf, WeightDist, WeightedConfig};
 use coremax_par::{solve_batch, BatchOptions, Portfolio};
-use coremax_sat::Budget;
+use coremax_sat::{Budget, SharingConfig};
 use proptest::prelude::*;
 
 /// Exhaustive oracle: the minimum cost over all 2^n assignments, or
@@ -149,6 +149,52 @@ proptest! {
             let solo = Portfolio::with_members(1, vec![members[index].clone()]).solve(&w);
             prop_assert_eq!(solo.solution.status, outcome.solution.status);
             prop_assert_eq!(solo.solution.cost, outcome.solution.cost, "winner re-run differs");
+        }
+    }
+
+    // Property 1b: cooperative clause sharing never changes the
+    // answer. For every instance, job count, and LBD gate, a sharing
+    // race's `(status, cost, model cost)` equals the plain race's and
+    // the exhaustive oracle. Exchanged clauses are implied by the
+    // instance's hard clauses alone, so they can only accelerate a
+    // member, never steer it to a different verdict. No conflict or
+    // propagation caps are set here: shared caps make *capped* races
+    // timing-dependent by design (only the certified interval is
+    // guaranteed), whereas uncapped sharing races must stay exact.
+    #[test]
+    fn sharing_race_answer_matches_plain_race_and_oracle(
+        w in arb_instance(),
+        max_lbd in 1u32..=6,
+    ) {
+        let oracle = exhaustive_optimum(&w);
+        let plain = Portfolio::new(1).solve(&w);
+        for jobs in job_counts() {
+            let outcome = Portfolio::new(jobs)
+                .with_sharing(SharingConfig { max_lbd, max_len: 8 })
+                .solve(&w);
+            prop_assert_eq!(
+                outcome.solution.status,
+                plain.solution.status,
+                "jobs={} sharing changed the status", jobs
+            );
+            prop_assert_eq!(
+                outcome.solution.cost,
+                plain.solution.cost,
+                "jobs={} sharing changed the cost", jobs
+            );
+            match oracle {
+                Some(optimum) => {
+                    prop_assert_eq!(outcome.solution.status, MaxSatStatus::Optimal);
+                    prop_assert_eq!(outcome.solution.cost, Some(optimum), "jobs={}", jobs);
+                    let model = outcome.solution.model.as_ref().expect("optimal model");
+                    prop_assert_eq!(w.cost(model), Some(optimum), "jobs={} model lies", jobs);
+                }
+                None => {
+                    prop_assert_eq!(outcome.solution.status, MaxSatStatus::Infeasible);
+                }
+            }
+            prop_assert!(verify_solution(&w, &outcome.solution), "jobs={}", jobs);
+            prop_assert!(outcome.sharing.is_some(), "sharing totals must surface");
         }
     }
 

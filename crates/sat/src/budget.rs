@@ -1,8 +1,56 @@
 //! Resource budgets for bounded solving.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Conflict/propagation caps metered *jointly* across every solver a
+/// budget (and its children) reaches: each solver charges its work into
+/// the shared counters, and once a cap is crossed every participant
+/// observes exhaustion. This is how a K-member portfolio race respects
+/// the caller's cap as a whole instead of spending it K times over.
+#[derive(Debug, Default)]
+pub struct SharedCaps {
+    conflicts: AtomicU64,
+    propagations: AtomicU64,
+    max_conflicts: Option<u64>,
+    max_propagations: Option<u64>,
+    exhausted: AtomicBool,
+}
+
+impl SharedCaps {
+    fn new(max_conflicts: Option<u64>, max_propagations: Option<u64>) -> Self {
+        SharedCaps {
+            conflicts: AtomicU64::new(0),
+            propagations: AtomicU64::new(0),
+            max_conflicts,
+            max_propagations,
+            exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Charges a work delta and returns `true` once the pool is
+    /// exhausted (sticky: stays `true` for every later caller).
+    fn charge(&self, conflicts: u64, propagations: u64) -> bool {
+        let c = self.conflicts.fetch_add(conflicts, Ordering::Relaxed) + conflicts;
+        let p = self.propagations.fetch_add(propagations, Ordering::Relaxed) + propagations;
+        if self.max_conflicts.is_some_and(|m| c >= m)
+            || self.max_propagations.is_some_and(|m| p >= m)
+        {
+            self.exhausted.store(true, Ordering::Relaxed);
+        }
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Total conflicts charged so far.
+    fn conflicts_spent(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
 
 /// Limits on how much work a [`crate::Solver`] may perform before giving
 /// up with [`crate::SolveOutcome::Unknown`].
@@ -53,6 +101,9 @@ pub struct Budget {
     // are layered (a caller's flag plus the portfolio's race flag);
     // `stop_requested` honours any of them.
     stop: Vec<Arc<AtomicBool>>,
+    // Caps shared across every solver this budget reaches (portfolio
+    // races); unlike the per-call caps above, these survive `child`.
+    shared: Option<Arc<SharedCaps>>,
 }
 
 impl Budget {
@@ -102,6 +153,29 @@ impl Budget {
         self
     }
 
+    /// Attaches conflict/propagation caps metered jointly across every
+    /// solver this budget (or any clone / [`Budget::child`]) reaches.
+    /// A no-op when both caps are `None`.
+    ///
+    /// This is the portfolio's answer to per-member cap re-attachment:
+    /// K racing members charging one shared pool spend at most the
+    /// caller's cap collectively (give or take one polling interval per
+    /// member), not K× it. Note the flip side: with shared caps, *which*
+    /// member runs out of budget first is a thread-timing artifact, so
+    /// capped races certify their result intervals but are not
+    /// bit-reproducible across runs.
+    #[must_use]
+    pub fn with_shared_caps(
+        mut self,
+        max_conflicts: Option<u64>,
+        max_propagations: Option<u64>,
+    ) -> Self {
+        if max_conflicts.is_some() || max_propagations.is_some() {
+            self.shared = Some(Arc::new(SharedCaps::new(max_conflicts, max_propagations)));
+        }
+        self
+    }
+
     /// The conflict cap, if any.
     #[must_use]
     pub fn max_conflicts(&self) -> Option<u64> {
@@ -138,6 +212,38 @@ impl Budget {
         !self.stop.is_empty()
     }
 
+    /// Returns `true` if shared conflict/propagation caps are attached.
+    #[must_use]
+    pub fn has_shared_caps(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Charges a work delta against the shared caps (if any) and
+    /// returns `true` once the shared pool is exhausted. Solvers call
+    /// this at their interrupt-polling points with the work done since
+    /// their previous charge.
+    #[must_use]
+    pub fn charge_shared(&self, conflicts: u64, propagations: u64) -> bool {
+        match &self.shared {
+            Some(caps) => caps.charge(conflicts, propagations),
+            None => false,
+        }
+    }
+
+    /// Returns `true` if attached shared caps have been exhausted (by
+    /// any participant).
+    #[must_use]
+    pub fn shared_caps_exhausted(&self) -> bool {
+        self.shared.as_ref().is_some_and(|c| c.is_exhausted())
+    }
+
+    /// Total conflicts charged into the shared caps so far (0 when no
+    /// shared caps are attached). Diagnostic / test hook.
+    #[must_use]
+    pub fn shared_conflicts_spent(&self) -> u64 {
+        self.shared.as_ref().map_or(0, |c| c.conflicts_spent())
+    }
+
     /// The attached stop flags (empty when none).
     #[must_use]
     pub fn stop_flags(&self) -> &[Arc<AtomicBool>] {
@@ -153,6 +259,7 @@ impl Budget {
             && self.timeout.is_none()
             && self.deadline.is_none()
             && self.stop.is_empty()
+            && self.shared.is_none()
     }
 
     /// Resolves the effective deadline given a solve start time: the
@@ -175,13 +282,16 @@ impl Budget {
     /// metered by the solver itself.
     #[must_use]
     pub fn interrupted(&self) -> bool {
-        self.stop_requested() || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.stop_requested()
+            || self.shared_caps_exhausted()
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Derives the budget a sub-solver of one run should receive: the
     /// wall-clock limits collapse to an absolute deadline anchored at
     /// `start` (so every SAT call of a MaxSAT run shares one clock) and
-    /// the stop flags are carried over, while per-call conflict and
+    /// the stop flags and shared caps are carried over (both meter the
+    /// whole run, wherever it executes), while per-call conflict and
     /// propagation caps are dropped (they meter a single `solve`, not
     /// the whole run).
     ///
@@ -196,6 +306,7 @@ impl Budget {
             timeout: None,
             deadline: self.effective_deadline(start),
             stop: self.stop.clone(),
+            shared: self.shared.clone(),
         }
     }
 }
@@ -264,6 +375,31 @@ mod tests {
         assert!(!budget.stop_requested());
         b.store(true, Ordering::Relaxed);
         assert!(budget.stop_requested(), "any raised flag interrupts");
+    }
+
+    #[test]
+    fn shared_caps_meter_jointly_and_survive_child() {
+        let b = Budget::new().with_shared_caps(Some(10), None);
+        assert!(b.has_shared_caps());
+        assert!(!b.is_unlimited());
+        let child = b.child(Instant::now());
+        assert!(child.has_shared_caps(), "shared caps cascade to children");
+        // Two participants (the budget and its child) charge one pool.
+        assert!(!b.charge_shared(6, 100));
+        assert!(child.charge_shared(4, 0), "joint total hits the cap");
+        assert!(b.shared_caps_exhausted(), "exhaustion is visible to all");
+        assert!(b.interrupted());
+        assert_eq!(b.shared_conflicts_spent(), 10);
+        // Exhaustion is sticky.
+        assert!(b.charge_shared(0, 0));
+    }
+
+    #[test]
+    fn shared_caps_noop_when_both_none() {
+        let b = Budget::new().with_shared_caps(None, None);
+        assert!(!b.has_shared_caps());
+        assert!(b.is_unlimited());
+        assert!(!b.charge_shared(1_000_000, 1_000_000));
     }
 
     #[test]

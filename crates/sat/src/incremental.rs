@@ -61,6 +61,7 @@ use std::collections::HashMap;
 use coremax_cnf::{Assignment, Lit, Var};
 
 use crate::budget::Budget;
+use crate::share::SharedContext;
 use crate::solver::{SolveOutcome, Solver, SolverConfig};
 use crate::stats::SolverStats;
 
@@ -108,9 +109,14 @@ pub struct IncrementalSolver {
     states: Vec<SoftState>,
     /// Selector-variable index → soft id, for failed-assumption mapping.
     selector_index: HashMap<u32, SoftId>,
-    /// All clauses ever added, kept only in [`EngineMode::Rebuild`] so
-    /// each solve call can reload a fresh solver.
-    mirror: Vec<Vec<Lit>>,
+    /// All clauses ever added (with their shared/pure marking), kept
+    /// only in [`EngineMode::Rebuild`] so each solve call can reload a
+    /// fresh solver.
+    mirror: Vec<(Vec<Lit>, bool)>,
+    /// Portfolio clause-exchange context, when sharing is on. Rebuild
+    /// mode stores the import-only restriction and re-attaches a fresh
+    /// endpoint to every reconstructed solver.
+    shared: Option<SharedContext>,
     /// Stats of solvers already discarded by rebuilds.
     retired_stats: SolverStats,
     /// Fresh solvers constructed beyond the first.
@@ -150,16 +156,52 @@ impl IncrementalSolver {
             states: Vec::new(),
             selector_index: HashMap::new(),
             mirror: Vec::new(),
+            shared: None,
             retired_stats: SolverStats::default(),
             rebuilds: 0,
             assumption_buf: Vec::new(),
         }
     }
 
+    /// An engine with explicit mode, wired into a portfolio clause
+    /// exchange when `shared` is present (drivers thread the context
+    /// they were handed through here).
+    #[must_use]
+    pub fn with_mode_and_shared(mode: EngineMode, shared: Option<SharedContext>) -> Self {
+        let mut engine = IncrementalSolver::with_mode(mode);
+        if let Some(ctx) = shared {
+            engine.set_shared_context(ctx);
+        }
+        engine
+    }
+
     /// The engine's mode.
     #[must_use]
     pub fn mode(&self) -> EngineMode {
         self.mode
+    }
+
+    /// Connects the engine to the portfolio clause exchange: learned
+    /// clauses whose derivations bottom out in shared
+    /// ([`IncrementalSolver::add_clause_shared`]) clauses are exported,
+    /// and other workers' clauses are imported at restart boundaries.
+    /// Also adopts the context's diversification knobs (branch seed,
+    /// phase, restart policy). In [`EngineMode::Rebuild`] the context is
+    /// restricted to import-only — each rebuild re-derives the same
+    /// clauses, and re-exporting them would flood the rings — and every
+    /// reconstructed solver gets a fresh endpoint.
+    pub fn set_shared_context(&mut self, ctx: SharedContext) {
+        let ctx = match self.mode {
+            EngineMode::Persistent => ctx,
+            EngineMode::Rebuild => ctx.import_only(),
+        };
+        self.config.branch_seed = ctx.solver_config().branch_seed;
+        self.config.default_phase = ctx.solver_config().default_phase;
+        self.config.restart_mode = ctx.solver_config().restart_mode;
+        self.config.restart_base = ctx.solver_config().restart_base;
+        self.solver.apply_diversification(&self.config);
+        self.solver.set_exchange(ctx.endpoint());
+        self.shared = Some(ctx);
     }
 
     /// Sets the budget applied to subsequent solve calls. Callers
@@ -192,13 +234,32 @@ impl IncrementalSolver {
 
     /// Adds a hard clause.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.add_clause_impl(lits, false);
+    }
+
+    /// Adds a hard clause and marks it *shareable*: the caller asserts
+    /// it belongs to (or is implied by) the canonical instance's hard
+    /// clauses over this engine's variable space, seeding the purity
+    /// tracking that gates clause-exchange exports (see
+    /// [`crate::Solver::add_clause_shared`]). Behaviourally identical
+    /// to [`IncrementalSolver::add_clause`] otherwise — in particular,
+    /// safe to call with no exchange attached.
+    pub fn add_clause_shared<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.add_clause_impl(lits, true);
+    }
+
+    fn add_clause_impl<I: IntoIterator<Item = Lit>>(&mut self, lits: I, shared: bool) {
         let clause: Vec<Lit> = lits.into_iter().collect();
         for &l in &clause {
             self.num_vars = self.num_vars.max(l.var().index() + 1);
         }
-        self.solver.add_clause(clause.iter().copied());
+        if shared {
+            self.solver.add_clause_shared(clause.iter().copied());
+        } else {
+            self.solver.add_clause(clause.iter().copied());
+        }
         if self.mode == EngineMode::Rebuild {
-            self.mirror.push(clause);
+            self.mirror.push((clause, shared));
         }
     }
 
@@ -345,8 +406,17 @@ impl IncrementalSolver {
         let mut fresh = Solver::with_config(self.config.clone());
         fresh.ensure_vars(self.num_vars);
         fresh.set_budget(self.budget.clone());
-        for clause in &self.mirror {
-            fresh.add_clause(clause.iter().copied());
+        for (clause, shared) in &self.mirror {
+            if *shared {
+                fresh.add_clause_shared(clause.iter().copied());
+            } else {
+                fresh.add_clause(clause.iter().copied());
+            }
+        }
+        if let Some(ctx) = &self.shared {
+            // Fresh endpoint, cursors at zero: the rebuilt solver
+            // re-imports the full exchange history it just lost.
+            fresh.set_exchange(ctx.endpoint());
         }
         self.solver = fresh;
     }

@@ -21,7 +21,11 @@
 //!   id, learned clauses record their antecedents, and when the formula
 //!   is refuted the final conflict is resolved back to a set of
 //!   *original* clause ids — exactly the facility MiniSAT 1.14's proof
-//!   logger gave the paper's msu4 implementation.
+//!   logger gave the paper's msu4 implementation,
+//! - cooperative **clause sharing** between diversified portfolio
+//!   workers (the [`share`] module): purity-tracked export of low-LBD
+//!   learned clauses implied by the instance's hard clauses alone, with
+//!   imports drained at restart boundaries.
 //!
 //! # Examples
 //!
@@ -51,6 +55,7 @@ mod dpll;
 mod heap;
 mod incremental;
 mod luby;
+pub mod share;
 mod solver;
 mod stats;
 mod trace;
@@ -59,5 +64,6 @@ pub use budget::Budget;
 pub use clause_db::ClauseId;
 pub use dpll::{dpll_is_satisfiable, dpll_max_satisfiable};
 pub use incremental::{EngineMode, IncrementalSolver, SoftId};
+pub use share::{ClauseExchange, ExchangeEndpoint, ExchangeTotals, SharedContext, SharingConfig};
 pub use solver::{RestartMode, SolveOutcome, Solver, SolverConfig};
 pub use stats::{SolverStats, LBD_HIST_BUCKETS};

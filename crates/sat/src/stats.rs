@@ -70,6 +70,14 @@ pub struct SolverStats {
     /// memory pressure handled by shedding learned clauses instead of
     /// growing towards allocation failure.
     pub watermark_reductions: u64,
+    /// Learned clauses this solver published to the portfolio clause
+    /// exchange (0 when sharing is off).
+    pub clauses_exported: u64,
+    /// Clauses this solver received from the clause exchange.
+    pub clauses_imported: u64,
+    /// Exchange deliveries dropped as duplicates of clauses this solver
+    /// already exported or imported.
+    pub import_duplicates: u64,
     /// Per-phase wall-time breakdown (propagate / analyze / reduce_db
     /// / gc / sat_call). All zero unless `coremax_obs` timing was
     /// enabled while the solver ran.
@@ -115,6 +123,9 @@ impl SolverStats {
         self.clauses_retained += other.clauses_retained;
         self.solver_rebuilds += other.solver_rebuilds;
         self.watermark_reductions += other.watermark_reductions;
+        self.clauses_exported += other.clauses_exported;
+        self.clauses_imported += other.clauses_imported;
+        self.import_duplicates += other.import_duplicates;
         self.phase.absorb(&other.phase);
     }
 
@@ -131,6 +142,7 @@ impl SolverStats {
              \"gc_runs\": {}, \"gc_bytes_reclaimed\": {}, \"scratch_reallocs\": {}, \
              \"max_literals\": {}, \"tot_literals\": {}, \"incremental_solves\": {}, \
              \"clauses_retained\": {}, \"solver_rebuilds\": {}, \"watermark_reductions\": {}, \
+             \"clauses_exported\": {}, \"clauses_imported\": {}, \"import_duplicates\": {}, \
              \"phase_times\": ",
             self.decisions,
             self.propagations,
@@ -156,6 +168,9 @@ impl SolverStats {
             self.clauses_retained,
             self.solver_rebuilds,
             self.watermark_reductions,
+            self.clauses_exported,
+            self.clauses_imported,
+            self.import_duplicates,
         );
         self.phase.to_json_into(out);
         out.push('}');
@@ -169,7 +184,8 @@ impl fmt::Display for SolverStats {
             "decisions={} propagations={} bin_props={} conflicts={} \
              restarts={} (luby={} glucose={}) learned={} deleted={} peak_learned={} \
              glue={} lbd_hist=[{},{},{},{}] gc_runs={} gc_bytes={} scratch_reallocs={} \
-             inc_solves={} clauses_retained={} rebuilds={} watermark_reductions={}",
+             inc_solves={} clauses_retained={} rebuilds={} watermark_reductions={} \
+             exported={} imported={} import_dups={}",
             self.decisions,
             self.propagations,
             self.bin_propagations,
@@ -191,7 +207,10 @@ impl fmt::Display for SolverStats {
             self.incremental_solves,
             self.clauses_retained,
             self.solver_rebuilds,
-            self.watermark_reductions
+            self.watermark_reductions,
+            self.clauses_exported,
+            self.clauses_imported,
+            self.import_duplicates
         )?;
         if !self.phase.is_zero() {
             write!(f, " phase=[{}]", self.phase)?;

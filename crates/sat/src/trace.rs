@@ -43,6 +43,12 @@ enum TraceEntry {
     /// A learned clause; its antecedent trace ids live at
     /// `antecedents[start..start + len]` in the shared arena.
     Learned { start: u32, len: u32 },
+    /// A clause imported from the clause exchange. Its derivation lives
+    /// in another solver, but the exchange invariant guarantees it is
+    /// implied by the instance's hard clauses; expansion therefore
+    /// over-approximates to *every* original clause (sound, non-minimal
+    /// — the solver already documents core non-minimality).
+    Imported,
 }
 
 /// The resolution DAG. Entries are append-only: learned clauses may be
@@ -78,6 +84,12 @@ impl Trace {
         TraceId((self.entries.len() - 1) as u32)
     }
 
+    /// Registers a clause imported from the clause exchange.
+    pub(crate) fn add_imported(&mut self) -> TraceId {
+        self.entries.push(TraceEntry::Imported);
+        TraceId((self.entries.len() - 1) as u32)
+    }
+
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
@@ -90,6 +102,13 @@ impl Trace {
 
     /// Expands a set of trace roots to the sorted, deduplicated set of
     /// original clause ids reachable through the antecedent DAG.
+    ///
+    /// If an [`TraceEntry::Imported`] node is reachable, the derivation
+    /// crossed into another solver and cannot be attributed to specific
+    /// original clauses; the expansion then over-approximates to every
+    /// original clause ever added. This is sound (the full clause set
+    /// certainly contains the refuted subset) and only arises in
+    /// clause-sharing mode, where cores are already non-minimal.
     pub(crate) fn expand_to_original(&self, roots: &[TraceId]) -> Vec<ClauseId> {
         let mut seen = vec![false; self.entries.len()];
         let mut stack: Vec<TraceId> = Vec::with_capacity(roots.len());
@@ -100,6 +119,7 @@ impl Trace {
             }
         }
         let mut core = Vec::new();
+        let mut crossed_import = false;
         while let Some(t) = stack.pop() {
             match self.entries[t.index()] {
                 TraceEntry::Original(id) => core.push(id),
@@ -111,7 +131,15 @@ impl Trace {
                         }
                     }
                 }
+                TraceEntry::Imported => crossed_import = true,
             }
+        }
+        if crossed_import {
+            core.clear();
+            core.extend(self.entries.iter().filter_map(|e| match e {
+                TraceEntry::Original(id) => Some(*id),
+                _ => None,
+            }));
         }
         core.sort_unstable();
         core.dedup();
@@ -178,5 +206,22 @@ mod tests {
         let mut t = Trace::new();
         let l = t.add_learned(&[]);
         assert!(t.expand_to_original(&[l]).is_empty());
+    }
+
+    #[test]
+    fn imported_nodes_over_approximate_to_all_originals() {
+        let mut t = Trace::new();
+        let a = t.add_original(ClauseId(0));
+        let b = t.add_original(ClauseId(1));
+        let _unused = t.add_original(ClauseId(2));
+        let imp = t.add_imported();
+        let l1 = t.add_learned(&[a, imp]);
+        // Derivations that never touch the import stay exact…
+        assert_eq!(t.expand_to_original(&[b]), vec![ClauseId(1)]);
+        // …but reaching the import widens to every original clause.
+        assert_eq!(
+            t.expand_to_original(&[l1]),
+            vec![ClauseId(0), ClauseId(1), ClauseId(2)]
+        );
     }
 }
